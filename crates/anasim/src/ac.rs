@@ -1,0 +1,266 @@
+//! Small-signal AC analysis.
+//!
+//! Linearizes the circuit at its DC operating point and solves
+//! `(G + jωC)·x = b` over a frequency grid, where `G` is the DC
+//! Jacobian (the same matrix the final Newton iteration factorized) and
+//! `C` collects the explicit capacitors. The excitation is one voltage
+//! source driven with unit AC amplitude; every other source is an AC
+//! ground, as in SPICE's `.AC`.
+//!
+//! Limitations (documented, not surprising for a quasi-static MOSFET
+//! model): transistor capacitances are not modeled, so poles come only
+//! from explicit capacitors — which is exactly what the regulator
+//! netlist provides (rail and gate-line capacitance).
+
+use crate::complex::{Complex, ComplexMatrix};
+use crate::error::Error;
+use crate::matrix::DenseMatrix;
+use crate::mna::{assemble, AnalysisMode};
+use crate::netlist::{Netlist, NodeId};
+use crate::newton::{solve, NewtonOptions};
+
+/// AC analysis driver.
+#[derive(Debug, Clone, Default)]
+pub struct AcAnalysis {
+    options: NewtonOptions,
+}
+
+/// Result of an AC run: one complex solution vector per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    frequencies: Vec<f64>,
+    solutions: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The frequency grid, hertz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Complex node voltage at frequency index `idx`.
+    pub fn voltage(&self, node: NodeId, idx: usize) -> Complex {
+        match node.unknown_index() {
+            None => Complex::ZERO,
+            Some(i) => self.solutions[idx][i],
+        }
+    }
+
+    /// Transfer function magnitude/phase series at `node` (relative to
+    /// the unit excitation).
+    pub fn transfer(&self, node: NodeId) -> Vec<Complex> {
+        (0..self.frequencies.len())
+            .map(|i| self.voltage(node, i))
+            .collect()
+    }
+
+    /// The −3 dB corner: the first frequency at which the magnitude at
+    /// `node` falls below its first-point magnitude by 3 dB.
+    pub fn corner_frequency(&self, node: NodeId) -> Option<f64> {
+        let h = self.transfer(node);
+        let ref_db = h.first()?.db();
+        for (k, z) in h.iter().enumerate() {
+            if z.db() <= ref_db - 3.0103 {
+                return Some(self.frequencies[k]);
+            }
+        }
+        None
+    }
+}
+
+/// Builds a logarithmic frequency grid with `per_decade` points from
+/// `f_start` to `f_stop` (inclusive-ish).
+///
+/// # Panics
+///
+/// Panics unless `0 < f_start < f_stop` and `per_decade > 0`.
+pub fn log_grid(f_start: f64, f_stop: f64, per_decade: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start && per_decade > 0);
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * per_decade as f64).ceil() as usize;
+    (0..=n)
+        .map(|k| f_start * 10f64.powf(k as f64 / per_decade as f64))
+        .take_while(|&f| f <= f_stop * 1.0001)
+        .collect()
+}
+
+impl AcAnalysis {
+    /// Creates a driver with default solver options (for the DC
+    /// operating point).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the analysis with `input` (a voltage source name) driven at
+    /// unit amplitude over `frequencies`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownDevice`] if `input` is not a device with a
+    /// branch; solver failures from the DC operating point or a
+    /// singular AC matrix are propagated.
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        input: &str,
+        frequencies: &[f64],
+    ) -> Result<AcResult, Error> {
+        if frequencies.is_empty() {
+            return Err(Error::EmptySweep);
+        }
+        let input_branch = netlist
+            .branch_unknown(input)
+            .ok_or_else(|| Error::UnknownDevice(input.to_string()))?;
+        // DC operating point and its Jacobian.
+        let op = solve(netlist, &self.options, None, AnalysisMode::Dc)?;
+        let n = netlist.num_unknowns();
+        let mut g = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        assemble(
+            netlist,
+            op.raw(),
+            0.0,
+            1.0,
+            AnalysisMode::Dc,
+            &mut g,
+            &mut rhs,
+        );
+        let caps = netlist.capacitor_stamps();
+
+        let mut solutions = Vec::with_capacity(frequencies.len());
+        for &f in frequencies {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut a = ComplexMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    let v = g.get(r, c);
+                    if v != 0.0 {
+                        a.add(r, c, Complex::real(v));
+                    }
+                }
+            }
+            for &(p, q, farads) in &caps {
+                let jc = Complex::imag(omega * farads);
+                if let Some(pi) = p.unknown_index() {
+                    a.add(pi, pi, jc);
+                }
+                if let Some(qi) = q.unknown_index() {
+                    a.add(qi, qi, jc);
+                }
+                if let (Some(pi), Some(qi)) = (p.unknown_index(), q.unknown_index()) {
+                    a.add(pi, qi, -jc);
+                    a.add(qi, pi, -jc);
+                }
+            }
+            let mut b = vec![Complex::ZERO; n];
+            b[input_branch] = Complex::ONE;
+            solutions.push(a.solve(&b)?);
+        }
+        Ok(AcResult {
+            frequencies: frequencies.to_vec(),
+            solutions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::mosfet::MosParams;
+    use crate::Netlist;
+
+    #[test]
+    fn rc_lowpass_corner_and_rolloff() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let out = nl.node("out");
+        nl.vsource("VIN", a, Netlist::GND, 0.0);
+        nl.resistor("R", a, out, 1.0e3).unwrap();
+        nl.capacitor("C", out, Netlist::GND, 1.0e-9).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-9); // ≈159 kHz
+        let freqs = log_grid(1.0e3, 1.0e8, 20);
+        let ac = AcAnalysis::new().run(&nl, "VIN", &freqs).unwrap();
+        // Passband: unity.
+        assert!((ac.voltage(out, 0).abs() - 1.0).abs() < 1e-3);
+        // Corner within one grid step of the analytic value.
+        let corner = ac.corner_frequency(out).expect("rolls off");
+        assert!(
+            (corner / fc).ln().abs() < 0.2,
+            "corner {corner} vs analytic {fc}"
+        );
+        // One decade above the corner: −20 dB/dec slope.
+        let h = ac.transfer(out);
+        let idx_10fc = freqs.iter().position(|&f| f > 10.0 * fc).unwrap();
+        let idx_100fc = freqs.iter().position(|&f| f > 100.0 * fc).unwrap();
+        let slope = h[idx_100fc].db() - h[idx_10fc].db();
+        assert!((slope + 20.0).abs() < 1.0, "rolloff {slope} dB/dec");
+        // Phase approaches −90°.
+        assert!(h[idx_100fc].phase_deg() < -80.0);
+    }
+
+    #[test]
+    fn divider_is_frequency_flat() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vsource("VIN", a, Netlist::GND, 1.0);
+        nl.resistor("R1", a, m, 1.0e3).unwrap();
+        nl.resistor("R2", m, Netlist::GND, 1.0e3).unwrap();
+        let freqs = log_grid(1.0, 1.0e9, 3);
+        let ac = AcAnalysis::new().run(&nl, "VIN", &freqs).unwrap();
+        for k in 0..freqs.len() {
+            let z = ac.voltage(m, k);
+            assert!((z.abs() - 0.5).abs() < 1e-9);
+            assert!(z.phase_deg().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn common_source_stage_has_gain_and_pole() {
+        // Resistor-loaded NMOS with output capacitance: inverting gain
+        // at DC, single pole at 1/(2π R C).
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let g = nl.node("g");
+        let d = nl.node("d");
+        nl.vsource("VDD", vdd, Netlist::GND, 1.5);
+        nl.vsource("VIN", g, Netlist::GND, 0.65);
+        nl.resistor("RL", vdd, d, 50.0e3).unwrap();
+        nl.capacitor("CL", d, Netlist::GND, 1.0e-12).unwrap();
+        nl.mosfet("M", d, g, Netlist::GND, MosParams::nmos(4.0e-4, 0.45))
+            .unwrap();
+        let freqs = log_grid(1.0e3, 1.0e10, 10);
+        let ac = AcAnalysis::new().run(&nl, "VIN", &freqs).unwrap();
+        let h0 = ac.voltage(d, 0);
+        assert!(h0.abs() > 2.0, "stage gain {}", h0.abs());
+        // Inverting: phase near 180°.
+        assert!(h0.phase_deg().abs() > 170.0, "phase {}", h0.phase_deg());
+        // It rolls off eventually.
+        assert!(ac.corner_frequency(d).is_some());
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("VIN", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        assert!(matches!(
+            AcAnalysis::new().run(&nl, "nope", &[1.0e3]),
+            Err(Error::UnknownDevice(_))
+        ));
+        assert!(matches!(
+            AcAnalysis::new().run(&nl, "VIN", &[]),
+            Err(Error::EmptySweep)
+        ));
+    }
+
+    #[test]
+    fn log_grid_shape() {
+        let g = log_grid(1.0, 1000.0, 1);
+        assert_eq!(g.len(), 4);
+        assert!((g[3] - 1000.0).abs() < 1e-9);
+        let g = log_grid(10.0, 100.0, 10);
+        assert_eq!(g.len(), 11);
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal complex arithmetic for AC analysis (no external
+//! dependencies).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// A purely imaginary value.
+    pub fn imag(im: f64) -> Self {
+        Complex { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude in decibels (`20·log10|z|`).
+    pub fn db(self) -> f64 {
+        20.0 * self.abs().log10()
+    }
+
+    /// Phase in degrees.
+    pub fn phase_deg(self) -> f64 {
+        self.arg().to_degrees()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+/// Dense complex matrix with LU solve (mirror of
+/// [`crate::matrix::DenseMatrix`] over [`Complex`]).
+#[derive(Debug, Clone)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        ComplexMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Reads an entry.
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        self.data[r * self.n + c]
+    }
+
+    /// Adds into an entry (the stamping primitive).
+    pub fn add(&mut self, r: usize, c: usize, v: Complex) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Solves `A x = b` by LU with partial pivoting, consuming the
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::SingularMatrix`] when no usable pivot
+    /// exists.
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, crate::Error> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        let mut x: Vec<Complex> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut pr = k;
+            let mut pv = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > pv {
+                    pv = v;
+                    pr = r;
+                }
+            }
+            if pv < 1e-18 {
+                return Err(crate::Error::SingularMatrix { pivot_row: k });
+            }
+            if pr != k {
+                perm.swap(k, pr);
+                for c in 0..n {
+                    let a = self.get(k, c);
+                    let bb = self.get(pr, c);
+                    self.data[k * n + c] = bb;
+                    self.data[pr * n + c] = a;
+                }
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                self.data[r * n + k] = factor;
+                if factor.abs() != 0.0 {
+                    for c in (k + 1)..n {
+                        let v = self.get(r, c) - factor * self.get(k, c);
+                        self.data[r * n + c] = v;
+                    }
+                }
+            }
+        }
+        // Apply permutation, forward, back.
+        let mut y: Vec<Complex> = perm.iter().map(|&p| x[p]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum = sum - self.get(i, j) * *yj;
+            }
+            y[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (j, yj) in y.iter().enumerate().skip(i + 1) {
+                sum = sum - self.get(i, j) * *yj;
+            }
+            y[i] = sum / self.get(i, i);
+        }
+        x.copy_from_slice(&y);
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert!((Complex::imag(1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn db_and_phase() {
+        let z = Complex::real(10.0);
+        assert!((z.db() - 20.0).abs() < 1e-12);
+        assert_eq!(z.phase_deg(), 0.0);
+        let z = Complex::imag(-1.0);
+        assert!((z.phase_deg() + 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_lu_roundtrip() {
+        let n = 5;
+        let mut a = ComplexMatrix::zeros(n);
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a.add(i, j, Complex::new(next(), next()));
+            }
+            a.add(i, i, Complex::real(n as f64 + 2.0));
+        }
+        let b: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let x = a.clone().solve(&b).unwrap();
+        // Verify A·x = b.
+        for (i, bi) in b.iter().enumerate() {
+            let mut sum = Complex::ZERO;
+            for (j, xj) in x.iter().enumerate() {
+                sum += a.get(i, j) * *xj;
+            }
+            assert!((sum - *bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = ComplexMatrix::zeros(2);
+        assert!(a.solve(&[Complex::ONE, Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,180 @@
+//! DC operating point and sweep analyses.
+
+use crate::error::Error;
+use crate::mna::AnalysisMode;
+use crate::netlist::{Netlist, SourceId};
+use crate::newton::{solve, NewtonOptions, Solution};
+
+/// DC analysis driver.
+///
+/// ```
+/// use anasim::{Netlist, dc::DcAnalysis};
+/// # fn main() -> Result<(), anasim::Error> {
+/// let mut nl = Netlist::new();
+/// let a = nl.node("a");
+/// nl.vsource("V", a, Netlist::GND, 1.0);
+/// nl.resistor("R", a, Netlist::GND, 50.0)?;
+/// let op = DcAnalysis::new().operating_point(&nl)?;
+/// assert!((op.voltage(a) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DcAnalysis {
+    options: NewtonOptions,
+}
+
+impl DcAnalysis {
+    /// Creates a driver with default solver options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a driver with explicit solver options.
+    pub fn with_options(options: NewtonOptions) -> Self {
+        DcAnalysis { options }
+    }
+
+    /// The solver options in use.
+    pub fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`Error::NoConvergence`],
+    /// [`Error::SingularMatrix`]).
+    pub fn operating_point(&self, netlist: &Netlist) -> Result<Solution, Error> {
+        solve(netlist, &self.options, None, AnalysisMode::Dc)
+    }
+
+    /// Solves the DC operating point starting from a previous solution
+    /// vector (warm start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn operating_point_from(&self, netlist: &Netlist, x0: &[f64]) -> Result<Solution, Error> {
+        solve(netlist, &self.options, Some(x0), AnalysisMode::Dc)
+    }
+
+    /// Sweeps the value of `source` over `values`, warm-starting each
+    /// point from the previous one, and returns one solution per value.
+    /// The source is restored to its original value afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptySweep`] if `values` is empty; solver failures are
+    /// propagated with the source already restored.
+    pub fn sweep_source(
+        &self,
+        netlist: &mut Netlist,
+        source: SourceId,
+        values: &[f64],
+    ) -> Result<Vec<Solution>, Error> {
+        if values.is_empty() {
+            return Err(Error::EmptySweep);
+        }
+        let original = netlist.source(source);
+        let mut out = Vec::with_capacity(values.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &v in values {
+            netlist.set_source(source, v);
+            let result = solve(netlist, &self.options, warm.as_deref(), AnalysisMode::Dc);
+            match result {
+                Ok(sol) => {
+                    warm = Some(sol.raw().to_vec());
+                    out.push(sol);
+                }
+                Err(e) => {
+                    netlist.set_source(source, original);
+                    return Err(e);
+                }
+            }
+        }
+        netlist.set_source(source, original);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::mosfet::MosParams;
+
+    #[test]
+    fn sweep_restores_source() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let v = nl.vsource("V", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        let sols = DcAnalysis::new()
+            .sweep_source(&mut nl, v, &[0.0, 0.5, 1.0, 1.5])
+            .unwrap();
+        assert_eq!(sols.len(), 4);
+        assert!((sols[3].voltage(a) - 1.5).abs() < 1e-12);
+        assert_eq!(nl.source(v), 1.0);
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let v = nl.vsource("V", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        assert!(matches!(
+            DcAnalysis::new().sweep_source(&mut nl, v, &[]),
+            Err(Error::EmptySweep)
+        ));
+    }
+
+    #[test]
+    fn inverter_vtc_sweep_is_monotone() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let input = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+        let vin = nl.vsource("VIN", input, Netlist::GND, 0.0);
+        nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+            .unwrap();
+        nl.mosfet(
+            "MN",
+            out,
+            input,
+            Netlist::GND,
+            MosParams::nmos(4.0e-4, 0.45),
+        )
+        .unwrap();
+        let points: Vec<f64> = (0..=22).map(|i| i as f64 * 0.05).collect();
+        let sols = DcAnalysis::new()
+            .sweep_source(&mut nl, vin, &points)
+            .unwrap();
+        let mut last = f64::INFINITY;
+        for sol in &sols {
+            let v = sol.voltage(out);
+            assert!(v <= last + 1e-9);
+            last = v;
+        }
+        assert!(sols[0].voltage(out) > 1.0);
+        assert!(sols.last().unwrap().voltage(out) < 0.1);
+    }
+
+    #[test]
+    fn warm_start_speeds_up_nearby_points() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+        nl.resistor("RL", vdd, out, 10.0e3).unwrap();
+        nl.mosfet("MN", out, vdd, Netlist::GND, MosParams::nmos(4.0e-4, 0.45))
+            .unwrap();
+        let dc = DcAnalysis::new();
+        let cold = dc.operating_point(&nl).unwrap();
+        let warm = dc.operating_point_from(&nl, cold.raw()).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert!((warm.voltage(out) - cold.voltage(out)).abs() < 1e-6);
+    }
+}

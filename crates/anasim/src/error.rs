@@ -1,0 +1,98 @@
+//! Error type shared by every analysis in the crate.
+
+use std::fmt;
+
+/// Errors produced while building a [`crate::Netlist`] or running an
+/// analysis on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A device was given a non-positive or non-finite component value.
+    InvalidValue {
+        /// Device name as given to the netlist builder.
+        device: String,
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// Two devices were registered under the same name.
+    DuplicateDevice(String),
+    /// A lookup referred to a device name that does not exist.
+    UnknownDevice(String),
+    /// The MNA matrix is singular (typically a floating node or a loop of
+    /// ideal voltage sources).
+    SingularMatrix {
+        /// Row index at which elimination found no usable pivot.
+        pivot_row: usize,
+    },
+    /// The Newton iteration failed to converge even after gmin and source
+    /// stepping.
+    NoConvergence {
+        /// Number of iterations spent in the last attempt.
+        iterations: usize,
+        /// Residual infinity-norm at the point of giving up.
+        residual: f64,
+    },
+    /// A transient analysis was asked for a non-positive time step or
+    /// stop time.
+    InvalidTimeAxis(String),
+    /// An analysis was asked to sweep an empty set of points.
+    EmptySweep,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidValue { device, what } => {
+                write!(f, "invalid value for device `{device}`: {what}")
+            }
+            Error::DuplicateDevice(name) => {
+                write!(f, "device name `{name}` is already in use")
+            }
+            Error::UnknownDevice(name) => write!(f, "no device named `{name}`"),
+            Error::SingularMatrix { pivot_row } => {
+                write!(f, "singular MNA matrix (no pivot at row {pivot_row})")
+            }
+            Error::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Error::InvalidTimeAxis(what) => write!(f, "invalid time axis: {what}"),
+            Error::EmptySweep => write!(f, "sweep requires at least one point"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::DuplicateDevice("R1".into());
+        let s = e.to_string();
+        assert!(s.contains("R1"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn no_convergence_reports_numbers() {
+        let e = Error::NoConvergence {
+            iterations: 42,
+            residual: 1.5e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("1.5"));
+    }
+}

@@ -1,0 +1,71 @@
+//! `anasim` — a small, self-contained analog circuit simulator.
+//!
+//! This crate is the electrical substrate of the DATE 2013 low-power-SRAM
+//! reproduction. It provides exactly what the paper's SPICE flow needed:
+//!
+//! * a [`Netlist`] of lumped devices (resistors, sources, capacitors,
+//!   diodes, switches and a continuous EKV-style MOSFET),
+//! * modified nodal analysis (MNA) stamping with auxiliary branch
+//!   currents for voltage sources,
+//! * a dense LU linear solver ([`matrix`]),
+//! * a damped Newton–Raphson nonlinear solver with gmin stepping and
+//!   source stepping continuation ([`newton`]),
+//! * DC operating-point and sweep analyses ([`dc`]) and a fixed-step
+//!   backward-Euler / trapezoidal transient analysis ([`transient`]).
+//!
+//! The circuits it is used on (an SRAM 6T cell, a voltage regulator with a
+//! five-transistor error amplifier) have at most a few tens of nodes, so a
+//! dense factorization is the right tool; no sparse machinery is needed.
+//!
+//! # Example
+//!
+//! A resistive divider solved at its DC operating point:
+//!
+//! ```
+//! use anasim::{Netlist, dc::DcAnalysis};
+//!
+//! # fn main() -> Result<(), anasim::Error> {
+//! let mut nl = Netlist::new();
+//! let vin = nl.node("vin");
+//! let mid = nl.node("mid");
+//! nl.vsource("V1", vin, Netlist::GND, 1.0);
+//! nl.resistor("R1", vin, mid, 1.0e3)?;
+//! nl.resistor("R2", mid, Netlist::GND, 1.0e3)?;
+//! let sol = DcAnalysis::new().operating_point(&nl)?;
+//! assert!((sol.voltage(mid) - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod complex;
+pub mod dc;
+pub mod devices;
+pub mod error;
+pub mod matrix;
+pub mod mna;
+pub mod netlist;
+pub mod newton;
+pub mod transient;
+pub mod units;
+
+pub use error::Error;
+pub use netlist::{Netlist, NodeId, SourceId};
+pub use newton::{NewtonOptions, Solution};
+
+/// Boltzmann constant over elementary charge, in volts per kelvin.
+///
+/// `V_T = K_OVER_Q * T` is the thermal voltage used by every junction
+/// device in this crate.
+pub const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Converts a temperature in degrees Celsius to the thermal voltage in
+/// volts.
+///
+/// ```
+/// let vt = anasim::thermal_voltage(25.0);
+/// assert!((vt - 0.02569).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temp_c: f64) -> f64 {
+    K_OVER_Q * (temp_c + 273.15)
+}

@@ -1,0 +1,299 @@
+//! Dense matrix and LU factorization with partial pivoting.
+//!
+//! The MNA systems assembled by this crate are tiny (tens of unknowns),
+//! so a dense O(n³) factorization outperforms any sparse scheme and keeps
+//! the crate dependency-free.
+
+use crate::error::Error;
+
+/// A dense, row-major, square matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// ```
+    /// use anasim::matrix::DenseMatrix;
+    /// let m = DenseMatrix::zeros(3);
+    /// assert_eq!(m.order(), 3);
+    /// assert_eq!(m.get(1, 2), 0.0);
+    /// ```
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "row data must be n*n long");
+        DenseMatrix {
+            n,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Matrix order (number of rows = columns).
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Reads the entry at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col]
+    }
+
+    /// Writes the entry at (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` into the entry at (`row`, `col`) — the fundamental
+    /// MNA stamping primitive.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Computes `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.order()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Factorizes the matrix in place (Doolittle LU with partial
+    /// pivoting), consuming `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when no pivot above the absolute
+    /// threshold `1e-18` can be found in some column, which for MNA
+    /// systems almost always means a floating node.
+    pub fn into_lu(mut self) -> Result<LuFactors, Error> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: bring the largest remaining entry of
+            // column k to the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-18 {
+                return Err(Error::SingularMatrix { pivot_row: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                for c in 0..n {
+                    let a = self.get(k, c);
+                    let b = self.get(pivot_row, c);
+                    self.set(k, c, b);
+                    self.set(pivot_row, c, a);
+                }
+            }
+            let inv_pivot = 1.0 / self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) * inv_pivot;
+                self.set(r, k, factor);
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let v = self.get(r, c) - factor * self.get(k, c);
+                        self.set(r, c, v);
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { lu: self, perm })
+    }
+}
+
+/// The result of [`DenseMatrix::into_lu`]: packed L and U factors plus
+/// the row permutation.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A x = b` for `x` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.n;
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut sum = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, j) * xj;
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        x
+    }
+}
+
+/// Convenience one-shot solve of `A x = b`.
+///
+/// # Errors
+///
+/// Returns [`Error::SingularMatrix`] if the factorization fails.
+pub fn solve_dense(a: DenseMatrix, b: &[f64]) -> Result<Vec<f64>, Error> {
+    Ok(a.into_lu()?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = solve_dense(a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let a = DenseMatrix::from_rows(2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = solve_dense(a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting_needed() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(3, &[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let b = [5.0, 2.0, 1.0];
+        let x = solve_dense(a.clone(), &b).unwrap();
+        let back = a.mul_vec(&x);
+        assert!(max_abs_diff(&back, &b) < 1e-10);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = DenseMatrix::from_rows(2, &[1.0, 2.0, 2.0, 4.0]);
+        match solve_dense(a, &[1.0, 1.0]) {
+            Err(Error::SingularMatrix { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_all_zero() {
+        let a = DenseMatrix::zeros(3);
+        assert!(matches!(
+            solve_dense(a, &[0.0; 3]),
+            Err(Error::SingularMatrix { pivot_row: 0 })
+        ));
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 0.5);
+        assert_eq!(m.get(0, 0), 2.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = DenseMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn random_systems_roundtrip() {
+        // Deterministic pseudo-random fill; verifies A·x == b after solve.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 5, 12, 25] {
+            let mut a = DenseMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, next());
+                }
+                // Diagonal dominance keeps the random system comfortably
+                // non-singular.
+                a.add(i, i, n as f64);
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve_dense(a.clone(), &b).unwrap();
+            assert!(
+                max_abs_diff(&a.mul_vec(&x), &b) < 1e-9,
+                "order {n} failed round trip"
+            );
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Modified nodal analysis assembly.
+//!
+//! Devices do not see the matrix directly; they stamp through a
+//! [`StampContext`], which hides the ground-elimination bookkeeping and
+//! exposes the linearization state (current Newton estimate, source
+//! scaling for continuation, previous time point for transient companion
+//! models).
+
+use crate::matrix::DenseMatrix;
+use crate::netlist::{Netlist, NodeId, ParamId, SourceId};
+
+/// Which analysis is currently being assembled.
+#[derive(Debug, Clone, Copy)]
+pub enum AnalysisMode<'a> {
+    /// DC operating point (capacitors open, waveforms at `t = 0`).
+    Dc,
+    /// One backward-Euler transient step ending at `time`, integrating
+    /// from the previous solution vector.
+    Transient {
+        /// Step size in seconds.
+        dt: f64,
+        /// Absolute time at the end of the step.
+        time: f64,
+        /// Solution vector of the previous accepted time point.
+        prev: &'a [f64],
+    },
+}
+
+/// Mutable view through which a device stamps its linearized companion
+/// model into the MNA system.
+#[derive(Debug)]
+pub struct StampContext<'a> {
+    matrix: &'a mut DenseMatrix,
+    rhs: &'a mut [f64],
+    x: &'a [f64],
+    sources: &'a [f64],
+    params: &'a [f64],
+    source_scale: f64,
+    gmin: f64,
+    branch_offset: usize,
+    mode: AnalysisMode<'a>,
+}
+
+impl<'a> StampContext<'a> {
+    /// Voltage of `node` in the current Newton estimate (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        match node.unknown_index() {
+            None => 0.0,
+            Some(i) => self.x[i],
+        }
+    }
+
+    /// Voltage of `node` at the previous transient time point (0 for
+    /// ground, and 0 in DC mode where no history exists).
+    pub fn prev_voltage(&self, node: NodeId) -> f64 {
+        match self.mode {
+            AnalysisMode::Dc => 0.0,
+            AnalysisMode::Transient { prev, .. } => match node.unknown_index() {
+                None => 0.0,
+                Some(i) => prev[i],
+            },
+        }
+    }
+
+    /// The analysis mode being assembled.
+    pub fn mode(&self) -> AnalysisMode<'a> {
+        self.mode
+    }
+
+    /// Value of a source, scaled by the continuation factor.
+    pub fn source_value(&self, id: SourceId) -> f64 {
+        self.sources[id.0] * self.source_scale
+    }
+
+    /// Raw continuation scale (1.0 outside source stepping).
+    pub fn source_scale(&self) -> f64 {
+        self.source_scale
+    }
+
+    /// Value of a device parameter.
+    pub fn param_value(&self, id: ParamId) -> f64 {
+        self.params[id.0]
+    }
+
+    /// The gmin conductance the solver currently adds from every node to
+    /// ground (0 outside gmin stepping). Exposed so tests can observe
+    /// continuation behaviour.
+    pub fn gmin(&self) -> f64 {
+        self.gmin
+    }
+
+    // -- raw stamps ----------------------------------------------------
+
+    /// Adds `value` at (row of `r`, column of `c`), skipping ground.
+    pub fn mat_node_node(&mut self, r: NodeId, c: NodeId, value: f64) {
+        if let (Some(ri), Some(ci)) = (r.unknown_index(), c.unknown_index()) {
+            self.matrix.add(ri, ci, value);
+        }
+    }
+
+    /// Adds `value` at (row of `r`, column of this device's branch `k`).
+    pub fn mat_node_branch(&mut self, r: NodeId, k: usize, value: f64) {
+        if let Some(ri) = r.unknown_index() {
+            self.matrix.add(ri, self.branch_offset + k, value);
+        }
+    }
+
+    /// Adds `value` at (row of branch `k`, column of `c`).
+    pub fn mat_branch_node(&mut self, k: usize, c: NodeId, value: f64) {
+        if let Some(ci) = c.unknown_index() {
+            self.matrix.add(self.branch_offset + k, ci, value);
+        }
+    }
+
+    /// Adds `value` at (row of branch `k`, column of branch `j`).
+    pub fn mat_branch_branch(&mut self, k: usize, j: usize, value: f64) {
+        self.matrix
+            .add(self.branch_offset + k, self.branch_offset + j, value);
+    }
+
+    /// Adds `value` to the right-hand side at the row of `node`.
+    pub fn rhs_node(&mut self, node: NodeId, value: f64) {
+        if let Some(i) = node.unknown_index() {
+            self.rhs[i] += value;
+        }
+    }
+
+    /// Adds `value` to the right-hand side at the row of branch `k`.
+    pub fn rhs_branch(&mut self, k: usize, value: f64) {
+        self.rhs[self.branch_offset + k] += value;
+    }
+
+    /// Branch current of this device's branch `k` in the current
+    /// estimate.
+    pub fn branch_current(&self, k: usize) -> f64 {
+        self.x[self.branch_offset + k]
+    }
+
+    // -- composite stamps ----------------------------------------------
+
+    /// Stamps a two-terminal conductance `g` between `p` and `n`.
+    pub fn stamp_conductance(&mut self, p: NodeId, n: NodeId, g: f64) {
+        self.mat_node_node(p, p, g);
+        self.mat_node_node(n, n, g);
+        self.mat_node_node(p, n, -g);
+        self.mat_node_node(n, p, -g);
+    }
+
+    /// Stamps a constant current of `amps` flowing out of `from` and
+    /// into `to` (through the device).
+    pub fn stamp_current(&mut self, from: NodeId, to: NodeId, amps: f64) {
+        self.rhs_node(from, -amps);
+        self.rhs_node(to, amps);
+    }
+
+    /// Stamps a linearized two-terminal element carrying current
+    /// `i0 + g * (V(p) - V(n) - v0)` from `p` to `n`. This is the
+    /// companion-model form used by diodes and the switch.
+    pub fn stamp_linearized(&mut self, p: NodeId, n: NodeId, i0: f64, g: f64, v0: f64) {
+        self.stamp_conductance(p, n, g);
+        let ieq = i0 - g * v0;
+        self.stamp_current(p, n, ieq);
+    }
+}
+
+/// Assembles the full linearized MNA system `A x_next = b` at the
+/// estimate `x`.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble(
+    netlist: &Netlist,
+    x: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    mode: AnalysisMode<'_>,
+    matrix: &mut DenseMatrix,
+    rhs: &mut [f64],
+) {
+    matrix.clear();
+    rhs.iter_mut().for_each(|v| *v = 0.0);
+    for (device, branch_offset) in netlist.devices_with_offsets() {
+        let mut ctx = StampContext {
+            matrix,
+            rhs,
+            x,
+            sources: netlist.sources_slice(),
+            params: netlist.params_slice(),
+            source_scale,
+            gmin,
+            branch_offset,
+            mode,
+        };
+        device.stamp(&mut ctx);
+    }
+    // gmin stepping: small conductance from every node to ground keeps
+    // the Jacobian non-singular far from the solution.
+    if gmin > 0.0 {
+        let node_unknowns = netlist.num_nodes() - 1;
+        for i in 0..node_unknowns {
+            matrix.add(i, i, gmin);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// Assemble a divider and check the raw system by hand.
+    #[test]
+    fn divider_assembly_matches_hand_stamps() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GND, 2.0);
+        nl.resistor("R1", a, b, 1.0).unwrap();
+        nl.resistor("R2", b, Netlist::GND, 1.0).unwrap();
+
+        let n = nl.num_unknowns();
+        assert_eq!(n, 3); // a, b, branch of V1
+        let mut m = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        let x = vec![0.0; n];
+        assemble(&nl, &x, 0.0, 1.0, AnalysisMode::Dc, &mut m, &mut rhs);
+
+        // Node a: G(R1) + branch coupling.
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(0, 2), 1.0);
+        // Node b: R1 + R2.
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        // Branch row: V(a) = 2.
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(rhs[2], 2.0);
+    }
+
+    #[test]
+    fn gmin_lands_on_node_diagonals_only() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GND, 1.0);
+        let n = nl.num_unknowns();
+        let mut m = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        let x = vec![0.0; n];
+        assemble(&nl, &x, 1e-3, 1.0, AnalysisMode::Dc, &mut m, &mut rhs);
+        assert_eq!(m.get(0, 0), 1e-3); // node diagonal gets gmin
+        assert_eq!(m.get(1, 1), 0.0); // branch diagonal does not
+    }
+
+    #[test]
+    fn source_scaling_reaches_rhs() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GND, 2.0);
+        nl.resistor("R1", a, Netlist::GND, 1.0).unwrap();
+        let n = nl.num_unknowns();
+        let mut m = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        let x = vec![0.0; n];
+        assemble(&nl, &x, 0.0, 0.25, AnalysisMode::Dc, &mut m, &mut rhs);
+        assert_eq!(rhs[1], 0.5); // 2.0 * 0.25
+    }
+}

@@ -1,0 +1,523 @@
+//! Circuit description: nodes, devices, and mutable parameter tables.
+//!
+//! A [`Netlist`] owns a set of named nodes and a list of devices. Two
+//! small indirection tables make repeated analyses cheap:
+//!
+//! * source values live in a table indexed by [`SourceId`], so a DC sweep
+//!   can move a supply without rebuilding the circuit;
+//! * scalar device parameters (today: resistances) live in a table
+//!   indexed by [`ParamId`], which is how the regulator defect
+//!   characterization sweeps a single injected open resistance over nine
+//!   decades without reconstructing the amplifier.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::devices::capacitor::Capacitor;
+use crate::devices::diode::{Diode, DiodeParams};
+use crate::devices::isource::CurrentSource;
+use crate::devices::mosfet::{MosParams, Mosfet};
+use crate::devices::resistor::Resistor;
+use crate::devices::switch::Switch;
+use crate::devices::vsource::{VoltageSource, Waveform};
+use crate::devices::Device;
+use crate::error::Error;
+
+/// Identifies a circuit node. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage in a solution vector, or `None` for
+    /// ground (whose voltage is fixed at zero).
+    pub(crate) fn unknown_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to an entry in the netlist's source-value table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub(crate) usize);
+
+/// Handle to an entry in the netlist's device-parameter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// A complete circuit: nodes, devices, and their adjustable values.
+#[derive(Debug, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    devices: Vec<Box<dyn Device>>,
+    device_lookup: HashMap<String, usize>,
+    /// First branch-unknown index (counted from 0 among branches) per
+    /// device, parallel to `devices`.
+    branch_starts: Vec<usize>,
+    num_branches: usize,
+    sources: Vec<f64>,
+    params: Vec<f64>,
+}
+
+impl Netlist {
+    /// The ground node, present in every netlist.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist containing only the ground node.
+    pub fn new() -> Self {
+        let mut node_lookup = HashMap::new();
+        node_lookup.insert("0".to_string(), NodeId(0));
+        Netlist {
+            node_names: vec!["0".to_string()],
+            node_lookup,
+            devices: Vec::new(),
+            device_lookup: HashMap::new(),
+            branch_starts: Vec::new(),
+            num_branches: 0,
+            sources: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The name `"0"` always refers to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_lookup.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_lookup.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_lookup.get(name).copied()
+    }
+
+    /// Name of a node (ground is `"0"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this netlist.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of auxiliary branch-current unknowns.
+    pub fn num_branches(&self) -> usize {
+        self.num_branches
+    }
+
+    /// Total unknown count of the MNA system.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_nodes() - 1 + self.num_branches
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` if any device requires Newton iteration.
+    pub fn is_nonlinear(&self) -> bool {
+        self.devices.iter().any(|d| d.is_nonlinear())
+    }
+
+    fn register(&mut self, device: Box<dyn Device>) -> Result<(), Error> {
+        let name = device.name().to_string();
+        if self.device_lookup.contains_key(&name) {
+            return Err(Error::DuplicateDevice(name));
+        }
+        self.device_lookup.insert(name, self.devices.len());
+        self.branch_starts.push(self.num_branches);
+        self.num_branches += device.num_branches();
+        self.devices.push(device);
+        Ok(())
+    }
+
+    /// Iterates over `(device, absolute_branch_offset)` pairs. The offset
+    /// is the index of the device's first branch unknown within the full
+    /// unknown vector.
+    pub(crate) fn devices_with_offsets(&self) -> impl Iterator<Item = (&dyn Device, usize)> + '_ {
+        let node_unknowns = self.num_nodes() - 1;
+        self.devices
+            .iter()
+            .zip(&self.branch_starts)
+            .map(move |(d, &s)| (d.as_ref(), node_unknowns + s))
+    }
+
+    /// Returns a zeroed warm-start vector of the right dimension for
+    /// this netlist, to be filled in with [`Netlist::set_guess`].
+    pub fn zero_state(&self) -> Vec<f64> {
+        vec![0.0; self.num_unknowns()]
+    }
+
+    /// Writes a voltage guess for `node` into a warm-start vector
+    /// (no-op for ground). Used to pick a stable state of bistable
+    /// circuits such as an SRAM cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension for this netlist.
+    pub fn set_guess(&self, x: &mut [f64], node: NodeId, volts: f64) {
+        assert_eq!(
+            x.len(),
+            self.num_unknowns(),
+            "guess vector has wrong dimension"
+        );
+        if let Some(i) = node.unknown_index() {
+            x[i] = volts;
+        }
+    }
+
+    /// `(p, n, farads)` of every capacitor — the C-matrix stamps used
+    /// by AC analysis.
+    pub fn capacitor_stamps(&self) -> Vec<(NodeId, NodeId, f64)> {
+        self.devices
+            .iter()
+            .filter_map(|d| d.capacitance())
+            .collect()
+    }
+
+    /// Absolute unknown index of the branch current of the named device
+    /// (e.g. a voltage source), if it has one.
+    pub fn branch_unknown(&self, device_name: &str) -> Option<usize> {
+        let &idx = self.device_lookup.get(device_name)?;
+        if self.devices[idx].num_branches() == 0 {
+            return None;
+        }
+        Some(self.num_nodes() - 1 + self.branch_starts[idx])
+    }
+
+    // ------------------------------------------------------------------
+    // Source / parameter tables
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_source(&mut self, value: f64) -> SourceId {
+        self.sources.push(value);
+        SourceId(self.sources.len() - 1)
+    }
+
+    pub(crate) fn alloc_param(&mut self, value: f64) -> ParamId {
+        self.params.push(value);
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Updates the value of a voltage or current source.
+    pub fn set_source(&mut self, id: SourceId, value: f64) {
+        self.sources[id.0] = value;
+    }
+
+    /// Reads the value of a voltage or current source.
+    pub fn source(&self, id: SourceId) -> f64 {
+        self.sources[id.0]
+    }
+
+    /// Updates a scalar device parameter (for a resistor: its resistance
+    /// in ohms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite and positive — parameter updates
+    /// follow the same validation as the original constructor.
+    pub fn set_param(&mut self, id: ParamId, value: f64) {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "parameter value must be finite and positive, got {value}"
+        );
+        self.params[id.0] = value;
+    }
+
+    /// Reads a scalar device parameter.
+    pub fn param(&self, id: ParamId) -> f64 {
+        self.params[id.0]
+    }
+
+    pub(crate) fn sources_slice(&self) -> &[f64] {
+        &self.sources
+    }
+
+    pub(crate) fn params_slice(&self) -> &[f64] {
+        &self.params
+    }
+
+    // ------------------------------------------------------------------
+    // Device constructors
+    // ------------------------------------------------------------------
+
+    /// Adds a resistor between `p` and `n` and returns the handle to its
+    /// resistance parameter (see [`Netlist::set_param`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for a non-finite or non-positive
+    /// resistance and [`Error::DuplicateDevice`] for a reused name.
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    ) -> Result<ParamId, Error> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(Error::InvalidValue {
+                device: name.to_string(),
+                what: format!("resistance must be finite and positive, got {ohms}"),
+            });
+        }
+        let param = self.alloc_param(ohms);
+        self.register(Box::new(Resistor::new(name, p, n, param)))?;
+        Ok(param)
+    }
+
+    /// Adds an ideal DC voltage source (positive terminal `p`). Returns
+    /// the handle used to change its value with [`Netlist::set_source`].
+    pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, volts: f64) -> SourceId {
+        let source = self.alloc_source(volts);
+        let dev = VoltageSource::new(name, p, n, source, Waveform::Dc);
+        self.register(Box::new(dev))
+            .expect("duplicate voltage source name");
+        source
+    }
+
+    /// Adds a voltage source with an explicit time-domain waveform for
+    /// transient analysis. At DC the waveform's value at `t = 0` is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateDevice`] for a reused name.
+    pub fn vsource_waveform(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        waveform: Waveform,
+    ) -> Result<SourceId, Error> {
+        let source = self.alloc_source(waveform.value_at(0.0, 0.0));
+        let dev = VoltageSource::new(name, p, n, source, waveform);
+        self.register(Box::new(dev))?;
+        Ok(source)
+    }
+
+    /// Adds an ideal current source driving `amps` from `from` through
+    /// the source into `to`.
+    pub fn isource(&mut self, name: &str, from: NodeId, to: NodeId, amps: f64) -> SourceId {
+        let source = self.alloc_source(amps);
+        self.register(Box::new(CurrentSource::new(name, from, to, source)))
+            .expect("duplicate current source name");
+        source
+    }
+
+    /// Adds a capacitor. In DC analyses it contributes only a tiny
+    /// leakage conductance to keep otherwise-floating nodes solvable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for a non-finite or non-positive
+    /// capacitance.
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    ) -> Result<(), Error> {
+        if !(farads.is_finite() && farads > 0.0) {
+            return Err(Error::InvalidValue {
+                device: name.to_string(),
+                what: format!("capacitance must be finite and positive, got {farads}"),
+            });
+        }
+        self.register(Box::new(Capacitor::new(name, p, n, farads)))
+    }
+
+    /// Adds a junction diode (anode `p`, cathode `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] if the parameters are out of
+    /// range.
+    pub fn diode(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        params: DiodeParams,
+    ) -> Result<(), Error> {
+        params.validate(name)?;
+        self.register(Box::new(Diode::new(name, p, n, params)))
+    }
+
+    /// Adds a MOSFET with terminals drain/gate/source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] if the parameters are out of
+    /// range.
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        params: MosParams,
+    ) -> Result<(), Error> {
+        params.validate(name)?;
+        self.register(Box::new(Mosfet::new(name, drain, gate, source, params)))
+    }
+
+    /// Adds a smooth voltage-controlled switch: conductance interpolates
+    /// between `1/r_off` and `1/r_on` as the control voltage
+    /// `V(ctrl_p) - V(ctrl_n)` crosses `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] if either resistance is
+    /// non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn switch(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        ctrl_p: NodeId,
+        ctrl_n: NodeId,
+        threshold: f64,
+        r_on: f64,
+        r_off: f64,
+    ) -> Result<(), Error> {
+        if !(r_on.is_finite() && r_on > 0.0 && r_off.is_finite() && r_off > 0.0) {
+            return Err(Error::InvalidValue {
+                device: name.to_string(),
+                what: format!("switch resistances must be positive, got {r_on}/{r_off}"),
+            });
+        }
+        self.register(Box::new(Switch::new(
+            name, p, n, ctrl_p, ctrl_n, threshold, r_on, r_off,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_preexists() {
+        let nl = Netlist::new();
+        assert_eq!(nl.num_nodes(), 1);
+        assert_eq!(nl.find_node("0"), Some(Netlist::GND));
+        assert!(Netlist::GND.is_ground());
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(nl.num_nodes(), 2);
+        assert_eq!(nl.node_name(a), "a");
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GND, 100.0).unwrap();
+        assert!(matches!(
+            nl.resistor("R1", a, Netlist::GND, 100.0),
+            Err(Error::DuplicateDevice(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_resistance_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                nl.resistor("Rbad", a, Netlist::GND, bad),
+                Err(Error::InvalidValue { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn branch_bookkeeping() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GND, 1.0);
+        nl.resistor("R1", a, b, 10.0).unwrap();
+        nl.vsource("V2", b, Netlist::GND, 0.5);
+        assert_eq!(nl.num_branches(), 2);
+        // Two non-ground nodes + two branch currents.
+        assert_eq!(nl.num_unknowns(), 4);
+        assert_eq!(nl.branch_unknown("V1"), Some(2));
+        assert_eq!(nl.branch_unknown("V2"), Some(3));
+        assert_eq!(nl.branch_unknown("R1"), None);
+        assert_eq!(nl.branch_unknown("Vnope"), None);
+    }
+
+    #[test]
+    fn source_table_roundtrip() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let v = nl.vsource("V1", a, Netlist::GND, 1.0);
+        assert_eq!(nl.source(v), 1.0);
+        nl.set_source(v, 2.5);
+        assert_eq!(nl.source(v), 2.5);
+    }
+
+    #[test]
+    fn param_table_roundtrip() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let r = nl.resistor("R1", a, Netlist::GND, 100.0).unwrap();
+        assert_eq!(nl.param(r), 100.0);
+        nl.set_param(r, 1.0e6);
+        assert_eq!(nl.param(r), 1.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn param_update_validates() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let r = nl.resistor("R1", a, Netlist::GND, 100.0).unwrap();
+        nl.set_param(r, -5.0);
+    }
+
+    #[test]
+    fn nonlinearity_detection() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GND, 100.0).unwrap();
+        assert!(!nl.is_nonlinear());
+        nl.diode("D1", a, Netlist::GND, DiodeParams::default())
+            .unwrap();
+        assert!(nl.is_nonlinear());
+    }
+}

@@ -1,0 +1,174 @@
+//! Thin newtype wrappers for electrical quantities.
+//!
+//! These exist to keep public APIs self-describing ([C-NEWTYPE]): a
+//! function that takes [`Ohms`] cannot silently be handed a voltage.
+//! Internally the solver works on raw `f64`s; the wrappers are peeled off
+//! at the API boundary via [`value`](Ohms::value).
+
+use std::fmt;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value in base units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` when the value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A potential difference in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// A current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// A resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// A temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+quantity!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+
+impl Celsius {
+    /// Converts to kelvin.
+    ///
+    /// ```
+    /// use anasim::units::Celsius;
+    /// assert!((Celsius(25.0).to_kelvin() - 298.15).abs() < 1e-12);
+    /// ```
+    pub fn to_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+impl Volts {
+    /// Millivolt convenience accessor used throughout the experiment
+    /// reports.
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Ohms {
+    /// Kilo-ohm constructor mirroring the notation used in the paper's
+    /// Table II.
+    pub fn from_kilo(k: f64) -> Self {
+        Ohms(k * 1e3)
+    }
+
+    /// Mega-ohm constructor mirroring the notation used in the paper's
+    /// Table II.
+    pub fn from_mega(m: f64) -> Self {
+        Ohms(m * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Volts(1.0) + Volts(0.5);
+        assert_eq!(a, Volts(1.5));
+        let b = a - Volts(1.5);
+        assert_eq!(b, Volts(0.0));
+        assert_eq!(-Volts(2.0), Volts(-2.0));
+        assert_eq!(Ohms(2.0) * 3.0, Ohms(6.0));
+    }
+
+    #[test]
+    fn display_carries_unit() {
+        assert_eq!(Ohms(10.0).to_string(), "10 Ω");
+        assert_eq!(Volts(0.7).to_string(), "0.7 V");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Ohms::from_kilo(9.76), Ohms(9760.0));
+        assert_eq!(Ohms::from_mega(2.36), Ohms(2.36e6));
+        assert!((Volts(0.73).millivolts() - 730.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_f64_roundtrip() {
+        let v: Volts = 1.1.into();
+        assert_eq!(v.value(), 1.1);
+        assert!(v.is_finite());
+        assert!(!Volts(f64::NAN).is_finite());
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: DRV bisection cost versus tolerance and VTC sampling
+//! density — the accuracy/runtime trade of the suite's most-executed
+//! analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::case_study::CaseStudy;
+use process::PvtCondition;
+use sram::{drv_ds, CellInstance, DrvOptions, StoredBit};
+
+fn bench_drv_ablation(c: &mut Criterion) {
+    let pvt = PvtCondition::nominal();
+    let cs = CaseStudy::new(2, StoredBit::One);
+    let inst = CellInstance::with_pattern(cs.pattern(), pvt);
+
+    // Record the accuracy side of the trade once.
+    let fine = drv_ds(
+        &inst,
+        StoredBit::One,
+        &DrvOptions {
+            tolerance: 0.5e-3,
+            vtc_points: 121,
+            ..DrvOptions::default()
+        },
+    )
+    .expect("solves")
+    .drv;
+    for (label, opts) in [
+        ("tol=1mV,61pts", DrvOptions::default()),
+        ("tol=4mV,41pts", DrvOptions::coarse()),
+        (
+            "tol=16mV,21pts",
+            DrvOptions {
+                tolerance: 16.0e-3,
+                vtc_points: 21,
+                ..DrvOptions::default()
+            },
+        ),
+    ] {
+        let r = drv_ds(&inst, StoredBit::One, &opts).expect("solves");
+        println!(
+            "drv ablation {label}: {:.1} mV (error vs fine: {:+.1} mV, {} SNM evals)",
+            r.drv * 1e3,
+            (r.drv - fine) * 1e3,
+            r.evaluations
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_drv");
+    group.sample_size(10);
+    for (label, opts) in [
+        ("tol_1mv_61pts", DrvOptions::default()),
+        ("tol_4mv_41pts", DrvOptions::coarse()),
+        (
+            "tol_16mv_21pts",
+            DrvOptions {
+                tolerance: 16.0e-3,
+                vtc_points: 21,
+                ..DrvOptions::default()
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| drv_ds(&inst, StoredBit::One, &opts).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drv_ablation);
+criterion_main!(benches);

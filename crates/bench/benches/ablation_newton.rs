@@ -1,0 +1,66 @@
+//! Ablation: what the Newton continuation ladder (gmin + source
+//! stepping) buys on the regulator operating point, and the damping
+//! clamp's effect.
+
+use anasim::mna::AnalysisMode;
+use anasim::newton::{solve, NewtonOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use process::PvtCondition;
+use regulator::{static_circuit, VrefTap};
+use sram::{ArrayLoad, CellInstance};
+
+fn bench_continuation(c: &mut Criterion) {
+    let pvt = PvtCondition::nominal();
+    let inst = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(&inst, &[], 256 * 1024, 1.3, 5).expect("builds");
+    // A solved circuit gives us the converged state for warm-start
+    // comparisons; rebuilt fresh per iteration for cold starts.
+    let mut reference = static_circuit(pvt, VrefTap::V70).expect("builds");
+    let _ = reference.solve(&load).expect("solves");
+
+    // Report once whether plain Newton (no continuation) even converges
+    // from a cold start on the full cell netlist.
+    let (nl, nodes) = sram::cell::build_retention_netlist(&inst, 0.77).expect("builds");
+    let plain = solve(&nl, &NewtonOptions::plain(), None, AnalysisMode::Dc);
+    println!(
+        "plain Newton (no continuation) on the bistable cell from zeros: {}",
+        match &plain {
+            Ok(sol) => format!("converged in {} iterations", sol.iterations),
+            Err(e) => format!("FAILED ({e})"),
+        }
+    );
+    let _ = nodes;
+
+    let mut group = c.benchmark_group("ablation_newton");
+    group.sample_size(20);
+    for (label, opts) in [
+        ("full_ladder", NewtonOptions::default()),
+        ("plain_no_continuation", NewtonOptions::plain()),
+        (
+            "tight_damping",
+            NewtonOptions {
+                max_step: 0.05,
+                ..NewtonOptions::default()
+            },
+        ),
+        (
+            "loose_damping",
+            NewtonOptions {
+                max_step: 1.0,
+                ..NewtonOptions::default()
+            },
+        ),
+    ] {
+        group.bench_function(format!("cell_cold_start_{label}"), |b| {
+            b.iter(|| {
+                // Cold-start solve; plain may fail — that cost is the
+                // datum being measured, so count it either way.
+                let _ = solve(&nl, &opts, None, AnalysisMode::Dc);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuation);
+criterion_main!(benches);

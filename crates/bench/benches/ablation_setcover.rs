@@ -1,0 +1,83 @@
+//! Ablation: greedy versus exhaustive set cover for the test-flow
+//! optimization, on a synthetic 12-combination × 17-defect matrix with
+//! Table II-like structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::optimize::{exhaustive_cover, greedy_cover, CoverageMatrix};
+use drftest::FlowIteration;
+use regulator::{Defect, VrefTap};
+
+/// Builds a synthetic matrix mimicking the measured structure: most
+/// defects maximized at the low-VDD/high-tap combos, two defects
+/// requiring specific taps.
+fn synthetic_matrix() -> CoverageMatrix {
+    let mut combos = Vec::new();
+    for &vdd in &[1.0, 1.1, 1.2] {
+        for tap in VrefTap::ALL {
+            combos.push(FlowIteration {
+                vdd,
+                tap,
+                ds_time: 1e-3,
+            });
+        }
+    }
+    let defects: Vec<Defect> = Defect::table2_rows();
+    let n = combos.len();
+    let mut min_r = vec![vec![None; n]; defects.len()];
+    let mut maximized = vec![vec![false; n]; defects.len()];
+    for (d, defect) in defects.iter().enumerate() {
+        for (c, combo) in combos.iter().enumerate() {
+            // Usable combos: Vreg at or above 0.73.
+            if combo.expected_vreg() < 0.73 {
+                continue;
+            }
+            let mut r = 1.0e4 * (1.0 + combo.expected_vreg() - 0.73) * 50.0;
+            // Df3 prefers the 0.70 tap, Df4 the 0.64 tap (lower r).
+            if defect.number() == 3 && combo.tap == VrefTap::V70 {
+                r /= 10.0;
+            }
+            if defect.number() == 4 && combo.tap == VrefTap::V64 {
+                r /= 10.0;
+            }
+            min_r[d][c] = Some(r);
+        }
+        let best = min_r[d]
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        for c in 0..n {
+            if let Some(r) = min_r[d][c] {
+                maximized[d][c] = r <= best * 2.0;
+            }
+        }
+    }
+    CoverageMatrix {
+        combos,
+        defects,
+        min_r,
+        maximized,
+    }
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let matrix = synthetic_matrix();
+    let greedy = greedy_cover(&matrix, 1e-3);
+    let exact = exhaustive_cover(&matrix, 1e-3);
+    println!(
+        "set cover: greedy {} iterations, exhaustive optimum {} iterations",
+        greedy.iterations().len(),
+        exact.iterations().len()
+    );
+
+    let mut group = c.benchmark_group("ablation_setcover");
+    group.bench_function("greedy_cover_17x12", |b| {
+        b.iter(|| greedy_cover(&matrix, 1e-3))
+    });
+    group.bench_function("exhaustive_cover_17x12", |b| {
+        b.iter(|| exhaustive_cover(&matrix, 1e-3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_setcover);
+criterion_main!(benches);

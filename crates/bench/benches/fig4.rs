@@ -1,0 +1,48 @@
+//! Fig. 4 regeneration benchmark: one transistor's DRV-vs-σ series.
+//!
+//! `cargo bench -p bench --bench fig4` also prints the regenerated
+//! series so the benchmark run doubles as an experiment record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::drv_analysis::{fig4, Fig4Options};
+use process::ProcessCorner;
+use sram::DrvOptions;
+
+fn options() -> Fig4Options {
+    Fig4Options {
+        sigmas: vec![-6.0, 0.0, 6.0],
+        corners: vec![ProcessCorner::Typical],
+        temperatures: vec![125.0],
+        vdd: 1.1,
+        drv: DrvOptions::coarse(),
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    // Print the series once as an experiment record.
+    let data = fig4(&options()).expect("sweep solves");
+    for series in &data.series {
+        let rendered: Vec<String> = series
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:+}σ: DS1 {:.0} mV / DS0 {:.0} mV",
+                    p.sigma,
+                    p.drv_ds1 * 1e3,
+                    p.drv_ds0 * 1e3
+                )
+            })
+            .collect();
+        println!("fig4 {}: {}", series.transistor, rendered.join(", "));
+    }
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("drv_sweep_six_transistors", |b| {
+        b.iter(|| fig4(&options()).expect("sweep solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! March engine throughput on the paper's 4K×64 geometry, plus the
+//! word-parallel vs per-bit ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use march::{engine, library, MarchElement, Op, SimpleMemory, TestTarget};
+
+/// Naive per-bit runner used as the ablation baseline: applies each
+/// operation one bit at a time instead of word-at-once.
+fn run_per_bit(test: &march::MarchTest, target: &mut SimpleMemory) -> usize {
+    let words = target.word_count();
+    let bits = target.word_bits();
+    let mut failures = 0;
+    for element in test.elements() {
+        match element {
+            MarchElement::Sweep { order, ops } => {
+                let addrs: Vec<usize> = order.addresses(words).collect();
+                for addr in addrs {
+                    for &op in ops {
+                        for bit in 0..bits {
+                            match op {
+                                Op::W0 | Op::W1 => {
+                                    let mut w = target.read(addr);
+                                    if op == Op::W1 {
+                                        w |= 1 << bit;
+                                    } else {
+                                        w &= !(1 << bit);
+                                    }
+                                    target.write(addr, w);
+                                }
+                                Op::R0 | Op::R1 => {
+                                    let w = target.read(addr);
+                                    let expect = op == Op::R1;
+                                    if ((w >> bit) & 1 == 1) != expect {
+                                        failures += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            MarchElement::DeepSleep { dwell } => target.deep_sleep(*dwell),
+            MarchElement::WakeUp => target.wake_up(),
+        }
+    }
+    failures
+}
+
+fn bench_march(c: &mut Criterion) {
+    let mut group = c.benchmark_group("march_engine");
+    group.sample_size(20);
+    for test in [library::march_mlz(1e-3), library::march_ss()] {
+        group.bench_function(format!("{}_4Kx64", test.name()), |b| {
+            b.iter_batched(
+                || SimpleMemory::new(4096, 64),
+                |mut m| engine::run(&test, &mut m),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    // Ablation: per-bit application is an order of magnitude slower
+    // than word-parallel, which is why the engine works on words.
+    let mlz = library::march_mlz(1e-3);
+    group.bench_function("ablation_per_bit_march_mlz_512x64", |b| {
+        b.iter_batched(
+            || SimpleMemory::new(512, 64),
+            |mut m| run_per_bit(&mlz, &mut m),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("word_parallel_march_mlz_512x64", |b| {
+        b.iter_batched(
+            || SimpleMemory::new(512, 64),
+            |mut m| engine::run(&mlz, &mut m),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // Notation round-trip (engine-adjacent utility).
+    group.bench_function("parse_march_mlz_notation", |b| {
+        b.iter(|| {
+            march::MarchTest::parse(
+                "March m-LZ",
+                "{⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}",
+                1e-3,
+            )
+            .expect("parses")
+        })
+    });
+    group.finish();
+
+    // Record the complexity context the paper quotes.
+    println!(
+        "march m-LZ on 4Kx64: {} operations (5N+4, N = 4096)",
+        library::march_mlz(1e-3).complexity(4096)
+    );
+}
+
+criterion_group!(benches, bench_march);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the electrical substrate: LU factorization, the
+//! EKV device evaluation, and representative DC solves.
+
+use anasim::dc::DcAnalysis;
+use anasim::devices::mosfet::MosParams;
+use anasim::matrix::{solve_dense, DenseMatrix};
+use anasim::Netlist;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use process::PvtCondition;
+use regulator::{static_circuit, VrefTap};
+use sram::cell::build_retention_netlist;
+use sram::{ArrayLoad, CellInstance};
+
+fn dense_system(n: usize) -> (DenseMatrix, Vec<f64>) {
+    let mut a = DenseMatrix::zeros(n);
+    let mut seed = 0x243f6a8885a308d3u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    for i in 0..n {
+        for j in 0..n {
+            a.set(i, j, next());
+        }
+        a.add(i, i, n as f64);
+    }
+    let b = (0..n).map(|_| next()).collect();
+    (a, b)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro");
+    for n in [8usize, 24, 48] {
+        let (a, b) = dense_system(n);
+        group.bench_with_input(BenchmarkId::new("lu_solve", n), &n, |bench, _| {
+            bench.iter(|| solve_dense(a.clone(), &b).expect("non-singular"))
+        });
+    }
+
+    let params = MosParams::nmos(2.0e-4, 0.55);
+    group.bench_function("ekv_ids_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let vgs = k as f64 * 0.011;
+                acc += params.ids(vgs, 0.6).0;
+            }
+            acc
+        })
+    });
+
+    let pvt = PvtCondition::nominal();
+    let inst = CellInstance::symmetric(pvt);
+    let (cell_nl, nodes) = build_retention_netlist(&inst, 0.77).expect("builds");
+    let mut guess = cell_nl.zero_state();
+    cell_nl.set_guess(&mut guess, nodes.s, 0.77);
+    cell_nl.set_guess(&mut guess, nodes.vddc, 0.77);
+    group.bench_function("cell_dc_solve", |b| {
+        b.iter(|| {
+            DcAnalysis::new()
+                .operating_point_from(&cell_nl, &guess)
+                .expect("solves")
+        })
+    });
+
+    let load = ArrayLoad::build(&inst, &[], 256 * 1024, 1.3, 5).expect("builds");
+    group.bench_function("regulator_dc_solve", |b| {
+        b.iter_batched(
+            || static_circuit(pvt, VrefTap::V70).expect("builds"),
+            |mut circuit| circuit.solve(&load).expect("solves"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Linear-circuit baseline: the divider alone.
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let m = nl.node("m");
+    nl.vsource("V", a, Netlist::GND, 1.1);
+    nl.resistor("R1", a, m, 110.0e3).expect("valid");
+    nl.resistor("R2", m, Netlist::GND, 390.0e3).expect("valid");
+    group.bench_function("linear_divider_solve", |b| {
+        b.iter(|| DcAnalysis::new().operating_point(&nl).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §IV.B static-power benchmark: the mode-power comparison behind the
+//! category-1 ">30 % savings" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use process::{ProcessCorner, PvtCondition};
+use sram::{CellInstance, StaticPowerModel};
+
+fn bench_static_power(c: &mut Criterion) {
+    let model = StaticPowerModel::lp40nm();
+    // Record the claim's numbers once.
+    for corner in [ProcessCorner::Typical, ProcessCorner::FastNSlowP] {
+        let base = CellInstance::symmetric(PvtCondition::new(corner, 1.1, 125.0));
+        let healthy = model.report(&base, 0.77).expect("solves");
+        let stuck = model.report(&base, 1.1).expect("solves");
+        println!(
+            "static power at {corner}/125°C: ACT {:.1} uW, DS {:.1} uW ({:.0}% saved), DS with Vreg=VDD {:.1} uW ({:.0}% saved)",
+            healthy.active_idle * 1e6,
+            healthy.deep_sleep * 1e6,
+            healthy.savings * 100.0,
+            stuck.deep_sleep * 1e6,
+            stuck.savings * 100.0,
+        );
+    }
+
+    let base = CellInstance::symmetric(PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 125.0));
+    let mut group = c.benchmark_group("static_power");
+    group.sample_size(20);
+    group.bench_function("mode_power_report", |b| {
+        b.iter(|| model.report(&base, 0.77).expect("solves"))
+    });
+    group.bench_function("array_leakage_current", |b| {
+        b.iter(|| model.array_current(&base, 0.77).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_power);
+criterion_main!(benches);

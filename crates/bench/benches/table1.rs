@@ -1,0 +1,30 @@
+//! Table I regeneration benchmark: the per-case-study worst-case DRV
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::case_study::CaseStudy;
+use drftest::experiments::table1::{self, Table1Options};
+use process::{ProcessCorner, PvtCondition};
+use sram::{drv_ds, CellInstance, DrvOptions, StoredBit};
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate and print the table once (reduced PVT grid).
+    let report = table1::run(&Table1Options::quick()).expect("table solves");
+    println!("{report}");
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // Single-cell DRV bisection — the unit of work behind every entry.
+    let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 125.0);
+    for cs_number in [1u8, 2, 4] {
+        let cs = CaseStudy::new(cs_number, StoredBit::One);
+        let inst = CellInstance::with_pattern(cs.pattern(), pvt);
+        group.bench_function(format!("drv_bisection_{cs}"), |b| {
+            b.iter(|| drv_ds(&inst, StoredBit::One, &DrvOptions::coarse()).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

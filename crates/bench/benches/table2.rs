@@ -1,0 +1,77 @@
+//! Table II regeneration benchmark: minimum-resistance search per
+//! defect, the unit of the characterization campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::case_study::CaseStudy;
+use drftest::defect_analysis::tap_for_vdd;
+use drftest::experiments::table2;
+use drftest::Table2Options;
+use process::{ProcessCorner, PvtCondition};
+use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
+use regulator::{Defect, RegulatorDesign};
+use sram::{drv_ds, ArrayLoad, CellInstance, CellPopulation, DrvOptions, StoredBit};
+
+fn bench_table2(c: &mut Criterion) {
+    // Regenerate the table once at the quick setting as a record.
+    let mut opts = Table2Options::quick();
+    opts.defects = vec![
+        Defect::new(1),
+        Defect::new(16),
+        Defect::new(19),
+        Defect::new(29),
+        Defect::new(32),
+    ];
+    let report = table2::run(&opts).expect("campaign solves");
+    println!("{report}");
+
+    // Shared context for the per-defect benchmark.
+    let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.0, 125.0);
+    let cs = CaseStudy::new(1, StoredBit::One);
+    let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+    let drv = drv_ds(&stressed, StoredBit::One, &DrvOptions::coarse())
+        .expect("solves")
+        .drv;
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(
+        &base,
+        &[CellPopulation {
+            pattern: cs.pattern(),
+            count: 1,
+            stored: StoredBit::One,
+        }],
+        256 * 1024,
+        1.3,
+        5,
+    )
+    .expect("load builds");
+    let criterion_ctx = DrfCriterion {
+        stressed: &stressed,
+        stored: StoredBit::One,
+        drv,
+    };
+    let design = RegulatorDesign::lp40nm();
+    let copts = CharacterizeOptions::coarse();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for n in [16u8, 29, 1] {
+        group.bench_function(format!("min_resistance_Df{n}"), |b| {
+            b.iter(|| {
+                min_resistance(
+                    &design,
+                    pvt,
+                    tap_for_vdd(pvt.vdd),
+                    Defect::new(n),
+                    &load,
+                    &criterion_ctx,
+                    &copts,
+                )
+                .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

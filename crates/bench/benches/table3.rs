@@ -1,0 +1,24 @@
+//! Table III regeneration benchmark: coverage-matrix construction and
+//! the greedy set-cover optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drftest::experiments::table3;
+use drftest::{build_coverage, greedy_cover, CoverageOptions};
+
+fn bench_table3(c: &mut Criterion) {
+    // Regenerate once at the quick setting as an experiment record.
+    let report = table3::run(&CoverageOptions::quick()).expect("solves");
+    println!("{report}");
+
+    let matrix = build_coverage(&CoverageOptions::quick()).expect("solves");
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("greedy_cover", |b| b.iter(|| greedy_cover(&matrix, 1.0e-3)));
+    group.bench_function("build_coverage_quick", |b| {
+        b.iter(|| build_coverage(&CoverageOptions::quick()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

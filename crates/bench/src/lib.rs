@@ -1,0 +1,2 @@
+//! Shared helpers for the benchmark harness. The interesting content
+//! lives in `benches/`, one target per table or figure of the paper.

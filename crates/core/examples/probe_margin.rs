@@ -1,0 +1,50 @@
+//! Diagnostic: healthy loaded rail voltage vs CS1 retention voltage at
+//! the worst corners — the design margin the test flow relies on.
+
+use drftest::case_study::CaseStudy;
+use drftest::defect_analysis::tap_for_vdd;
+use process::{ProcessCorner, PvtCondition};
+use regulator::{FeedMode, RegulatorCircuit, RegulatorDesign};
+use sram::drv::{drv_ds, DrvOptions};
+use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cs1 = CaseStudy::new(1, StoredBit::One);
+    for corner in [ProcessCorner::FastNSlowP, ProcessCorner::SlowNFastP] {
+        for vdd in [1.0, 1.1, 1.2] {
+            for temp in [125.0, -30.0] {
+                let pvt = PvtCondition::new(corner, vdd, temp);
+                let stressed = CellInstance::with_pattern(cs1.pattern(), pvt);
+                let drv = drv_ds(&stressed, StoredBit::One, &DrvOptions::default())?.drv;
+                let base = CellInstance::symmetric(pvt);
+                let load = ArrayLoad::build(
+                    &base,
+                    &[CellPopulation {
+                        pattern: cs1.pattern(),
+                        count: 1,
+                        stored: StoredBit::One,
+                    }],
+                    256 * 1024,
+                    1.3,
+                    9,
+                )?;
+                let tap = tap_for_vdd(vdd);
+                let mut c =
+                    RegulatorCircuit::new(&RegulatorDesign::lp40nm(), pvt, tap, FeedMode::Static)?;
+                let op = c.solve(&load)?;
+                println!(
+                    "{pvt}: vddcc={:.4} drv(CS1)={:.4} margin={:+.1} mV iload={:.1} uA out={:.3} tail={:.3} vref={:.4} ibias={:.2}u",
+                    op.vddcc,
+                    drv,
+                    (op.vddcc - drv) * 1e3,
+                    op.load_current * 1e6,
+                    op.amp_out,
+                    op.tail,
+                    op.vref_seen,
+                    op.bias_current * 1e6
+                );
+            }
+        }
+    }
+    Ok(())
+}

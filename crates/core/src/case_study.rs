@@ -1,0 +1,208 @@
+//! The paper's Table I case studies of within-die Vth variation.
+//!
+//! Each case study `CSx` places one (or, for CS5, sixty-four) cells
+//! with a specific σ-valued mismatch pattern in an otherwise symmetric
+//! array. The `-1` variant degrades `SNM_DS1` (the cell struggles to
+//! hold '1'); the `-0` variant is its mirror.
+
+use std::fmt;
+
+use process::Sigma;
+use sram::{CellTransistor, MismatchPattern, StoredBit};
+
+/// One row of Table I.
+///
+/// ```
+/// use drftest::case_study::CaseStudy;
+/// use sram::StoredBit;
+/// let cs1 = CaseStudy::new(1, StoredBit::One);
+/// assert_eq!(cs1.to_string(), "CS1-1");
+/// assert_eq!(cs1.paper_drv_mv(), 730.0);
+/// assert_eq!(cs1.cell_count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaseStudy {
+    /// Case-study number, 1–5.
+    pub number: u8,
+    /// Which stored value the affected cells lose: `One` for `CSx-1`,
+    /// `Zero` for `CSx-0`.
+    pub weak_bit: StoredBit,
+}
+
+impl CaseStudy {
+    /// Creates `CS<number>-1` or `CS<number>-0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= number <= 5`.
+    pub fn new(number: u8, weak_bit: StoredBit) -> Self {
+        assert!(
+            (1..=5).contains(&number),
+            "case study {number} out of range"
+        );
+        CaseStudy { number, weak_bit }
+    }
+
+    /// All ten rows of Table I in order (CS1-1, CS1-0, …, CS5-0).
+    pub fn all() -> Vec<CaseStudy> {
+        (1..=5)
+            .flat_map(|n| {
+                [
+                    CaseStudy::new(n, StoredBit::One),
+                    CaseStudy::new(n, StoredBit::Zero),
+                ]
+            })
+            .collect()
+    }
+
+    /// The five `-1` variants — sufficient for characterization since
+    /// the `-0` rows are exact mirrors (the paper reports identical
+    /// DRV_DS for each pair).
+    pub fn ones() -> Vec<CaseStudy> {
+        (1..=5).map(|n| CaseStudy::new(n, StoredBit::One)).collect()
+    }
+
+    /// The mismatch pattern of the affected cells (Table I columns
+    /// MPcc1…MNcc4).
+    pub fn pattern(&self) -> MismatchPattern {
+        use CellTransistor::*;
+        let base = match self.number {
+            // CS1-1: fully adversarial ±6σ.
+            1 => MismatchPattern::symmetric()
+                .with(MPcc1, Sigma(-6.0))
+                .with(MNcc1, Sigma(-6.0))
+                .with(MPcc2, Sigma(6.0))
+                .with(MNcc2, Sigma(6.0))
+                .with(MNcc3, Sigma(-6.0))
+                .with(MNcc4, Sigma(6.0)),
+            // CS2-1: −3σ on the inverter driving '1'.
+            2 | 5 => MismatchPattern::symmetric()
+                .with(MPcc1, Sigma(-3.0))
+                .with(MNcc1, Sigma(-3.0)),
+            // CS3-1: +3σ on the opposite inverter.
+            3 => MismatchPattern::symmetric()
+                .with(MPcc2, Sigma(3.0))
+                .with(MNcc2, Sigma(3.0)),
+            // CS4-1: barely-asymmetric cell.
+            4 => MismatchPattern::symmetric()
+                .with(MPcc2, Sigma(0.1))
+                .with(MNcc2, Sigma(0.1)),
+            _ => unreachable!("validated in constructor"),
+        };
+        match self.weak_bit {
+            StoredBit::One => base,
+            StoredBit::Zero => base.mirrored(),
+        }
+    }
+
+    /// Number of affected cells in the array (1, except 64 for CS5).
+    pub fn cell_count(&self) -> usize {
+        if self.number == 5 {
+            64
+        } else {
+            1
+        }
+    }
+
+    /// The paper's measured worst-case `DRV_DS` for this case study,
+    /// millivolts (Table I).
+    pub fn paper_drv_mv(&self) -> f64 {
+        match self.number {
+            1 => 730.0,
+            2 | 5 => 686.0,
+            3 => 570.0,
+            4 => 110.0,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for CaseStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = match self.weak_bit {
+            StoredBit::One => 1,
+            StoredBit::Zero => 0,
+        };
+        write!(f, "CS{}-{}", self.number, suffix)
+    }
+}
+
+/// The worst-case deep-sleep retention voltage the paper designs the
+/// test flow around, volts (CS1's 730 mV).
+pub const WORST_CASE_DRV: f64 = 0.730;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows() {
+        let all = CaseStudy::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].to_string(), "CS1-1");
+        assert_eq!(all[1].to_string(), "CS1-0");
+        assert_eq!(all[9].to_string(), "CS5-0");
+        assert_eq!(CaseStudy::ones().len(), 5);
+    }
+
+    #[test]
+    fn cs1_pattern_matches_table1() {
+        use CellTransistor::*;
+        let p = CaseStudy::new(1, StoredBit::One).pattern();
+        assert_eq!(p.sigma(MPcc1), Sigma(-6.0));
+        assert_eq!(p.sigma(MNcc1), Sigma(-6.0));
+        assert_eq!(p.sigma(MPcc2), Sigma(6.0));
+        assert_eq!(p.sigma(MNcc2), Sigma(6.0));
+        assert_eq!(p.sigma(MNcc3), Sigma(-6.0));
+        assert_eq!(p.sigma(MNcc4), Sigma(6.0));
+    }
+
+    #[test]
+    fn zero_variants_are_mirrors() {
+        for n in 1..=5 {
+            let one = CaseStudy::new(n, StoredBit::One).pattern();
+            let zero = CaseStudy::new(n, StoredBit::Zero).pattern();
+            assert_eq!(one.mirrored(), zero, "CS{n}");
+        }
+    }
+
+    #[test]
+    fn cs5_shares_cs2_pattern_with_64_cells() {
+        let cs2 = CaseStudy::new(2, StoredBit::One);
+        let cs5 = CaseStudy::new(5, StoredBit::One);
+        assert_eq!(cs2.pattern(), cs5.pattern());
+        assert_eq!(cs2.cell_count(), 1);
+        assert_eq!(cs5.cell_count(), 64);
+        assert_eq!(cs2.paper_drv_mv(), cs5.paper_drv_mv());
+    }
+
+    #[test]
+    fn paper_drv_ordering() {
+        let drv = |n| CaseStudy::new(n, StoredBit::One).paper_drv_mv();
+        assert!(drv(1) > drv(2));
+        assert!(drv(2) > drv(3));
+        assert!(drv(3) > drv(4));
+        assert_eq!(WORST_CASE_DRV, 0.730);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validates_number() {
+        let _ = CaseStudy::new(6, StoredBit::One);
+    }
+
+    #[test]
+    fn weak_bit_agrees_with_table_retention_classifier() {
+        use sram::TableRetention;
+        for cs in CaseStudy::all() {
+            if cs.number == 4 {
+                continue; // 0.1σ: below any meaningful classification
+            }
+            assert_eq!(
+                TableRetention::weak_bit_of(&cs.pattern()),
+                Some(cs.weak_bit),
+                "{cs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Table II campaign: minimum defect resistance causing a DRF_DS, per
+//! defect × case study, minimized over the PVT grid.
+
+use std::collections::HashMap;
+
+use process::{ProcessCorner, PvtCondition};
+use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
+use regulator::{Defect, RegulatorDesign, VrefTap};
+use sram::drv::{drv_ds, DrvOptions};
+use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
+
+use crate::case_study::CaseStudy;
+
+/// The regulator configuration rule of §IV.A: pick the tap that puts
+/// `Vreg` as close as possible to — but not below — the worst-case
+/// retention voltage (730 mV) at each supply.
+pub fn tap_for_vdd(vdd: f64) -> VrefTap {
+    if vdd >= 1.15 {
+        VrefTap::V64 // 1.2 V → 0.768 V
+    } else if vdd >= 1.05 {
+        VrefTap::V70 // 1.1 V → 0.770 V
+    } else {
+        VrefTap::V74 // 1.0 V → 0.740 V
+    }
+}
+
+/// Options of the Table II campaign.
+#[derive(Debug, Clone)]
+pub struct Table2Options {
+    /// Corners in the PVT grid.
+    pub corners: Vec<ProcessCorner>,
+    /// Temperatures in the grid, °C.
+    pub temperatures: Vec<f64>,
+    /// Supplies in the grid (each paired with [`tap_for_vdd`]).
+    pub supplies: Vec<f64>,
+    /// Defects characterized (default: the paper's 17 Table II rows).
+    pub defects: Vec<Defect>,
+    /// Case studies characterized (default: the five `-1` variants;
+    /// the `-0` rows are mirrors).
+    pub case_studies: Vec<CaseStudy>,
+    /// Regulator design.
+    pub design: RegulatorDesign,
+    /// Min-resistance search tuning.
+    pub characterize: CharacterizeOptions,
+    /// DRV search tuning.
+    pub drv: DrvOptions,
+    /// Samples of the array-load I(V) curve.
+    pub load_points: usize,
+}
+
+impl Table2Options {
+    /// The paper's full grid (5 corners × 3 temperatures × 3
+    /// supplies). Expensive: minutes of CPU.
+    pub fn paper() -> Self {
+        Table2Options {
+            corners: ProcessCorner::ALL.to_vec(),
+            temperatures: vec![-30.0, 25.0, 125.0],
+            supplies: vec![1.0, 1.1, 1.2],
+            defects: Defect::table2_rows(),
+            case_studies: CaseStudy::ones(),
+            design: RegulatorDesign::lp40nm(),
+            characterize: CharacterizeOptions::default(),
+            drv: DrvOptions::default(),
+            load_points: 9,
+        }
+    }
+
+    /// A reduced grid hitting the conditions the paper reports as worst
+    /// cases (`fs`/`sf`/`fast` corners, hot and cold).
+    pub fn reduced() -> Self {
+        Table2Options {
+            corners: vec![
+                ProcessCorner::FastNSlowP,
+                ProcessCorner::SlowNFastP,
+                ProcessCorner::Fast,
+            ],
+            temperatures: vec![-30.0, 125.0],
+            ..Self::paper()
+        }
+    }
+
+    /// A single-condition smoke configuration for tests.
+    pub fn quick() -> Self {
+        Table2Options {
+            corners: vec![ProcessCorner::FastNSlowP],
+            temperatures: vec![125.0],
+            supplies: vec![1.0],
+            characterize: CharacterizeOptions::coarse(),
+            drv: DrvOptions::coarse(),
+            load_points: 5,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One (defect, case study) cell of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Cell {
+    /// Minimum resistance causing a DRF_DS, minimized over the grid;
+    /// `None` renders as the paper's `> 500M`.
+    pub min_ohms: Option<f64>,
+    /// The grid condition achieving the minimum.
+    pub pvt: Option<PvtCondition>,
+    /// Rail voltage at the failing point (diagnostic).
+    pub vddcc: Option<f64>,
+}
+
+/// One defect row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The characterized defect.
+    pub defect: Defect,
+    /// One cell per case study, in `options.case_studies` order.
+    pub cells: Vec<Table2Cell>,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Case studies, column order.
+    pub case_studies: Vec<CaseStudy>,
+    /// Rows in `options.defects` order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// The cell for (defect, case-study number), if present.
+    pub fn cell(&self, defect: Defect, cs_number: u8) -> Option<&Table2Cell> {
+        let col = self
+            .case_studies
+            .iter()
+            .position(|c| c.number == cs_number)?;
+        let row = self.rows.iter().find(|r| r.defect == defect)?;
+        row.cells.get(col)
+    }
+}
+
+/// Per-(case-study, corner, temperature, vdd) context, cached across
+/// defects: the stressed cell, its retention voltage, and the array
+/// load.
+struct GridContext {
+    stressed: CellInstance,
+    drv: f64,
+    load: ArrayLoad,
+}
+
+/// Runs the campaign.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
+    // Cache contexts keyed by (cs number, corner, temp, vdd).
+    let mut contexts: HashMap<(u8, &'static str, i64, i64), GridContext> = HashMap::new();
+    let mut rows = Vec::with_capacity(options.defects.len());
+
+    for &defect in &options.defects {
+        let mut cells = Vec::with_capacity(options.case_studies.len());
+        for cs in &options.case_studies {
+            let mut best: Table2Cell = Table2Cell {
+                min_ohms: None,
+                pvt: None,
+                vddcc: None,
+            };
+            for &corner in &options.corners {
+                for &temp in &options.temperatures {
+                    for &vdd in &options.supplies {
+                        let pvt = PvtCondition::new(corner, vdd, temp);
+                        let tap = tap_for_vdd(vdd);
+                        let key = (
+                            cs.number,
+                            corner.abbreviation(),
+                            temp as i64,
+                            (vdd * 100.0) as i64,
+                        );
+                        if let std::collections::hash_map::Entry::Vacant(e) = contexts.entry(key) {
+                            let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+                            let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
+                            let base = CellInstance::symmetric(pvt);
+                            let load = ArrayLoad::build(
+                                &base,
+                                &[CellPopulation {
+                                    pattern: cs.pattern(),
+                                    count: cs.cell_count(),
+                                    stored: StoredBit::One,
+                                }],
+                                256 * 1024,
+                                1.3,
+                                options.load_points,
+                            )?;
+                            e.insert(GridContext {
+                                stressed,
+                                drv,
+                                load,
+                            });
+                        }
+                        let ctx = &contexts[&key];
+                        let criterion = DrfCriterion {
+                            stressed: &ctx.stressed,
+                            stored: StoredBit::One,
+                            drv: ctx.drv,
+                        };
+                        let found = min_resistance(
+                            &options.design,
+                            pvt,
+                            tap,
+                            defect,
+                            &ctx.load,
+                            &criterion,
+                            &options.characterize,
+                        )?;
+                        if let Some(ohms) = found.ohms {
+                            if best.min_ohms.is_none_or(|b| ohms < b) {
+                                best = Table2Cell {
+                                    min_ohms: Some(ohms),
+                                    pvt: Some(pvt),
+                                    vddcc: found.vddcc_at_fault,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            cells.push(best);
+        }
+        rows.push(Table2Row { defect, cells });
+    }
+    Ok(Table2 {
+        case_studies: options.case_studies.clone(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tap_matching_rule() {
+        assert_eq!(tap_for_vdd(1.0), VrefTap::V74);
+        assert_eq!(tap_for_vdd(1.1), VrefTap::V70);
+        assert_eq!(tap_for_vdd(1.2), VrefTap::V64);
+        // Expected Vreg stays at or just above 730 mV.
+        for vdd in [1.0, 1.1, 1.2] {
+            let vreg = tap_for_vdd(vdd).fraction() * vdd;
+            assert!((0.73..0.78).contains(&vreg), "vreg {vreg} at vdd {vdd}");
+        }
+    }
+
+    #[test]
+    fn quick_campaign_over_two_defects() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(18)];
+        opts.case_studies = vec![
+            CaseStudy::new(1, StoredBit::One),
+            CaseStudy::new(2, StoredBit::One),
+        ];
+        let table = table2(&opts).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        // Df16 hurts; lower-DRV CS2 needs more resistance than CS1.
+        let cs1 = table.cell(Defect::new(16), 1).unwrap();
+        let cs2 = table.cell(Defect::new(16), 2).unwrap();
+        let r1 = cs1.min_ohms.expect("Df16 causes DRFs for CS1");
+        let r2 = cs2.min_ohms.expect("Df16 causes DRFs for CS2");
+        assert!(
+            r1 < r2,
+            "CS1 (highest DRV) must need the least resistance: {r1} vs {r2}"
+        );
+        // The negligible sense-line defect never fails.
+        let neg = table.cell(Defect::new(18), 1).unwrap();
+        assert_eq!(neg.min_ohms, None);
+    }
+}

@@ -1,0 +1,433 @@
+//! Failure diagnosis: interpreting March m-LZ miscompares.
+//!
+//! On a tester, the flow's output is a stream of failing (element,
+//! address, bit) records. This module maps them back to physical cell
+//! locations and classifies the *signature* — which March element saw
+//! the failures and how widespread they are — into the fault
+//! hypotheses the paper's analysis distinguishes:
+//!
+//! * a handful of cells losing one value after a DS episode → DRF_DS on
+//!   weak cells (regulator marginally low, category 2/3 defect);
+//! * the whole array scrambled after DS → catastrophic rail collapse
+//!   (large defect resistance, or Df8's delayed activation);
+//! * failures in ME4's `r0` right after the wake-up write → peripheral
+//!   power-gating fault (March LZ's target);
+//! * failures outside the retention elements → classic array faults,
+//!   not regulator-related.
+
+use std::collections::BTreeSet;
+
+use march::{FailureRecord, TestOutcome};
+use sram::{ArrayGeometry, CellLocation};
+
+/// Which stored value was lost, when a single polarity is implicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LostValue {
+    /// '1's disappeared during deep-sleep.
+    Ones,
+    /// '0's disappeared during deep-sleep.
+    Zeros,
+    /// Both polarities failed.
+    Both,
+}
+
+/// The classified failure signature of one March m-LZ application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureSignature {
+    /// No failures: the device passed.
+    Clean,
+    /// A bounded set of cells lost data across a DS episode — the
+    /// DRF_DS signature. Carries which value was lost and the victims.
+    RetentionLoss {
+        /// The lost polarity.
+        lost: LostValue,
+        /// Physical victims.
+        victims: Vec<CellLocation>,
+    },
+    /// A large fraction of the array miscompared after DS — the rail
+    /// collapsed below the symmetric retention voltage.
+    CatastrophicCollapse {
+        /// Fraction of read words that failed.
+        failing_fraction: f64,
+    },
+    /// Failures confined to the `r0` immediately following the
+    /// post-wake-up `w0` — the peripheral power-gating signature.
+    WakeUpWriteLoss {
+        /// Physical victims.
+        victims: Vec<CellLocation>,
+    },
+    /// Failures in elements that never crossed a power mode: an
+    /// ordinary array fault, outside this flow's target set.
+    NonRetention {
+        /// The elements that failed.
+        elements: Vec<usize>,
+    },
+}
+
+/// Fraction of failing words above which the signature is classified
+/// as a catastrophic collapse.
+const CATASTROPHIC_FRACTION: f64 = 0.25;
+
+/// Indices of March m-LZ's elements (see `march::library::march_mlz`).
+mod mlz_elements {
+    /// ⇑(r1,w0,r0) after the first DSM/WUP.
+    pub const ME4: usize = 3;
+    /// ⇑(r0) after the second DSM/WUP.
+    pub const ME7: usize = 6;
+}
+
+/// Diagnoses one March m-LZ outcome against the array geometry.
+///
+/// The element indices are interpreted per the March m-LZ structure;
+/// outcomes of other tests should use their own mapping.
+pub fn diagnose_mlz(outcome: &TestOutcome, geometry: ArrayGeometry) -> FailureSignature {
+    if !outcome.detected() {
+        return FailureSignature::Clean;
+    }
+    let failing_words: BTreeSet<usize> = outcome.failures.iter().map(|f| f.addr).collect();
+    let fraction = failing_words.len() as f64 / geometry.words() as f64;
+    if fraction >= CATASTROPHIC_FRACTION {
+        return FailureSignature::CatastrophicCollapse {
+            failing_fraction: fraction,
+        };
+    }
+
+    // Partition failures: ME4's r1 (lost '1's), ME7's r0 (lost '0's),
+    // ME4's r0-after-w0 (wake-up write loss), anything else.
+    let mut lost_ones: Vec<CellLocation> = Vec::new();
+    let mut lost_zeros: Vec<CellLocation> = Vec::new();
+    let mut wakeup: Vec<CellLocation> = Vec::new();
+    let mut other_elements: BTreeSet<usize> = BTreeSet::new();
+    for f in &outcome.failures {
+        match f.element {
+            mlz_elements::ME4 => {
+                // Within ME4, `r1` failures expect all-ones; `r0`
+                // failures expect zero.
+                if f.expected == 0 {
+                    wakeup.extend(victims_of(f, geometry));
+                } else {
+                    lost_ones.extend(victims_of(f, geometry));
+                }
+            }
+            mlz_elements::ME7 => lost_zeros.extend(victims_of(f, geometry)),
+            e => {
+                other_elements.insert(e);
+            }
+        }
+    }
+    if !other_elements.is_empty() {
+        return FailureSignature::NonRetention {
+            elements: other_elements.into_iter().collect(),
+        };
+    }
+    // A lost post-WUP write leaves its cell at '1' for the rest of the
+    // algorithm, so ME7's r0 re-reports the same victims: those ME7
+    // failures are echoes of the write loss, not retention losses.
+    if !wakeup.is_empty() {
+        lost_zeros.retain(|v| !wakeup.contains(v));
+    }
+    if !wakeup.is_empty() && lost_ones.is_empty() && lost_zeros.is_empty() {
+        return FailureSignature::WakeUpWriteLoss { victims: wakeup };
+    }
+    let lost = match (lost_ones.is_empty(), lost_zeros.is_empty()) {
+        (false, true) => LostValue::Ones,
+        (true, false) => LostValue::Zeros,
+        _ => LostValue::Both,
+    };
+    let mut victims = lost_ones;
+    victims.extend(lost_zeros);
+    victims.sort();
+    victims.dedup();
+    FailureSignature::RetentionLoss { lost, victims }
+}
+
+/// Diagnoses a March m-LZ outcome in the presence of a classic-March
+/// pre-pass (e.g. March SS) run on the same device.
+///
+/// March m-LZ alone cannot distinguish a cell that cannot be *written*
+/// to '1' (a transition fault) from a cell that *lost* its '1' in
+/// deep-sleep — both miss the ME4 `r1`. Production flows therefore run
+/// a classic March first: any cell already failing without a power-mode
+/// excursion is an ordinary array fault, and only the remainder is
+/// attributed to retention.
+pub fn diagnose_mlz_with_prepass(
+    prepass: &TestOutcome,
+    mlz: &TestOutcome,
+    geometry: ArrayGeometry,
+) -> FailureSignature {
+    if prepass.detected() {
+        let known: BTreeSet<CellLocation> = prepass
+            .failures
+            .iter()
+            .flat_map(|f| victims_of(f, geometry))
+            .collect();
+        // Strip m-LZ failures explained by the pre-pass.
+        let residual: Vec<FailureRecord> = mlz
+            .failures
+            .iter()
+            .filter(|f| victims_of(f, geometry).iter().any(|v| !known.contains(v)))
+            .copied()
+            .collect();
+        if residual.is_empty() {
+            return FailureSignature::NonRetention {
+                elements: prepass
+                    .failures
+                    .iter()
+                    .map(|f| f.element)
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect(),
+            };
+        }
+        let reduced = TestOutcome {
+            failures: residual,
+            ..mlz.clone()
+        };
+        return diagnose_mlz(&reduced, geometry);
+    }
+    diagnose_mlz(mlz, geometry)
+}
+
+/// Physical locations of the failing bits of one record.
+fn victims_of(f: &FailureRecord, geometry: ArrayGeometry) -> Vec<CellLocation> {
+    let mut out = Vec::new();
+    let mut bits = f.failing_bits();
+    while bits != 0 {
+        let bit = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        out.push(geometry.cell_location(f.addr, bit));
+    }
+    out
+}
+
+impl FailureSignature {
+    /// A terse human-readable verdict with the defect hypothesis.
+    pub fn verdict(&self) -> String {
+        match self {
+            FailureSignature::Clean => "PASS".to_string(),
+            FailureSignature::RetentionLoss { lost, victims } => format!(
+                "DRF_DS: {} weak cell(s) lost {} — regulator marginally low \
+                 (category-2/3 resistive open)",
+                victims.len(),
+                match lost {
+                    LostValue::Ones => "'1'",
+                    LostValue::Zeros => "'0'",
+                    LostValue::Both => "both values",
+                }
+            ),
+            FailureSignature::CatastrophicCollapse { failing_fraction } => format!(
+                "rail collapse: {:.0}% of words scrambled — large defect or \
+                 delayed activation (Df8-class)",
+                failing_fraction * 100.0
+            ),
+            FailureSignature::WakeUpWriteLoss { victims } => format!(
+                "post-wake-up write loss at {} cell(s) — peripheral \
+                 power-gating fault (March LZ class)",
+                victims.len()
+            ),
+            FailureSignature::NonRetention { elements } => {
+                format!("array fault outside the retention elements (elements {elements:?})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram_target::SramTarget;
+    use march::{engine, library, CellRef, Fault, SimpleMemory};
+    use sram::{DsConditions, SramDevice, StoredBit, TableRetention};
+
+    fn geometry() -> ArrayGeometry {
+        ArrayGeometry::small()
+    }
+
+    fn run_mlz(memory: &mut SimpleMemory) -> TestOutcome {
+        engine::run(&library::march_mlz(1e-3), memory)
+    }
+
+    #[test]
+    fn clean_device_diagnoses_clean() {
+        let mut m = SimpleMemory::new(geometry().words(), geometry().word_bits);
+        let sig = diagnose_mlz(&run_mlz(&mut m), geometry());
+        assert_eq!(sig, FailureSignature::Clean);
+        assert_eq!(sig.verdict(), "PASS");
+    }
+
+    #[test]
+    fn lost_one_classified_as_retention_loss() {
+        let g = geometry();
+        let mut m = SimpleMemory::new(g.words(), g.word_bits);
+        m.inject(Fault::retention_loss(CellRef { addr: 7, bit: 2 }, true));
+        let sig = diagnose_mlz(&run_mlz(&mut m), g);
+        match sig {
+            FailureSignature::RetentionLoss { lost, victims } => {
+                assert_eq!(lost, LostValue::Ones);
+                assert_eq!(victims, vec![g.cell_location(7, 2)]);
+            }
+            other => panic!("wrong signature: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_zero_classified_with_polarity() {
+        let g = geometry();
+        let mut m = SimpleMemory::new(g.words(), g.word_bits);
+        m.inject(Fault::retention_loss(CellRef { addr: 3, bit: 0 }, false));
+        let sig = diagnose_mlz(&run_mlz(&mut m), g);
+        assert!(matches!(
+            sig,
+            FailureSignature::RetentionLoss {
+                lost: LostValue::Zeros,
+                ..
+            }
+        ));
+        assert!(sig.verdict().contains("'0'"));
+    }
+
+    #[test]
+    fn wake_up_fault_classified() {
+        let g = geometry();
+        let mut m = SimpleMemory::new(g.words(), g.word_bits);
+        m.inject(Fault::wake_up_write(CellRef { addr: 5, bit: 1 }));
+        let sig = diagnose_mlz(&run_mlz(&mut m), g);
+        match &sig {
+            FailureSignature::WakeUpWriteLoss { victims } => {
+                assert_eq!(victims, &vec![g.cell_location(5, 1)]);
+            }
+            other => panic!("wrong signature: {other:?}"),
+        }
+        assert!(sig.verdict().contains("power-gating"));
+    }
+
+    #[test]
+    fn classic_fault_classified_as_non_retention() {
+        let g = geometry();
+        let mut m = SimpleMemory::new(g.words(), g.word_bits);
+        m.inject(Fault::stuck_at(CellRef { addr: 1, bit: 1 }, false));
+        let sig = diagnose_mlz(&run_mlz(&mut m), g);
+        // A stuck-at-0 first fails the pre-DS r1 of ME4... which is a
+        // retention element read; SAF0 fails r1 everywhere including
+        // ME4, so the signature reports it as a retention-loss of '1'
+        // at one cell — an inherent ambiguity a real flow resolves by
+        // running a classic March first. A SAF on element 0..2 free
+        // tests: MATS-like prefix absent in m-LZ, so accept either
+        // classification that implicates the right cell.
+        match sig {
+            FailureSignature::RetentionLoss { victims, .. } => {
+                assert_eq!(victims, vec![g.cell_location(1, 1)]);
+            }
+            FailureSignature::NonRetention { .. } => {}
+            other => panic!("wrong signature: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepass_reclassifies_classic_faults() {
+        let g = geometry();
+        // A transition fault alone looks like a retention loss to
+        // March m-LZ; with a March SS pre-pass it is correctly filed as
+        // an ordinary array fault.
+        let make = || {
+            let mut m = SimpleMemory::new(g.words(), g.word_bits);
+            m.inject(Fault::transition(CellRef { addr: 2, bit: 0 }, true));
+            m
+        };
+        let prepass = engine::run(&library::march_ss(), &mut make());
+        let mlz = run_mlz(&mut make());
+        let sig = diagnose_mlz_with_prepass(&prepass, &mlz, g);
+        assert!(
+            matches!(sig, FailureSignature::NonRetention { .. }),
+            "{sig:?}"
+        );
+    }
+
+    #[test]
+    fn prepass_keeps_genuine_retention_losses() {
+        let g = geometry();
+        // One classic fault plus one genuine retention fault: the
+        // retention loss must survive the pre-pass subtraction.
+        let make = || {
+            let mut m = SimpleMemory::new(g.words(), g.word_bits);
+            m.inject(Fault::transition(CellRef { addr: 2, bit: 0 }, true));
+            m.inject(Fault::retention_loss(CellRef { addr: 7, bit: 3 }, true));
+            m
+        };
+        let prepass = engine::run(&library::march_ss(), &mut make());
+        let mlz = run_mlz(&mut make());
+        let sig = diagnose_mlz_with_prepass(&prepass, &mlz, g);
+        match sig {
+            FailureSignature::RetentionLoss { victims, .. } => {
+                assert!(victims.contains(&g.cell_location(7, 3)));
+            }
+            other => panic!("wrong signature: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_prepass_delegates() {
+        let g = geometry();
+        let mut m = SimpleMemory::new(g.words(), g.word_bits);
+        m.inject(Fault::retention_loss(CellRef { addr: 7, bit: 3 }, true));
+        let clean_pre = engine::run(&library::march_ss(), &mut {
+            SimpleMemory::new(g.words(), g.word_bits)
+        });
+        let mlz = run_mlz(&mut m);
+        let with = diagnose_mlz_with_prepass(&clean_pre, &mlz, g);
+        let without = diagnose_mlz(&mlz, g);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn collapse_classified_from_electrical_device() {
+        // Rail far below the symmetric retention voltage: the array
+        // scrambles and the diagnosis sees a collapse.
+        let g = geometry();
+        let mut dev = SramDevice::new(
+            g,
+            DsConditions { vreg: 0.02 },
+            Box::new(TableRetention {
+                symmetric_drv: 0.135,
+                special_drv: 0.64,
+            }),
+        );
+        dev.power_up();
+        let mut target = SramTarget::new(dev);
+        let outcome = engine::run(&library::march_mlz(1e-3), &mut target);
+        let sig = diagnose_mlz(&outcome, g);
+        match sig {
+            FailureSignature::CatastrophicCollapse { failing_fraction } => {
+                assert!(failing_fraction > 0.5);
+            }
+            other => panic!("wrong signature: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn electrical_cs_cell_diagnosed_with_location() {
+        let g = geometry();
+        let cs = crate::case_study::CaseStudy::new(2, StoredBit::One);
+        let loc = g.cell_location(9, 4);
+        let mut dev = SramDevice::new(
+            g,
+            DsConditions { vreg: 0.60 },
+            Box::new(TableRetention {
+                symmetric_drv: 0.135,
+                special_drv: 0.64,
+            }),
+        );
+        dev.array_mut().place_pattern(loc, cs.pattern());
+        dev.power_up();
+        let mut target = SramTarget::new(dev);
+        let outcome = engine::run(&library::march_mlz(1e-3), &mut target);
+        let sig = diagnose_mlz(&outcome, g);
+        match sig {
+            FailureSignature::RetentionLoss { lost, victims } => {
+                assert_eq!(lost, LostValue::Ones);
+                assert_eq!(victims, vec![loc]);
+            }
+            other => panic!("wrong signature: {other:?}"),
+        }
+    }
+}

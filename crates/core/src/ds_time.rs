@@ -1,0 +1,193 @@
+//! Deep-sleep dwell-time analysis (§V's closing discussion).
+//!
+//! Near the retention voltage a failing cell's internal node
+//! "discharges slowly due to leakage": a DRF_DS is detectable only if
+//! the SRAM stays in deep-sleep long enough for the flip to complete.
+//! This module sweeps the dwell time and reports, for a marginal
+//! defect, the shortest DS time at which March m-LZ catches it — the
+//! quantitative basis for Table III's "DS time ≥ 1 ms" column.
+
+use process::PvtCondition;
+use regulator::{Defect, FeedMode, RegulatorCircuit, RegulatorDesign};
+use sram::drv::{drv_ds, DrvOptions};
+use sram::retention::{flip_time, retention_outcome};
+use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
+
+use crate::case_study::CaseStudy;
+use crate::defect_analysis::tap_for_vdd;
+
+/// Options for the dwell-time sweep.
+#[derive(Debug, Clone)]
+pub struct DsTimeOptions {
+    /// Die condition.
+    pub pvt: PvtCondition,
+    /// Case study providing the threatened cell.
+    pub case_study: CaseStudy,
+    /// The marginal defect and its resistance.
+    pub defect: Defect,
+    /// Injected resistance, ohms.
+    pub ohms: f64,
+    /// Dwell times to evaluate, seconds.
+    pub dwells: Vec<f64>,
+    /// Regulator design.
+    pub design: RegulatorDesign,
+    /// DRV search tuning.
+    pub drv: DrvOptions,
+}
+
+impl DsTimeOptions {
+    /// A marginal Df16 at room temperature, where the slow leakage
+    /// makes the dwell time genuinely gate detection (at 125 °C flips
+    /// complete in nanoseconds; the dwell constraint binds cold).
+    pub fn marginal_df16() -> Self {
+        DsTimeOptions {
+            pvt: PvtCondition::new(process::ProcessCorner::Typical, 1.1, 25.0),
+            case_study: CaseStudy::new(1, StoredBit::One),
+            defect: Defect::new(16),
+            ohms: 5.0e6,
+            dwells: vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+            design: RegulatorDesign::lp40nm(),
+            drv: DrvOptions::coarse(),
+        }
+    }
+}
+
+/// One dwell-time point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsTimePoint {
+    /// Dwell, seconds.
+    pub dwell: f64,
+    /// Whether the stressed cell flips within this dwell.
+    pub detected: bool,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct DsTimeReport {
+    /// The rail the defective regulator delivers.
+    pub vddcc: f64,
+    /// The stressed cell's retention voltage.
+    pub drv: f64,
+    /// The cell's flip time at that rail, seconds (`None` when the rail
+    /// is above DRV — no flip ever).
+    pub flip_time: Option<f64>,
+    /// Per-dwell outcomes.
+    pub points: Vec<DsTimePoint>,
+}
+
+impl DsTimeReport {
+    /// Shortest swept dwell that detects, if any.
+    pub fn minimum_detecting_dwell(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.detected).map(|p| p.dwell)
+    }
+}
+
+impl std::fmt::Display for DsTimeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "rail = {:.3} V, stressed-cell DRV = {:.3} V, flip time = {}",
+            self.vddcc,
+            self.drv,
+            match self.flip_time {
+                Some(t) => format!("{:.2e} s", t),
+                None => "never (rail above DRV)".to_string(),
+            }
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  DS time {:>9.1e} s: {}",
+                p.dwell,
+                if p.detected { "DETECTED" } else { "escapes" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the dwell sweep: solves the defective regulator once, then
+/// evaluates the retention outcome at each dwell.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn ds_time_sweep(options: &DsTimeOptions) -> Result<DsTimeReport, anasim::Error> {
+    let pvt = options.pvt;
+    let cs = &options.case_study;
+    let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+    let drv = drv_ds(&stressed, cs.weak_bit, &options.drv)?.drv;
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(
+        &base,
+        &[CellPopulation {
+            pattern: cs.pattern(),
+            count: cs.cell_count(),
+            stored: cs.weak_bit,
+        }],
+        256 * 1024,
+        1.3,
+        7,
+    )?;
+    let mut circuit =
+        RegulatorCircuit::new(&options.design, pvt, tap_for_vdd(pvt.vdd), FeedMode::Static)?;
+    circuit.inject(options.defect, options.ohms);
+    let vddcc = circuit.solve(&load)?.vddcc;
+
+    let t_flip = if vddcc < drv {
+        Some(flip_time(&stressed, cs.weak_bit, vddcc, drv))
+    } else {
+        None
+    };
+    let points = options
+        .dwells
+        .iter()
+        .map(|&dwell| DsTimePoint {
+            dwell,
+            detected: !retention_outcome(&stressed, cs.weak_bit, vddcc, drv, dwell).retained(),
+        })
+        .collect();
+    Ok(DsTimeReport {
+        vddcc,
+        drv,
+        flip_time: t_flip,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwell_gates_detection_for_a_marginal_defect() {
+        let report = ds_time_sweep(&DsTimeOptions::marginal_df16()).unwrap();
+        assert!(
+            report.vddcc < report.drv,
+            "defect must be marginal: {report}"
+        );
+        let flip = report.flip_time.expect("below DRV");
+        // Detection is monotone in dwell.
+        let mut was_detected = false;
+        for p in &report.points {
+            assert!(
+                !was_detected || p.detected,
+                "detection must be monotone in dwell"
+            );
+            was_detected = p.detected;
+            assert_eq!(p.detected, p.dwell >= flip);
+        }
+        assert!(was_detected, "the longest dwell must detect");
+        // The minimum detecting dwell brackets the flip time.
+        let min = report.minimum_detecting_dwell().unwrap();
+        assert!(min >= flip);
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = ds_time_sweep(&DsTimeOptions::marginal_df16()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("flip time"));
+        assert!(text.contains("DETECTED") || text.contains("escapes"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 4 regeneration: DRV versus single-transistor Vth variation,
+//! rendered as the two panels (a: DRV_DS1, b: DRV_DS0).
+
+use std::fmt;
+
+use sram::CellTransistor;
+
+use crate::drv_analysis::{fig4 as sweep, Fig4Data, Fig4Options};
+use crate::report::{format_mv, TextTable};
+
+/// The rendered experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    /// The measured sweep.
+    pub data: Fig4Data,
+    /// σ grid used.
+    pub sigmas: Vec<f64>,
+}
+
+impl Fig4Report {
+    fn panel(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        title: &str,
+        pick: fn(&crate::drv_analysis::Fig4Point) -> f64,
+    ) -> fmt::Result {
+        writeln!(f, "{title}")?;
+        let mut headers = vec!["transistor".to_string()];
+        headers.extend(self.sigmas.iter().map(|s| format!("{s:+}σ")));
+        let mut t = TextTable::new(headers);
+        for transistor in CellTransistor::ALL {
+            let series = self.data.of(transistor);
+            let mut row = vec![transistor.to_string()];
+            row.extend(series.points.iter().map(|p| format_mv(pick(p))));
+            t.push_row(row);
+        }
+        writeln!(f, "{t}")
+    }
+}
+
+impl fmt::Display for Fig4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.panel(
+            f,
+            "Fig. 4a — worst-case DRV_DS1 (mV) vs Vth variation",
+            |p| p.drv_ds1,
+        )?;
+        self.panel(
+            f,
+            "Fig. 4b — worst-case DRV_DS0 (mV) vs Vth variation",
+            |p| p.drv_ds0,
+        )
+    }
+}
+
+/// Runs the Fig. 4 experiment.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run(options: &Fig4Options) -> Result<Fig4Report, anasim::Error> {
+    let data = sweep(options)?;
+    Ok(Fig4Report {
+        sigmas: options.sigmas.clone(),
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_panels() {
+        let report = run(&Fig4Options::quick()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("Fig. 4a"));
+        assert!(text.contains("Fig. 4b"));
+        assert!(text.contains("MPcc1"));
+        assert!(text.contains("MNcc4"));
+        assert!(report.data.observation1_holds());
+    }
+}

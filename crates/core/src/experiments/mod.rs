@@ -1,0 +1,8 @@
+//! Experiment drivers regenerating every table and figure of the
+//! paper's evaluation, each returning a displayable report that pairs
+//! measured values with the published ones.
+
+pub mod fig4;
+pub mod table1;
+pub mod table2;
+pub mod table3;

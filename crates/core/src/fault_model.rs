@@ -1,0 +1,119 @@
+//! The paper's fault model: the data retention fault in deep-sleep
+//! mode (DRF_DS), §V.
+
+use march::MarchTest;
+
+/// The DRF_DS fault model.
+///
+/// > *In DS mode, the regulated voltage Vreg is reduced to a level such
+/// > that the core-cell array supply voltage is lower than DRV_DS of
+/// > the SRAM. As a consequence, one or more core-cells in the array
+/// > loose the stored data.*
+///
+/// It is a **dynamic** fault: sensitization requires the three-step
+/// sequence (1) switch ACT→DS, (2) wake up, (3) read every cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrfDs;
+
+impl DrfDs {
+    /// Number of operations required to sensitize the fault (dynamic
+    /// fault of order 3: DSM, WUP, read).
+    pub const SENSITIZATION_OPS: usize = 3;
+
+    /// Whether a March test contains the sensitization sequence for
+    /// both stored values: for each background `b ∈ {0, 1}` there must
+    /// be a DSM entered while the array holds `b`, followed (after
+    /// wake-up) by a read expecting `b`.
+    pub fn detected_by(test: &MarchTest) -> bool {
+        Self::detects_background(test, true) && Self::detects_background(test, false)
+    }
+
+    /// Sensitization check for a single background value.
+    pub fn detects_background(test: &MarchTest, background: bool) -> bool {
+        use march::{MarchElement, Op};
+        // Track the array background as the algorithm runs; `None`
+        // until the first full write sweep.
+        let mut holds: Option<bool> = None;
+        let mut armed = false; // a DSM occurred while holding `background`
+        for element in test.elements() {
+            match element {
+                MarchElement::Sweep { ops, .. } => {
+                    for &op in ops {
+                        match op {
+                            Op::R0 | Op::R1 => {
+                                if armed && op.background() == background {
+                                    // A read of the weak value after the
+                                    // DS episode: detection. (The first
+                                    // read in the sweep sees the flip.)
+                                    return true;
+                                }
+                            }
+                            Op::W0 | Op::W1 => {
+                                holds = Some(op.background());
+                                // Rewriting the array clears any armed
+                                // but unobserved sensitization.
+                                if op.background() != background {
+                                    armed = false;
+                                }
+                            }
+                        }
+                    }
+                }
+                MarchElement::DeepSleep { .. } => {
+                    if holds == Some(background) {
+                        armed = true;
+                    }
+                }
+                MarchElement::WakeUp => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march::library;
+
+    #[test]
+    fn march_mlz_detects_both_backgrounds() {
+        let t = library::march_mlz(1e-3);
+        assert!(DrfDs::detects_background(&t, true));
+        assert!(DrfDs::detects_background(&t, false));
+        assert!(DrfDs::detected_by(&t));
+    }
+
+    #[test]
+    fn march_lz_detects_only_ones() {
+        // March LZ has a single DSM with the array holding '1'.
+        let t = library::march_lz(1e-3);
+        assert!(DrfDs::detects_background(&t, true));
+        assert!(!DrfDs::detects_background(&t, false));
+        assert!(!DrfDs::detected_by(&t));
+    }
+
+    #[test]
+    fn classic_tests_never_detect() {
+        for t in [
+            library::mats_plus(),
+            library::march_cminus(),
+            library::march_ss(),
+        ] {
+            assert!(!DrfDs::detected_by(&t), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn rewriting_before_reading_clears_sensitization() {
+        // w1; DSM; WUP; w0; r0 — the flip of a '1' is overwritten
+        // before any read sees it.
+        let t = march::MarchTest::parse("blind", "{⇕(w1); DSM; WUP; ⇑(w0); ⇑(r0)}", 1e-3).unwrap();
+        assert!(!DrfDs::detects_background(&t, true));
+    }
+
+    #[test]
+    fn sensitization_order_is_three() {
+        assert_eq!(DrfDs::SENSITIZATION_OPS, 3);
+    }
+}

@@ -1,0 +1,501 @@
+//! Test-flow optimization: choosing the fewest (V_DD, Vref)
+//! combinations that keep every defect's detection condition covered —
+//! the reasoning behind the paper's Table III.
+
+use process::{ProcessCorner, PvtCondition};
+use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
+use regulator::{Defect, RegulatorDesign, VrefTap};
+use sram::drv::{drv_ds, DrvOptions};
+use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
+
+use crate::case_study::{CaseStudy, WORST_CASE_DRV};
+use crate::test_flow::{FlowIteration, TestFlow};
+
+/// Options for building the coverage matrix.
+#[derive(Debug, Clone)]
+pub struct CoverageOptions {
+    /// Die corner and temperature at which coverage is evaluated (the
+    /// paper recommends testing hot; `fs`/125 °C is the dominant worst
+    /// case of Table II).
+    pub corner: ProcessCorner,
+    /// Temperature, °C.
+    pub temp_c: f64,
+    /// Defects to cover (default: the 17 Table II rows).
+    pub defects: Vec<Defect>,
+    /// Case study defining the threatened cell (default CS1-1, the
+    /// worst-case retention voltage).
+    pub case_study: CaseStudy,
+    /// Deep-sleep dwell per iteration, seconds.
+    pub ds_time: f64,
+    /// A combination "maximizes" detection of a defect when its minimum
+    /// failing resistance is within this factor of the best combination
+    /// for that defect.
+    pub slack: f64,
+    /// Regulator design.
+    pub design: RegulatorDesign,
+    /// Characterization tuning.
+    pub characterize: CharacterizeOptions,
+    /// DRV tuning.
+    pub drv: DrvOptions,
+    /// Array-load samples.
+    pub load_points: usize,
+}
+
+impl CoverageOptions {
+    /// Default configuration used for Table III regeneration.
+    pub fn paper() -> Self {
+        CoverageOptions {
+            corner: ProcessCorner::FastNSlowP,
+            temp_c: 125.0,
+            defects: Defect::table2_rows(),
+            case_study: CaseStudy::new(1, StoredBit::One),
+            ds_time: 1.0e-3,
+            slack: 2.0,
+            design: RegulatorDesign::lp40nm(),
+            characterize: CharacterizeOptions::default(),
+            drv: DrvOptions::default(),
+            load_points: 7,
+        }
+    }
+
+    /// A fast configuration for tests (few defects, coarse searches).
+    pub fn quick() -> Self {
+        CoverageOptions {
+            defects: vec![
+                Defect::new(2),
+                Defect::new(3),
+                Defect::new(4),
+                Defect::new(16),
+            ],
+            characterize: CharacterizeOptions::coarse(),
+            drv: DrvOptions::coarse(),
+            load_points: 5,
+            ..Self::paper()
+        }
+    }
+}
+
+/// The per-(defect, combination) detection data the optimizer works
+/// from.
+#[derive(Debug, Clone)]
+pub struct CoverageMatrix {
+    /// The twelve candidate combinations.
+    pub combos: Vec<FlowIteration>,
+    /// The defects considered.
+    pub defects: Vec<Defect>,
+    /// `min_r[d][c]`: minimum failing resistance of defect `d` at
+    /// combination `c` (`None` = not detectable there).
+    pub min_r: Vec<Vec<Option<f64>>>,
+    /// `maximized[d][c]`: whether combination `c` is within slack of
+    /// defect `d`'s best combination.
+    pub maximized: Vec<Vec<bool>>,
+}
+
+impl CoverageMatrix {
+    /// Whether a set of combination indices covers every defect's
+    /// maximized condition at least once.
+    pub fn covers(&self, combo_indices: &[usize]) -> bool {
+        self.defects.iter().enumerate().all(|(d, _)| {
+            // Defects undetectable anywhere cannot constrain the flow.
+            let detectable = self.min_r[d].iter().any(|r| r.is_some());
+            !detectable || combo_indices.iter().any(|&c| self.maximized[d][c])
+        })
+    }
+}
+
+/// Builds the coverage matrix by characterizing every defect at each of
+/// the 12 (V_DD, Vref) combinations.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasim::Error> {
+    let mut combos = Vec::with_capacity(12);
+    for &vdd in &[1.0, 1.1, 1.2] {
+        for tap in VrefTap::ALL {
+            combos.push(FlowIteration {
+                vdd,
+                tap,
+                ds_time: options.ds_time,
+            });
+        }
+    }
+    let cs = &options.case_study;
+    // Per-supply context (corner/temp fixed, vdd varies).
+    let mut contexts: Vec<(f64, CellInstance, f64, ArrayLoad)> = Vec::new();
+    for &vdd in &[1.0, 1.1, 1.2] {
+        let pvt = PvtCondition::new(options.corner, vdd, options.temp_c);
+        let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+        let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
+        let base = CellInstance::symmetric(pvt);
+        let load = ArrayLoad::build(
+            &base,
+            &[CellPopulation {
+                pattern: cs.pattern(),
+                count: cs.cell_count(),
+                stored: StoredBit::One,
+            }],
+            256 * 1024,
+            1.3,
+            options.load_points,
+        )?;
+        contexts.push((vdd, stressed, drv, load));
+    }
+
+    let mut min_r = vec![vec![None; combos.len()]; options.defects.len()];
+    for (d, &defect) in options.defects.iter().enumerate() {
+        for (c, combo) in combos.iter().enumerate() {
+            let (_, stressed, drv, load) = contexts
+                .iter()
+                .find(|(v, ..)| (*v - combo.vdd).abs() < 1e-9)
+                .expect("context exists for every supply");
+            // A combination whose healthy Vreg already sits below the
+            // stressed cell's DRV would fail fault-free parts: it is
+            // not usable for this criterion.
+            if combo.expected_vreg() < *drv {
+                continue;
+            }
+            let pvt = PvtCondition::new(options.corner, combo.vdd, options.temp_c);
+            let criterion = DrfCriterion {
+                stressed,
+                stored: StoredBit::One,
+                drv: *drv,
+            };
+            let found = min_resistance(
+                &options.design,
+                pvt,
+                combo.tap,
+                defect,
+                load,
+                &criterion,
+                &options.characterize,
+            )?;
+            min_r[d][c] = found.ohms;
+        }
+    }
+
+    // Maximized = within slack of the per-defect best.
+    let mut maximized = vec![vec![false; combos.len()]; options.defects.len()];
+    for d in 0..options.defects.len() {
+        let best = min_r[d]
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        if best.is_finite() {
+            for c in 0..combos.len() {
+                if let Some(r) = min_r[d][c] {
+                    maximized[d][c] = r <= best * options.slack;
+                }
+            }
+        }
+    }
+
+    Ok(CoverageMatrix {
+        combos,
+        defects: options.defects.clone(),
+        min_r,
+        maximized,
+    })
+}
+
+/// Greedy set cover over the maximized-detection matrix. Ties are
+/// broken toward combinations whose expected `Vreg` sits closest above
+/// the worst-case retention voltage (the paper's primary design rule).
+pub fn greedy_cover(matrix: &CoverageMatrix, ds_time: f64) -> TestFlow {
+    let n_combos = matrix.combos.len();
+    let detectable: Vec<usize> = (0..matrix.defects.len())
+        .filter(|&d| matrix.min_r[d].iter().any(|r| r.is_some()))
+        .collect();
+    let mut uncovered: Vec<usize> = detectable;
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize, f64)> = None; // (combo, gain, vreg distance)
+        for c in 0..n_combos {
+            if chosen.contains(&c) {
+                continue;
+            }
+            let gain = uncovered
+                .iter()
+                .filter(|&&d| matrix.maximized[d][c])
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let vreg = matrix.combos[c].expected_vreg();
+            let dist = if vreg >= WORST_CASE_DRV {
+                vreg - WORST_CASE_DRV
+            } else {
+                // Below the design point: heavily penalized.
+                10.0 + (WORST_CASE_DRV - vreg)
+            };
+            let better = match best {
+                None => true,
+                Some((_, bg, bd)) => gain > bg || (gain == bg && dist < bd),
+            };
+            if better {
+                best = Some((c, gain, dist));
+            }
+        }
+        let Some((c, _, _)) = best else {
+            // Some defect's maximized set is empty among usable combos;
+            // cover what we can and stop.
+            break;
+        };
+        chosen.push(c);
+        uncovered.retain(|&d| !matrix.maximized[d][c]);
+    }
+    chosen.sort_by(|&a, &b| {
+        matrix.combos[a]
+            .vdd
+            .partial_cmp(&matrix.combos[b].vdd)
+            .expect("vdd is finite")
+    });
+    TestFlow::new(
+        "greedy-optimized flow",
+        chosen
+            .into_iter()
+            .map(|c| FlowIteration {
+                ds_time,
+                ..matrix.combos[c]
+            })
+            .collect(),
+    )
+}
+
+/// Escape analysis of a flow against a measured coverage matrix.
+///
+/// For each defect, the exhaustive 12-combination flow catches every
+/// resistance from that defect's global minimum upward; a reduced flow
+/// only catches from the minimum over *its* combinations. The gap —
+/// measured in decades of resistance — is the population of defective
+/// parts the reduced flow lets escape.
+#[derive(Debug, Clone)]
+pub struct EscapeReport {
+    /// Per-defect `(global_min, flow_min)` in ohms (`None` when the
+    /// defect is undetectable even exhaustively).
+    pub per_defect: Vec<(Defect, Option<(f64, f64)>)>,
+}
+
+impl EscapeReport {
+    /// Total escape window, in decades of resistance summed over
+    /// defects (0 = the flow is as strong as the exhaustive one).
+    pub fn escape_decades(&self) -> f64 {
+        self.per_defect
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .map(|(global, flow)| (flow / global).log10().max(0.0))
+            .sum()
+    }
+
+    /// Defects whose detection threshold the flow degrades by more
+    /// than 1 %.
+    pub fn weakened_defects(&self) -> Vec<Defect> {
+        self.per_defect
+            .iter()
+            .filter(|(_, v)| matches!(v, Some((g, f)) if f > &(g * 1.01)))
+            .map(|(d, _)| *d)
+            .collect()
+    }
+}
+
+/// Computes the escape report of `flow` against `matrix`.
+pub fn escape_analysis(matrix: &CoverageMatrix, flow: &TestFlow) -> EscapeReport {
+    let flow_combos: Vec<usize> = flow
+        .iterations()
+        .iter()
+        .filter_map(|it| {
+            matrix
+                .combos
+                .iter()
+                .position(|c| (c.vdd - it.vdd).abs() < 1e-9 && c.tap == it.tap)
+        })
+        .collect();
+    let per_defect = matrix
+        .defects
+        .iter()
+        .enumerate()
+        .map(|(d, &defect)| {
+            let global = matrix.min_r[d]
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            if !global.is_finite() {
+                return (defect, None);
+            }
+            let flow_min = flow_combos
+                .iter()
+                .filter_map(|&c| matrix.min_r[d][c])
+                .fold(f64::INFINITY, f64::min);
+            (defect, Some((global, flow_min)))
+        })
+        .collect();
+    EscapeReport { per_defect }
+}
+
+/// Exhaustive minimal cover (2¹² subsets; used by the ablation bench to
+/// confirm greedy optimality on this instance).
+pub fn exhaustive_cover(matrix: &CoverageMatrix, ds_time: f64) -> TestFlow {
+    let n = matrix.combos.len();
+    let mut best: Option<Vec<usize>> = None;
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|&c| mask & (1 << c) != 0).collect();
+        if let Some(b) = &best {
+            if subset.len() >= b.len() {
+                continue;
+            }
+        }
+        if matrix.covers(&subset) {
+            best = Some(subset);
+        }
+    }
+    let chosen = best.unwrap_or_default();
+    TestFlow::new(
+        "exhaustive-optimal flow",
+        chosen
+            .into_iter()
+            .map(|c| FlowIteration {
+                ds_time,
+                ..matrix.combos[c]
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_matrix() -> CoverageMatrix {
+        // 4 combos, 3 defects. Defect 0 maximized at combos {0, 1};
+        // defect 1 at {1}; defect 2 at {3}.
+        let combos: Vec<FlowIteration> = [
+            (1.0, VrefTap::V74),
+            (1.1, VrefTap::V70),
+            (1.1, VrefTap::V78),
+            (1.2, VrefTap::V64),
+        ]
+        .into_iter()
+        .map(|(vdd, tap)| FlowIteration {
+            vdd,
+            tap,
+            ds_time: 1e-3,
+        })
+        .collect();
+        let min_r = vec![
+            vec![Some(1e3), Some(1.5e3), Some(1e6), Some(1e6)],
+            vec![Some(1e5), Some(1e3), None, Some(1e5)],
+            vec![None, None, None, Some(2e4)],
+        ];
+        let mut maximized = vec![vec![false; 4]; 3];
+        for d in 0..3 {
+            let best = min_r[d]
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            for c in 0..4 {
+                if let Some(r) = min_r[d][c] {
+                    maximized[d][c] = r <= best * 2.0;
+                }
+            }
+        }
+        CoverageMatrix {
+            combos,
+            defects: vec![Defect::new(16), Defect::new(3), Defect::new(4)],
+            min_r,
+            maximized,
+        }
+    }
+
+    #[test]
+    fn greedy_covers_synthetic_instance() {
+        let m = synthetic_matrix();
+        let flow = greedy_cover(&m, 1e-3);
+        assert_eq!(flow.iterations().len(), 2);
+        let indices: Vec<usize> = flow
+            .iterations()
+            .iter()
+            .map(|it| {
+                m.combos
+                    .iter()
+                    .position(|c| c.vdd == it.vdd && c.tap == it.tap)
+                    .unwrap()
+            })
+            .collect();
+        assert!(m.covers(&indices));
+    }
+
+    #[test]
+    fn exhaustive_matches_greedy_size_here() {
+        let m = synthetic_matrix();
+        let greedy = greedy_cover(&m, 1e-3);
+        let exact = exhaustive_cover(&m, 1e-3);
+        assert_eq!(greedy.iterations().len(), exact.iterations().len());
+    }
+
+    #[test]
+    fn covers_ignores_undetectable_defects() {
+        let mut m = synthetic_matrix();
+        // Make defect 2 undetectable everywhere.
+        m.min_r[2] = vec![None; 4];
+        m.maximized[2] = vec![false; 4];
+        assert!(m.covers(&[1]), "defects 0 and 1 covered by combo 1");
+    }
+
+    #[test]
+    fn escape_analysis_on_synthetic_matrix() {
+        let m = synthetic_matrix();
+        // The full exhaustive flow has zero escapes by definition.
+        let full = TestFlow::exhaustive(1e-3);
+        // Synthetic matrix's combos are a subset: build a flow from
+        // them all.
+        let all = TestFlow::new("all combos", m.combos.clone());
+        let report = escape_analysis(&m, &all);
+        assert_eq!(report.escape_decades(), 0.0);
+        assert!(report.weakened_defects().is_empty());
+        let _ = full;
+        // A single-combo flow misses defect 2's only detecting combo.
+        let weak = TestFlow::new("one combo", vec![m.combos[0]]);
+        let report = escape_analysis(&m, &weak);
+        assert!(report.escape_decades() > 0.0);
+        assert!(!report.weakened_defects().is_empty());
+        // A defect with no finite min anywhere reports None.
+        let mut m2 = synthetic_matrix();
+        m2.min_r[2] = vec![None; 4];
+        let report = escape_analysis(&m2, &all);
+        assert!(report.per_defect[2].1.is_none());
+    }
+
+    #[test]
+    fn electrical_coverage_smoke() {
+        // Tiny instance: 4 divider/output defects, coarse searches.
+        let opts = CoverageOptions::quick();
+        let matrix = build_coverage(&opts).unwrap();
+        assert_eq!(matrix.combos.len(), 12);
+        // Df16 must be detectable somewhere.
+        let d16 = matrix
+            .defects
+            .iter()
+            .position(|&d| d == Defect::new(16))
+            .unwrap();
+        assert!(matrix.min_r[d16].iter().any(|r| r.is_some()));
+        let flow = greedy_cover(&matrix, opts.ds_time);
+        assert!(
+            (1..=4).contains(&flow.iterations().len()),
+            "flow of {} iterations",
+            flow.iterations().len()
+        );
+        // And the chosen flow really covers.
+        let indices: Vec<usize> = flow
+            .iterations()
+            .iter()
+            .map(|it| {
+                matrix
+                    .combos
+                    .iter()
+                    .position(|c| (c.vdd - it.vdd).abs() < 1e-9 && c.tap == it.tap)
+                    .unwrap()
+            })
+            .collect();
+        assert!(matrix.covers(&indices));
+    }
+}

@@ -1,0 +1,231 @@
+//! Characterization of the *other* defect category — the paper's
+//! stated future work.
+//!
+//! §IV.B closes with: *"Defects that cause increased static power
+//! consumption in DS mode will be studied in detail in our next
+//! work."* This module is that study for the reproduced design: for
+//! every category-1 defect it finds the minimum resistance at which
+//! deep-sleep static power exceeds a budget factor over the fault-free
+//! value — the power-side analogue of Table II.
+
+use process::PvtCondition;
+use regulator::{Defect, DefectCategory, FeedMode, RegulatorCircuit, RegulatorDesign};
+use sram::{ArrayLoad, CellInstance, StaticPowerModel};
+
+use crate::defect_analysis::tap_for_vdd;
+
+/// Options for the power-defect campaign.
+#[derive(Debug, Clone)]
+pub struct PowerDefectOptions {
+    /// Operating condition (power defects are characterized hot, where
+    /// static power matters).
+    pub pvt: PvtCondition,
+    /// A defect is "power-faulty" when DS static power exceeds the
+    /// fault-free value by this factor.
+    pub budget_factor: f64,
+    /// Defects to characterize (default: the 9 category-1 sites).
+    pub defects: Vec<Defect>,
+    /// Regulator design.
+    pub design: RegulatorDesign,
+    /// Static power model.
+    pub power: StaticPowerModel,
+    /// Search bounds, ohms.
+    pub r_min: f64,
+    /// Upper bound, ohms.
+    pub r_max: f64,
+    /// Bisection refinements.
+    pub refine_iters: usize,
+    /// Array-load samples.
+    pub load_points: usize,
+}
+
+impl Default for PowerDefectOptions {
+    fn default() -> Self {
+        PowerDefectOptions {
+            pvt: PvtCondition::new(process::ProcessCorner::Typical, 1.1, 125.0),
+            budget_factor: 1.5,
+            defects: Defect::all()
+                .filter(|d| d.expected_category() == DefectCategory::IncreasedPower)
+                .collect(),
+            design: RegulatorDesign::lp40nm(),
+            power: StaticPowerModel::lp40nm(),
+            r_min: 100.0,
+            r_max: regulator::OPEN_THRESHOLD_OHMS,
+            refine_iters: 8,
+            load_points: 7,
+        }
+    }
+}
+
+/// One row of the power-defect table.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerDefectRow {
+    /// The characterized defect.
+    pub defect: Defect,
+    /// Minimum resistance at which DS power exceeds the budget, or
+    /// `None` if even a full open stays within budget.
+    pub min_ohms: Option<f64>,
+    /// Rail voltage with a full open injected.
+    pub vddcc_at_open: f64,
+    /// DS power with a full open, watts.
+    pub power_at_open: f64,
+    /// Fault-free DS power, watts.
+    pub healthy_power: f64,
+}
+
+/// The campaign result.
+#[derive(Debug, Clone)]
+pub struct PowerDefectReport {
+    /// One row per characterized defect.
+    pub rows: Vec<PowerDefectRow>,
+    /// The condition used.
+    pub pvt: PvtCondition,
+    /// The budget factor used.
+    pub budget_factor: f64,
+}
+
+impl std::fmt::Display for PowerDefectReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "category-1 defects at {} (power budget: {:.2}x fault-free DS power)",
+            self.pvt, self.budget_factor
+        )?;
+        let mut t = crate::report::TextTable::new([
+            "Defect",
+            "min res. for over-budget power",
+            "Vddcc at open (V)",
+            "DS power at open / healthy",
+        ]);
+        for row in &self.rows {
+            t.push_row([
+                row.defect.to_string(),
+                crate::report::format_min_resistance(row.min_ohms),
+                format!("{:.3}", row.vddcc_at_open),
+                format!(
+                    "{:.2} uW / {:.2} uW",
+                    row.power_at_open * 1e6,
+                    row.healthy_power * 1e6
+                ),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs the campaign.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn power_defect_table(
+    options: &PowerDefectOptions,
+) -> Result<PowerDefectReport, anasim::Error> {
+    let pvt = options.pvt;
+    let tap = tap_for_vdd(pvt.vdd);
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(
+        &base,
+        &[],
+        options.power.total_cells,
+        1.3,
+        options.load_points,
+    )?;
+
+    let mut circuit = RegulatorCircuit::new(&options.design, pvt, tap, FeedMode::Static)?;
+    let healthy_vddcc = circuit.solve(&load)?.vddcc;
+    let healthy_power = options.power.deep_sleep_power(&base, healthy_vddcc)?;
+    let budget = healthy_power * options.budget_factor;
+
+    let power_at = |circuit: &mut RegulatorCircuit,
+                    defect: Defect,
+                    ohms: f64|
+     -> Result<(f64, f64), anasim::Error> {
+        circuit.inject(defect, ohms);
+        let vddcc = circuit.solve(&load)?.vddcc;
+        Ok((options.power.deep_sleep_power(&base, vddcc)?, vddcc))
+    };
+
+    let mut rows = Vec::new();
+    for &defect in &options.defects {
+        circuit.clear_defects();
+        let (p_open, v_open) = power_at(&mut circuit, defect, options.r_max)?;
+        let min_ohms = if p_open <= budget {
+            None
+        } else {
+            // Log bisection between r_min (healthy-ish) and r_max.
+            let mut lo = options.r_min;
+            let mut hi = options.r_max;
+            for _ in 0..options.refine_iters {
+                let mid = (lo.ln() + hi.ln()).mul_add(0.5, 0.0).exp();
+                circuit.clear_defects();
+                let (p, _) = power_at(&mut circuit, defect, mid)?;
+                if p > budget {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            Some(hi)
+        };
+        rows.push(PowerDefectRow {
+            defect,
+            min_ohms,
+            vddcc_at_open: v_open,
+            power_at_open: p_open,
+            healthy_power,
+        });
+    }
+    Ok(PowerDefectReport {
+        rows,
+        pvt,
+        budget_factor: options.budget_factor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category1_defects_raise_power_at_full_open() {
+        let opts = PowerDefectOptions {
+            defects: vec![Defect::new(13), Defect::new(20), Defect::new(6)],
+            ..PowerDefectOptions::default()
+        };
+        let report = power_defect_table(&opts).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(
+                row.power_at_open > row.healthy_power,
+                "{}: open power {} <= healthy {}",
+                row.defect,
+                row.power_at_open,
+                row.healthy_power
+            );
+            assert!(row.vddcc_at_open > 0.77, "{}", row.defect);
+        }
+        // The rendered report mentions the budget.
+        let text = report.to_string();
+        assert!(text.contains("budget"));
+    }
+
+    #[test]
+    fn bisection_brackets_the_budget_crossing() {
+        let opts = PowerDefectOptions {
+            defects: vec![Defect::new(20)],
+            ..PowerDefectOptions::default()
+        };
+        let report = power_defect_table(&opts).unwrap();
+        let row = &report.rows[0];
+        if let Some(r) = row.min_ohms {
+            assert!(
+                (opts.r_min..=opts.r_max).contains(&r),
+                "min resistance {r} out of bounds"
+            );
+        } else {
+            // Acceptable only if even the full open stayed in budget.
+            assert!(row.power_at_open <= row.healthy_power * opts.budget_factor);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text report formatting shared by the experiment drivers.
+
+use std::fmt;
+
+/// Formats a resistance the way the paper's Table II does: `976.56`,
+/// `9.76K`, `2.36M`.
+pub fn format_ohms(ohms: f64) -> String {
+    if ohms >= 1.0e6 {
+        format!("{:.2}M", ohms / 1.0e6)
+    } else if ohms >= 1.0e3 {
+        format!("{:.2}K", ohms / 1.0e3)
+    } else {
+        format!("{ohms:.2}")
+    }
+}
+
+/// Formats an optional minimum resistance (`None` = the paper's
+/// `> 500M`).
+pub fn format_min_resistance(ohms: Option<f64>) -> String {
+    match ohms {
+        Some(r) => format_ohms(r),
+        None => "> 500M".to_string(),
+    }
+}
+
+/// Formats volts as the millivolt figures used throughout the paper.
+pub fn format_mv(volts: f64) -> String {
+    format!("{:.0}", volts * 1.0e3)
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohm_formatting_matches_paper_style() {
+        assert_eq!(format_ohms(9760.0), "9.76K");
+        assert_eq!(format_ohms(2.36e6), "2.36M");
+        assert_eq!(format_ohms(976.56), "976.56");
+        assert_eq!(format_min_resistance(None), "> 500M");
+        assert_eq!(format_min_resistance(Some(195.31)), "195.31");
+    }
+
+    #[test]
+    fn mv_formatting() {
+        assert_eq!(format_mv(0.730), "730");
+        assert_eq!(format_mv(0.0601), "60");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Defect", "CS1", "CS2"]);
+        t.push_row(["Df16", "976.56", "19.53K"]);
+        t.push_row(["Df19", "195.31", "19.53K"]);
+        assert_eq!(t.row_count(), 2);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("Defect"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("Df16"));
+        // All rows have the same printed width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_validated() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Adapter: the electrically-backed [`sram::SramDevice`] as a March
+//! [`march::TestTarget`].
+//!
+//! This is the glue that lets the paper's March m-LZ run against the
+//! physics: deep-sleep episodes consult the device's retention policy
+//! (table-backed or full electrical), so a defective regulator setting
+//! shows up as real miscompares in the March engine.
+
+use march::TestTarget;
+use sram::{MemoryError, PowerMode, SramDevice};
+
+/// Wrapper implementing [`march::TestTarget`] for an [`SramDevice`].
+///
+/// Behavioural contract: the March engine only issues legal sequences
+/// (reads/writes in ACT, `WUP` after `DSM`), so mode errors indicate a
+/// bug in the test definition and panic; electrical retention-model
+/// failures also panic, with context.
+#[derive(Debug)]
+pub struct SramTarget {
+    device: SramDevice,
+}
+
+impl SramTarget {
+    /// Wraps a device, powering it up if necessary.
+    pub fn new(mut device: SramDevice) -> Self {
+        if device.mode() != PowerMode::Active {
+            device.power_up();
+        }
+        SramTarget { device }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &SramDevice {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped device (e.g. to change the
+    /// deep-sleep supply between flow iterations).
+    pub fn device_mut(&mut self) -> &mut SramDevice {
+        &mut self.device
+    }
+
+    /// Unwraps the device.
+    pub fn into_device(self) -> SramDevice {
+        self.device
+    }
+
+    fn expect<T>(result: Result<T, MemoryError>, op: &str) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => panic!("march engine issued illegal `{op}`: {e}"),
+        }
+    }
+}
+
+impl TestTarget for SramTarget {
+    fn word_count(&self) -> usize {
+        self.device.word_count()
+    }
+
+    fn word_bits(&self) -> usize {
+        self.device.word_bits()
+    }
+
+    fn write(&mut self, addr: usize, value: u64) {
+        Self::expect(self.device.write_word(addr, value), "write");
+    }
+
+    fn read(&mut self, addr: usize) -> u64 {
+        Self::expect(self.device.read_word(addr), "read")
+    }
+
+    fn deep_sleep(&mut self, dwell: f64) {
+        Self::expect(self.device.enter_deep_sleep(dwell), "DSM");
+    }
+
+    fn wake_up(&mut self) {
+        Self::expect(self.device.wake_up(), "WUP");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::CaseStudy;
+    use march::{engine, library};
+    use sram::{ArrayGeometry, DsConditions, StoredBit, TableRetention};
+
+    fn device_with_cs2_cell(vreg: f64) -> SramDevice {
+        let mut dev = SramDevice::new(
+            ArrayGeometry::small(),
+            DsConditions { vreg },
+            Box::new(TableRetention {
+                symmetric_drv: 0.135,
+                special_drv: 0.640,
+            }),
+        );
+        let cs2 = CaseStudy::new(2, StoredBit::One);
+        let loc = dev.array().geometry().cell_location(7, 3);
+        dev.array_mut().place_pattern(loc, cs2.pattern());
+        dev
+    }
+
+    #[test]
+    fn healthy_device_passes_march_mlz() {
+        let mut target = SramTarget::new(device_with_cs2_cell(0.740));
+        let outcome = engine::run(&library::march_mlz(1e-3), &mut target);
+        assert!(!outcome.detected(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn degraded_vreg_detected_by_march_mlz() {
+        // Vreg below the stressed cell's DRV (0.640) but above the
+        // symmetric cells'.
+        let mut target = SramTarget::new(device_with_cs2_cell(0.600));
+        let outcome = engine::run(&library::march_mlz(1e-3), &mut target);
+        assert!(outcome.detected());
+        // The CS2-1 cell loses a '1': caught by the r1 of ME4
+        // (element index 3).
+        assert_eq!(outcome.failures[0].element, 3);
+        assert_eq!(outcome.failures[0].addr, 7);
+        assert_eq!(outcome.failures[0].failing_bits(), 1 << 3);
+    }
+
+    #[test]
+    fn march_lz_misses_the_mirror_case() {
+        // A CS2-0 cell loses '0's; March LZ only takes the array into
+        // DS holding '1', so it cannot see this fault. March m-LZ can —
+        // that is exactly why the paper extends it.
+        let make = || {
+            let mut dev = SramDevice::new(
+                ArrayGeometry::small(),
+                DsConditions { vreg: 0.600 },
+                Box::new(TableRetention {
+                    symmetric_drv: 0.135,
+                    special_drv: 0.640,
+                }),
+            );
+            let cs2_0 = CaseStudy::new(2, StoredBit::Zero);
+            let loc = dev.array().geometry().cell_location(7, 3);
+            dev.array_mut().place_pattern(loc, cs2_0.pattern());
+            SramTarget::new(dev)
+        };
+        let mut t1 = make();
+        let lz = engine::run(&library::march_lz(1e-3), &mut t1);
+        assert!(!lz.detected(), "March LZ should miss the CS2-0 flip");
+        let mut t2 = make();
+        let mlz = engine::run(&library::march_mlz(1e-3), &mut t2);
+        assert!(mlz.detected(), "March m-LZ must catch it");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let target = SramTarget::new(device_with_cs2_cell(0.74));
+        assert_eq!(target.word_count(), 64);
+        assert_eq!(target.word_bits(), 8);
+        assert_eq!(target.device().mode(), PowerMode::Active);
+        let mut target = target;
+        target.device_mut().set_ds_vreg(0.5);
+        let dev = target.into_device();
+        assert_eq!(dev.ds_conditions().vreg, 0.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Data backgrounds for word-oriented March tests.
+//!
+//! Word-oriented memories apply March operations a word at a time, so
+//! the *data background* — the bit pattern written by `w1` (and whose
+//! complement is written by `w0`) — decides which intra-word value
+//! combinations are ever created. A solid background can never place
+//! opposite values on two cells of the same word, so state-coupling
+//! faults between them escape; a checkerboard catches them. This is
+//! van de Goor's classic data-background argument, reproduced here.
+
+use std::fmt;
+
+/// The background pattern family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataBackground {
+    /// All bits equal (the implicit background of bit-oriented
+    /// notation).
+    #[default]
+    Solid,
+    /// Alternating bits within the word, with the phase alternating by
+    /// address (`0101…` / `1010…`).
+    Checkerboard,
+    /// Alternating by address only (rows of all-ones / all-zeros).
+    RowStripes,
+    /// Alternating *pairs* of bits (`00110011…`): together with
+    /// [`DataBackground::Checkerboard`] it separates every bit pair of
+    /// words up to 4 bits; wider words need the full ⌈log₂ B⌉ family.
+    PairStripes,
+}
+
+impl DataBackground {
+    /// The standard backgrounds.
+    pub const ALL: [DataBackground; 4] = [
+        DataBackground::Solid,
+        DataBackground::Checkerboard,
+        DataBackground::RowStripes,
+        DataBackground::PairStripes,
+    ];
+
+    /// The word written by `w1` at `addr` for a `bits`-wide word
+    /// (`w0` writes its complement; reads expect accordingly).
+    pub fn pattern(self, addr: usize, bits: usize) -> u64 {
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        match self {
+            DataBackground::Solid => mask,
+            DataBackground::Checkerboard => {
+                let base = 0xAAAA_AAAA_AAAA_AAAAu64;
+                let word = if addr.is_multiple_of(2) { base } else { !base };
+                word & mask
+            }
+            DataBackground::RowStripes => {
+                if addr.is_multiple_of(2) {
+                    mask
+                } else {
+                    0
+                }
+            }
+            DataBackground::PairStripes => {
+                let base = 0xCCCC_CCCC_CCCC_CCCCu64;
+                let word = if addr.is_multiple_of(2) { base } else { !base };
+                word & mask
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataBackground {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataBackground::Solid => "solid",
+            DataBackground::Checkerboard => "checkerboard",
+            DataBackground::RowStripes => "row stripes",
+            DataBackground::PairStripes => "pair stripes",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solid_is_all_ones() {
+        assert_eq!(DataBackground::Solid.pattern(0, 8), 0xFF);
+        assert_eq!(DataBackground::Solid.pattern(7, 64), u64::MAX);
+    }
+
+    #[test]
+    fn checkerboard_alternates_within_and_across() {
+        let b = DataBackground::Checkerboard;
+        let even = b.pattern(0, 8);
+        let odd = b.pattern(1, 8);
+        assert_eq!(even ^ odd, 0xFF, "opposite phases across addresses");
+        // Adjacent bits differ within the word.
+        for bit in 0..7 {
+            assert_ne!((even >> bit) & 1, (even >> (bit + 1)) & 1);
+        }
+    }
+
+    #[test]
+    fn row_stripes_alternate_by_address() {
+        let b = DataBackground::RowStripes;
+        assert_eq!(b.pattern(0, 8), 0xFF);
+        assert_eq!(b.pattern(1, 8), 0x00);
+        assert_eq!(b.pattern(2, 8), 0xFF);
+    }
+
+    #[test]
+    fn pair_stripes_alternate_pairs() {
+        let even = DataBackground::PairStripes.pattern(0, 8);
+        assert_eq!(even, 0xCC);
+        // Bits 0 and 2 differ (same parity — checkerboard could not
+        // separate them).
+        assert_ne!(even & 1, (even >> 2) & 1);
+        let odd = DataBackground::PairStripes.pattern(1, 8);
+        assert_eq!(even ^ odd, 0xFF);
+    }
+
+    #[test]
+    fn masking_respects_width() {
+        for bg in DataBackground::ALL {
+            for addr in 0..4 {
+                assert_eq!(bg.pattern(addr, 8) & !0xFF, 0, "{bg} {addr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! March elements: operation sweeps and power-mode transitions.
+
+use std::fmt;
+
+use crate::op::{AddressOrder, Op};
+
+/// One element of a March test.
+///
+/// Classic March tests contain only [`MarchElement::Sweep`]s; the
+/// paper's extension for low-power SRAMs adds `DSM` (switch from active
+/// to deep-sleep, dwell, modeled as complexity 1) and `WUP` (wake-up,
+/// complexity 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarchElement {
+    /// Apply the operation sequence at every address in the given
+    /// order.
+    Sweep {
+        /// Traversal order.
+        order: AddressOrder,
+        /// Operations applied per address, in sequence.
+        ops: Vec<Op>,
+    },
+    /// Switch the memory from active to deep-sleep mode and dwell for
+    /// the given number of seconds (`DSM`).
+    DeepSleep {
+        /// Dwell time in seconds (the paper's "DS time", ≥ 1 ms in the
+        /// optimized flow).
+        dwell: f64,
+    },
+    /// Wake the memory back up to active mode (`WUP`).
+    WakeUp,
+}
+
+impl MarchElement {
+    /// Convenience constructor for a sweep.
+    pub fn sweep(order: AddressOrder, ops: Vec<Op>) -> Self {
+        MarchElement::Sweep { order, ops }
+    }
+
+    /// Complexity contribution of this element for a memory of `words`
+    /// addresses, using the paper's convention (DSM and WUP count 1).
+    pub fn complexity(&self, words: usize) -> usize {
+        match self {
+            MarchElement::Sweep { ops, .. } => ops.len() * words,
+            MarchElement::DeepSleep { .. } | MarchElement::WakeUp => 1,
+        }
+    }
+
+    /// Number of read operations contributed per full sweep.
+    pub fn read_count(&self, words: usize) -> usize {
+        match self {
+            MarchElement::Sweep { ops, .. } => ops.iter().filter(|o| o.is_read()).count() * words,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchElement::Sweep { order, ops } => {
+                write!(f, "{order}(")?;
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{op}")?;
+                }
+                write!(f, ")")
+            }
+            MarchElement::DeepSleep { .. } => write!(f, "DSM"),
+            MarchElement::WakeUp => write!(f, "WUP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_counts() {
+        let sweep = MarchElement::sweep(AddressOrder::Up, vec![Op::R1, Op::W0, Op::R0]);
+        assert_eq!(sweep.complexity(100), 300);
+        assert_eq!(sweep.read_count(100), 200);
+        let dsm = MarchElement::DeepSleep { dwell: 1e-3 };
+        assert_eq!(dsm.complexity(100), 1);
+        assert_eq!(MarchElement::WakeUp.complexity(100), 1);
+    }
+
+    #[test]
+    fn display_matches_notation() {
+        let e = MarchElement::sweep(AddressOrder::Any, vec![Op::W1]);
+        assert_eq!(e.to_string(), "⇕(w1)");
+        let e = MarchElement::sweep(AddressOrder::Up, vec![Op::R1, Op::W0, Op::R0]);
+        assert_eq!(e.to_string(), "⇑(r1,w0,r0)");
+        assert_eq!(MarchElement::DeepSleep { dwell: 1e-3 }.to_string(), "DSM");
+        assert_eq!(MarchElement::WakeUp.to_string(), "WUP");
+    }
+}

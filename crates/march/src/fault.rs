@@ -1,0 +1,285 @@
+//! Behavioural memory fault models.
+//!
+//! Covers the classic static/dynamic faults March tests are graded on
+//! (stuck-at, transition, coupling) plus the retention-loss fault that
+//! models a cell flipping in deep-sleep — the behavioural image of the
+//! paper's DRF_DS.
+
+use std::fmt;
+
+/// A single cell, addressed logically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    /// Word address.
+    pub addr: usize,
+    /// Bit position within the word.
+    pub bit: usize,
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}].{}", self.addr, self.bit)
+    }
+}
+
+/// The kind of misbehaviour a faulty cell exhibits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The cell always holds the given value (SAF).
+    StuckAt(bool),
+    /// The cell cannot perform one write transition (TF): `rising`
+    /// selects the 0→1 transition as the failing one.
+    TransitionFault {
+        /// Which transition fails.
+        rising: bool,
+    },
+    /// Any transition of the aggressor inverts the victim (CFin).
+    CouplingInversion {
+        /// The coupled aggressor cell.
+        aggressor: CellRef,
+    },
+    /// A specific aggressor transition forces the victim to a value
+    /// (CFid).
+    CouplingIdempotent {
+        /// The coupled aggressor cell.
+        aggressor: CellRef,
+        /// Whether the triggering transition is 0→1.
+        rising: bool,
+        /// The value forced onto the victim.
+        forces: bool,
+    },
+    /// The cell loses a stored value during deep-sleep — the
+    /// behavioural image of a DRF_DS.
+    RetentionLoss {
+        /// The value that is lost ('1' for the paper's CSx-1 cells).
+        weak: bool,
+    },
+    /// The first write to the cell after a wake-up is lost — the
+    /// behavioural image of a peripheral power-gating fault (slow
+    /// rail recovery after WUP), the faults March LZ targets and the
+    /// reason March m-LZ's ME4 performs `w0, r0` right after waking.
+    WakeUpWriteFault,
+    /// Address-decoder fault: accesses to the victim's word are
+    /// redirected to `aliases_to` instead (van de Goor's AF class,
+    /// aliasing form). The victim word itself is never accessed.
+    AddressAlias {
+        /// The word that is accessed instead.
+        aliases_to: usize,
+    },
+    /// State coupling fault (CFst): whenever the aggressor *holds*
+    /// `when`, the victim is forced to `forces`. For an intra-word
+    /// pair, sensitizing `forces != when` requires a data background
+    /// that puts opposite values on the two cells — solid backgrounds
+    /// cannot.
+    CouplingState {
+        /// The coupled aggressor cell.
+        aggressor: CellRef,
+        /// The aggressor state that activates the fault.
+        when: bool,
+        /// The value forced onto the victim while active.
+        forces: bool,
+    },
+}
+
+impl FaultKind {
+    /// The aggressor cell for coupling faults.
+    pub fn aggressor(&self) -> Option<CellRef> {
+        match self {
+            FaultKind::CouplingInversion { aggressor }
+            | FaultKind::CouplingIdempotent { aggressor, .. }
+            | FaultKind::CouplingState { aggressor, .. } => Some(*aggressor),
+            _ => None,
+        }
+    }
+
+    /// Whether the fault can only be sensitized through a deep-sleep
+    /// episode (entering DS, or the wake-up that follows it).
+    pub fn needs_deep_sleep(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::RetentionLoss { .. } | FaultKind::WakeUpWriteFault
+        )
+    }
+}
+
+/// A fault bound to its victim cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// The cell showing the wrong data.
+    pub victim: CellRef,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Stuck-at fault.
+    pub fn stuck_at(victim: CellRef, value: bool) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::StuckAt(value),
+        }
+    }
+
+    /// Transition fault (`rising` = the 0→1 write fails).
+    pub fn transition(victim: CellRef, rising: bool) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::TransitionFault { rising },
+        }
+    }
+
+    /// Inversion coupling fault.
+    pub fn coupling_inversion(aggressor: CellRef, victim: CellRef) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::CouplingInversion { aggressor },
+        }
+    }
+
+    /// Idempotent coupling fault.
+    pub fn coupling_idempotent(
+        aggressor: CellRef,
+        victim: CellRef,
+        rising: bool,
+        forces: bool,
+    ) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::CouplingIdempotent {
+                aggressor,
+                rising,
+                forces,
+            },
+        }
+    }
+
+    /// Deep-sleep retention loss.
+    pub fn retention_loss(victim: CellRef, weak: bool) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::RetentionLoss { weak },
+        }
+    }
+
+    /// Peripheral power-gating fault: the first post-wake-up write to
+    /// the victim is lost.
+    pub fn wake_up_write(victim: CellRef) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::WakeUpWriteFault,
+        }
+    }
+
+    /// Address-decoder aliasing fault on a whole word (`victim.bit` is
+    /// ignored; decoder faults act per address).
+    pub fn address_alias(addr: usize, aliases_to: usize) -> Self {
+        Fault {
+            victim: CellRef { addr, bit: 0 },
+            kind: FaultKind::AddressAlias { aliases_to },
+        }
+    }
+
+    /// State coupling fault.
+    pub fn coupling_state(aggressor: CellRef, victim: CellRef, when: bool, forces: bool) -> Self {
+        Fault {
+            victim,
+            kind: FaultKind::CouplingState {
+                aggressor,
+                when,
+                forces,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FaultKind::StuckAt(v) => write!(f, "SAF{} at {}", u8::from(*v), self.victim),
+            FaultKind::TransitionFault { rising } => write!(
+                f,
+                "TF{} at {}",
+                if *rising { "↑" } else { "↓" },
+                self.victim
+            ),
+            FaultKind::CouplingInversion { aggressor } => {
+                write!(f, "CFin {} -> {}", aggressor, self.victim)
+            }
+            FaultKind::CouplingIdempotent {
+                aggressor,
+                rising,
+                forces,
+            } => write!(
+                f,
+                "CFid {}{} forces {} at {}",
+                aggressor,
+                if *rising { "↑" } else { "↓" },
+                u8::from(*forces),
+                self.victim
+            ),
+            FaultKind::RetentionLoss { weak } => {
+                write!(f, "DRF(weak {}) at {}", u8::from(*weak), self.victim)
+            }
+            FaultKind::WakeUpWriteFault => {
+                write!(f, "WUF (first write after WUP lost) at {}", self.victim)
+            }
+            FaultKind::AddressAlias { aliases_to } => {
+                write!(f, "AF [{}] aliases to [{}]", self.victim.addr, aliases_to)
+            }
+            FaultKind::CouplingState {
+                aggressor,
+                when,
+                forces,
+            } => write!(
+                f,
+                "CFst {}={} forces {} at {}",
+                aggressor,
+                u8::from(*when),
+                u8::from(*forces),
+                self.victim
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressor_extraction() {
+        let a = CellRef { addr: 1, bit: 2 };
+        let v = CellRef { addr: 3, bit: 4 };
+        assert_eq!(Fault::coupling_inversion(a, v).kind.aggressor(), Some(a));
+        assert_eq!(
+            Fault::coupling_idempotent(a, v, true, false)
+                .kind
+                .aggressor(),
+            Some(a)
+        );
+        assert_eq!(Fault::stuck_at(v, true).kind.aggressor(), None);
+    }
+
+    #[test]
+    fn deep_sleep_requirement() {
+        let v = CellRef { addr: 0, bit: 0 };
+        assert!(Fault::retention_loss(v, true).kind.needs_deep_sleep());
+        assert!(!Fault::stuck_at(v, true).kind.needs_deep_sleep());
+        assert!(!Fault::transition(v, true).kind.needs_deep_sleep());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = CellRef { addr: 1, bit: 2 };
+        let v = CellRef { addr: 3, bit: 4 };
+        assert_eq!(Fault::stuck_at(v, true).to_string(), "SAF1 at [3].4");
+        assert_eq!(Fault::transition(v, true).to_string(), "TF↑ at [3].4");
+        assert!(Fault::coupling_inversion(a, v)
+            .to_string()
+            .contains("[1].2 -> [3].4"));
+        assert_eq!(
+            Fault::retention_loss(v, true).to_string(),
+            "DRF(weak 1) at [3].4"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The algorithm library: the paper's March m-LZ and the standard
+//! baselines it is compared against.
+
+use crate::element::MarchElement;
+use crate::op::{AddressOrder, Op};
+use crate::test::MarchTest;
+
+/// The paper's March m-LZ (§V):
+///
+/// ```text
+/// March m-LZ = {⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}
+/// ```
+///
+/// Length 5N + 4 with DSM/WUP counted as complexity 1. `dwell` is the
+/// deep-sleep time per DSM (the optimized flow uses ≥ 1 ms).
+pub fn march_mlz(dwell: f64) -> MarchTest {
+    MarchTest::new(
+        "March m-LZ",
+        vec![
+            MarchElement::sweep(AddressOrder::Any, vec![Op::W1]),
+            MarchElement::DeepSleep { dwell },
+            MarchElement::WakeUp,
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R1, Op::W0, Op::R0]),
+            MarchElement::DeepSleep { dwell },
+            MarchElement::WakeUp,
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R0]),
+        ],
+    )
+}
+
+/// March LZ, the predecessor March m-LZ extends (reference \[13\] of the
+/// paper, targeting peripheral power-gating faults). The original
+/// publication is not openly available; this is the subset of March
+/// m-LZ without the second retention pass, reconstructed from the
+/// paper's description of which elements target the power-gating
+/// behaviours (`w0, r0` in ME4).
+pub fn march_lz(dwell: f64) -> MarchTest {
+    MarchTest::new(
+        "March LZ",
+        vec![
+            MarchElement::sweep(AddressOrder::Any, vec![Op::W1]),
+            MarchElement::DeepSleep { dwell },
+            MarchElement::WakeUp,
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R1, Op::W0, Op::R0]),
+        ],
+    )
+}
+
+/// MATS+ (`{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}`, 5N): the classic minimal
+/// stuck-at test.
+pub fn mats_plus() -> MarchTest {
+    MarchTest::new(
+        "MATS+",
+        vec![
+            MarchElement::sweep(AddressOrder::Any, vec![Op::W0]),
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R0, Op::W1]),
+            MarchElement::sweep(AddressOrder::Down, vec![Op::R1, Op::W0]),
+        ],
+    )
+}
+
+/// March C− (`{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}`,
+/// 10N): the standard unlinked coupling-fault test.
+pub fn march_cminus() -> MarchTest {
+    MarchTest::new(
+        "March C-",
+        vec![
+            MarchElement::sweep(AddressOrder::Any, vec![Op::W0]),
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R0, Op::W1]),
+            MarchElement::sweep(AddressOrder::Up, vec![Op::R1, Op::W0]),
+            MarchElement::sweep(AddressOrder::Down, vec![Op::R0, Op::W1]),
+            MarchElement::sweep(AddressOrder::Down, vec![Op::R1, Op::W0]),
+            MarchElement::sweep(AddressOrder::Any, vec![Op::R0]),
+        ],
+    )
+}
+
+/// March SS (Hamdioui et al., 22N): detects all static simple faults.
+pub fn march_ss() -> MarchTest {
+    MarchTest::new(
+        "March SS",
+        vec![
+            MarchElement::sweep(AddressOrder::Any, vec![Op::W0]),
+            MarchElement::sweep(
+                AddressOrder::Up,
+                vec![Op::R0, Op::R0, Op::W0, Op::R0, Op::W1],
+            ),
+            MarchElement::sweep(
+                AddressOrder::Up,
+                vec![Op::R1, Op::R1, Op::W1, Op::R1, Op::W0],
+            ),
+            MarchElement::sweep(
+                AddressOrder::Down,
+                vec![Op::R0, Op::R0, Op::W0, Op::R0, Op::W1],
+            ),
+            MarchElement::sweep(
+                AddressOrder::Down,
+                vec![Op::R1, Op::R1, Op::W1, Op::R1, Op::W0],
+            ),
+            MarchElement::sweep(AddressOrder::Any, vec![Op::R0]),
+        ],
+    )
+}
+
+/// Every library test, for sweep-style studies.
+pub fn all(dwell: f64) -> Vec<MarchTest> {
+    vec![
+        march_mlz(dwell),
+        march_lz(dwell),
+        mats_plus(),
+        march_cminus(),
+        march_ss(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn march_mlz_formula_is_5n_plus_4() {
+        let t = march_mlz(1e-3);
+        assert_eq!(t.length_formula(), (5, 4));
+        assert_eq!(t.complexity(4096), 5 * 4096 + 4);
+        assert!(t.exercises_retention());
+    }
+
+    #[test]
+    fn march_lz_formula_is_4n_plus_2() {
+        let t = march_lz(1e-3);
+        assert_eq!(t.length_formula(), (4, 2));
+        assert!(t.exercises_retention());
+    }
+
+    #[test]
+    fn baseline_lengths() {
+        assert_eq!(mats_plus().length_formula(), (5, 0));
+        assert_eq!(march_cminus().length_formula(), (10, 0));
+        assert_eq!(march_ss().length_formula(), (22, 0));
+    }
+
+    #[test]
+    fn baselines_do_not_exercise_retention() {
+        assert!(!mats_plus().exercises_retention());
+        assert!(!march_cminus().exercises_retention());
+        assert!(!march_ss().exercises_retention());
+    }
+
+    #[test]
+    fn mlz_matches_paper_notation() {
+        let t = march_mlz(1e-3);
+        let shown = t.to_string();
+        assert_eq!(
+            shown,
+            "March m-LZ = {⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}"
+        );
+    }
+
+    #[test]
+    fn all_returns_five() {
+        assert_eq!(all(1e-3).len(), 5);
+    }
+}

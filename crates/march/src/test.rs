@@ -1,0 +1,369 @@
+//! Complete March tests: structure, complexity, and notation parsing.
+
+use std::fmt;
+
+use crate::element::MarchElement;
+use crate::op::{AddressOrder, Op};
+
+/// A named March test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarchTest {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+/// Error from parsing March notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNotationError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNotationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid march notation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNotationError {}
+
+impl MarchTest {
+    /// Creates a test from elements.
+    pub fn new(name: &str, elements: Vec<MarchElement>) -> Self {
+        MarchTest {
+            name: name.to_string(),
+            elements,
+        }
+    }
+
+    /// The test's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The elements in order.
+    pub fn elements(&self) -> &[MarchElement] {
+        &self.elements
+    }
+
+    /// Total complexity for a memory of `words` addresses, in the
+    /// paper's `aN + b` convention (DSM/WUP count 1 each).
+    pub fn complexity(&self, words: usize) -> usize {
+        self.elements.iter().map(|e| e.complexity(words)).sum()
+    }
+
+    /// The `(a, b)` of the test's `aN + b` length formula.
+    pub fn length_formula(&self) -> (usize, usize) {
+        let mut per_word = 0;
+        let mut constant = 0;
+        for e in &self.elements {
+            match e {
+                MarchElement::Sweep { ops, .. } => per_word += ops.len(),
+                _ => constant += 1,
+            }
+        }
+        (per_word, constant)
+    }
+
+    /// Whether the test exercises deep-sleep retention (contains a
+    /// DSM/WUP pair followed by a read).
+    pub fn exercises_retention(&self) -> bool {
+        let mut seen_dsm = false;
+        for e in &self.elements {
+            match e {
+                MarchElement::DeepSleep { .. } => seen_dsm = true,
+                MarchElement::Sweep { ops, .. } => {
+                    if seen_dsm && ops.iter().any(|o| o.is_read()) {
+                        return true;
+                    }
+                }
+                MarchElement::WakeUp => {}
+            }
+        }
+        false
+    }
+
+    /// Parses the paper's notation, e.g.
+    /// `{⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}`.
+    ///
+    /// ASCII aliases are accepted for the arrows: `up`, `dn`/`down`,
+    /// `any`. `dwell` is the DS time assigned to every `DSM` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNotationError`] on malformed input.
+    pub fn parse(name: &str, notation: &str, dwell: f64) -> Result<Self, ParseNotationError> {
+        let trimmed = notation.trim();
+        let inner = trimmed
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| ParseNotationError {
+                message: "notation must be wrapped in { }".to_string(),
+            })?;
+        let mut elements = Vec::new();
+        for raw in inner.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.to_ascii_uppercase().as_str() {
+                "DSM" => {
+                    elements.push(MarchElement::DeepSleep { dwell });
+                    continue;
+                }
+                "WUP" => {
+                    elements.push(MarchElement::WakeUp);
+                    continue;
+                }
+                _ => {}
+            }
+            let (order, rest) = Self::parse_order(part)?;
+            let ops_str = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| ParseNotationError {
+                    message: format!("expected (ops) in element `{part}`"),
+                })?;
+            let mut ops = Vec::new();
+            for op in ops_str.split(',') {
+                ops.push(match op.trim() {
+                    "w0" => Op::W0,
+                    "w1" => Op::W1,
+                    "r0" => Op::R0,
+                    "r1" => Op::R1,
+                    other => {
+                        return Err(ParseNotationError {
+                            message: format!("unknown operation `{other}`"),
+                        })
+                    }
+                });
+            }
+            if ops.is_empty() {
+                return Err(ParseNotationError {
+                    message: format!("element `{part}` has no operations"),
+                });
+            }
+            elements.push(MarchElement::Sweep { order, ops });
+        }
+        if elements.is_empty() {
+            return Err(ParseNotationError {
+                message: "test has no elements".to_string(),
+            });
+        }
+        Ok(MarchTest::new(name, elements))
+    }
+
+    fn parse_order(part: &str) -> Result<(AddressOrder, &str), ParseNotationError> {
+        for (prefix, order) in [
+            ("⇑", AddressOrder::Up),
+            ("⇓", AddressOrder::Down),
+            ("⇕", AddressOrder::Any),
+            ("up", AddressOrder::Up),
+            ("down", AddressOrder::Down),
+            ("dn", AddressOrder::Down),
+            ("any", AddressOrder::Any),
+        ] {
+            if let Some(rest) = part.strip_prefix(prefix) {
+                return Ok((order, rest));
+            }
+        }
+        Err(ParseNotationError {
+            message: format!("element `{part}` has no address-order marker"),
+        })
+    }
+}
+
+/// A consistency problem found by [`MarchTest::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateTestError {
+    /// Element index at fault.
+    pub element: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateTestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "element {}: {}", self.element, self.message)
+    }
+}
+
+impl std::error::Error for ValidateTestError {}
+
+impl MarchTest {
+    /// Checks that the test is self-consistent on a fault-free memory:
+    /// every read expects the value most recently written to the swept
+    /// cell, the first operation ever performed is a write (the initial
+    /// memory content is undefined), and `WUP` only follows `DSM`.
+    ///
+    /// A valid test never false-fails a good device; the engine's
+    /// property suite generates tests from exactly this definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ValidateTestError> {
+        let mut background: Option<bool> = None;
+        let mut in_deep_sleep = false;
+        for (idx, element) in self.elements.iter().enumerate() {
+            match element {
+                MarchElement::Sweep { ops, .. } => {
+                    if in_deep_sleep {
+                        return Err(ValidateTestError {
+                            element: idx,
+                            message: "operations while in deep-sleep".to_string(),
+                        });
+                    }
+                    for &op in ops {
+                        match op {
+                            Op::W0 => background = Some(false),
+                            Op::W1 => background = Some(true),
+                            Op::R0 | Op::R1 => match background {
+                                None => {
+                                    return Err(ValidateTestError {
+                                        element: idx,
+                                        message: "read before any write (undefined data)"
+                                            .to_string(),
+                                    })
+                                }
+                                Some(b) if b != op.background() => {
+                                    return Err(ValidateTestError {
+                                        element: idx,
+                                        message: format!(
+                                            "{op} expects {} but the background is {}",
+                                            u8::from(op.background()),
+                                            u8::from(b)
+                                        ),
+                                    })
+                                }
+                                _ => {}
+                            },
+                        }
+                    }
+                }
+                MarchElement::DeepSleep { dwell } => {
+                    if in_deep_sleep {
+                        return Err(ValidateTestError {
+                            element: idx,
+                            message: "nested DSM".to_string(),
+                        });
+                    }
+                    if *dwell <= 0.0 {
+                        return Err(ValidateTestError {
+                            element: idx,
+                            message: "non-positive DS dwell".to_string(),
+                        });
+                    }
+                    in_deep_sleep = true;
+                }
+                MarchElement::WakeUp => {
+                    if !in_deep_sleep {
+                        return Err(ValidateTestError {
+                            element: idx,
+                            message: "WUP without a preceding DSM".to_string(),
+                        });
+                    }
+                    in_deep_sleep = false;
+                }
+            }
+        }
+        if in_deep_sleep {
+            return Err(ValidateTestError {
+                element: self.elements.len() - 1,
+                message: "test ends in deep-sleep".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {{", self.name)?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MLZ: &str = "{⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}";
+
+    #[test]
+    fn parses_march_mlz() {
+        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).unwrap();
+        assert_eq!(t.elements().len(), 7);
+        assert_eq!(t.length_formula(), (5, 4));
+        assert_eq!(t.complexity(4096), 5 * 4096 + 4);
+        assert!(t.exercises_retention());
+    }
+
+    #[test]
+    fn ascii_aliases() {
+        let t = MarchTest::parse("mats+", "{any(w0); up(r0,w1); dn(r1,w0)}", 1e-3).unwrap();
+        assert_eq!(t.length_formula(), (5, 0));
+        assert!(!t.exercises_retention());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).unwrap();
+        let shown = t.to_string();
+        assert!(shown.contains("⇕(w1)"), "{shown}");
+        assert!(shown.contains("DSM; WUP"), "{shown}");
+        // Reparse what we printed (strip the name prefix).
+        let notation = shown.split(" = ").nth(1).unwrap();
+        let t2 = MarchTest::parse("again", notation, 1e-3).unwrap();
+        assert_eq!(t.elements(), t2.elements());
+    }
+
+    #[test]
+    fn validate_accepts_library_and_rejects_broken() {
+        use crate::library;
+        for t in library::all(1e-3) {
+            assert!(t.validate().is_ok(), "{} invalid", t.name());
+        }
+        // Read before write.
+        let t = MarchTest::parse("x", "{⇑(r0)}", 1e-3).unwrap();
+        assert!(t.validate().is_err());
+        // Wrong expected background.
+        let t = MarchTest::parse("x", "{⇕(w1); ⇑(r0)}", 1e-3).unwrap();
+        let e = t.validate().unwrap_err();
+        assert!(e.to_string().contains("background"), "{e}");
+        // WUP without DSM.
+        let t = MarchTest::parse("x", "{⇕(w1); WUP}", 1e-3).unwrap();
+        assert!(t.validate().is_err());
+        // Ends in deep-sleep.
+        let t = MarchTest::parse("x", "{⇕(w1); DSM}", 1e-3).unwrap();
+        assert!(t.validate().is_err());
+        // Nested DSM.
+        let t = MarchTest::parse("x", "{⇕(w1); DSM; DSM; WUP}", 1e-3).unwrap();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(MarchTest::parse("x", "no braces", 1e-3).is_err());
+        assert!(MarchTest::parse("x", "{(w0)}", 1e-3).is_err());
+        assert!(MarchTest::parse("x", "{⇑(wx)}", 1e-3).is_err());
+        assert!(MarchTest::parse("x", "{⇑()}", 1e-3).is_err());
+        assert!(MarchTest::parse("x", "{}", 1e-3).is_err());
+        let e = MarchTest::parse("x", "{⇑ w0}", 1e-3).unwrap_err();
+        assert!(e.to_string().contains("invalid march notation"));
+    }
+
+    #[test]
+    fn retention_detection_requires_read_after_dsm() {
+        // DSM at the very end: no read follows, retention not observed.
+        let t = MarchTest::parse("x", "{⇕(w1); DSM; WUP}", 1e-3).unwrap();
+        assert!(!t.exercises_retention());
+    }
+}

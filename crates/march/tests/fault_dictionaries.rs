@@ -1,0 +1,319 @@
+//! Integration tests: exhaustive detection matrices of the algorithm
+//! library over systematically generated fault dictionaries.
+
+use march::coverage::grade;
+use march::{engine, library, CellRef, DataBackground, Fault, SimpleMemory};
+
+const WORDS: usize = 24;
+const BITS: usize = 8;
+
+fn every_cell() -> impl Iterator<Item = CellRef> {
+    (0..WORDS).flat_map(|addr| (0..BITS).map(move |bit| CellRef { addr, bit }))
+}
+
+/// Every stuck-at fault at every cell is caught by every library test.
+#[test]
+fn all_stuck_at_faults_everywhere() {
+    let faults: Vec<Fault> = every_cell()
+        .flat_map(|c| [Fault::stuck_at(c, false), Fault::stuck_at(c, true)])
+        .collect();
+    for test in library::all(1e-3) {
+        let report = grade(&test, WORDS, BITS, &faults);
+        assert_eq!(
+            report.detected,
+            report.total,
+            "{} missed stuck-ats: {:?}",
+            test.name(),
+            report.escapes.first()
+        );
+    }
+}
+
+/// Every transition fault is caught by the tests that write both
+/// transitions and read back (March C−, March SS, March m-LZ).
+#[test]
+fn all_transition_faults() {
+    let faults: Vec<Fault> = every_cell()
+        .flat_map(|c| [Fault::transition(c, false), Fault::transition(c, true)])
+        .collect();
+    for test in [library::march_cminus(), library::march_ss()] {
+        let report = grade(&test, WORDS, BITS, &faults);
+        assert_eq!(report.detected, report.total, "{} missed TFs", test.name());
+    }
+    // MATS+ covers exactly the rising transitions (its w1 is always
+    // followed by a read; its final w0 never is) — the textbook result.
+    let mats = grade(&library::mats_plus(), WORDS, BITS, &faults);
+    assert!((mats.fraction() - 0.5).abs() < 1e-9, "{}", mats.fraction());
+    for escape in &mats.escapes {
+        assert!(matches!(
+            escape.kind,
+            march::FaultKind::TransitionFault { rising: false }
+        ));
+    }
+}
+
+/// All inversion coupling faults between distinct cells in a small
+/// window are caught by March C− (its defining property).
+#[test]
+fn inversion_coupling_dictionary() {
+    let cells: Vec<CellRef> = (0..6)
+        .flat_map(|addr| (0..2).map(move |bit| CellRef { addr, bit }))
+        .collect();
+    let mut faults = Vec::new();
+    for &a in &cells {
+        for &v in &cells {
+            if a != v {
+                faults.push(Fault::coupling_inversion(a, v));
+            }
+        }
+    }
+    let report = grade(&library::march_cminus(), WORDS, BITS, &faults);
+    assert_eq!(
+        report.detected,
+        report.total,
+        "March C- missed CFin: {:?}",
+        report.escapes.first()
+    );
+}
+
+/// All idempotent coupling faults (both trigger edges × both forced
+/// values) are caught by March SS.
+#[test]
+fn idempotent_coupling_dictionary() {
+    let cells: Vec<CellRef> = (0..5).map(|addr| CellRef { addr, bit: 0 }).collect();
+    let mut faults = Vec::new();
+    for &a in &cells {
+        for &v in &cells {
+            if a == v {
+                continue;
+            }
+            for rising in [false, true] {
+                for forces in [false, true] {
+                    faults.push(Fault::coupling_idempotent(a, v, rising, forces));
+                }
+            }
+        }
+    }
+    let report = grade(&library::march_ss(), WORDS, BITS, &faults);
+    assert_eq!(
+        report.detected,
+        report.total,
+        "March SS missed CFid: {:?}",
+        report.escapes.first()
+    );
+}
+
+/// Retention faults of both polarities at every cell: only March m-LZ
+/// achieves full coverage; March LZ exactly half (the '1' side).
+#[test]
+fn retention_dictionary_split() {
+    let faults: Vec<Fault> = every_cell()
+        .flat_map(|c| {
+            [
+                Fault::retention_loss(c, false),
+                Fault::retention_loss(c, true),
+            ]
+        })
+        .collect();
+    let mlz = grade(&library::march_mlz(1e-3), WORDS, BITS, &faults);
+    assert_eq!(mlz.detected, mlz.total);
+    let lz = grade(&library::march_lz(1e-3), WORDS, BITS, &faults);
+    assert!(
+        (lz.fraction() - 0.5).abs() < 1e-9,
+        "March LZ covers exactly the lost-'1' half, got {}",
+        lz.fraction()
+    );
+    // Every March LZ escape is a weak-'0' fault.
+    for escape in &lz.escapes {
+        assert!(matches!(
+            escape.kind,
+            march::FaultKind::RetentionLoss { weak: false }
+        ));
+    }
+}
+
+/// Wake-up write faults at every cell: caught by both DS-capable tests
+/// (the `w0, r0` follows the first WUP in each).
+#[test]
+fn wake_up_dictionary() {
+    let faults: Vec<Fault> = every_cell().map(Fault::wake_up_write).collect();
+    for test in [library::march_mlz(1e-3), library::march_lz(1e-3)] {
+        let report = grade(&test, WORDS, BITS, &faults);
+        assert_eq!(report.detected, report.total, "{} missed WUFs", test.name());
+    }
+}
+
+/// Address-decoder aliasing between every pair of a window of
+/// addresses is caught by every library test (the AF class MATS+ was
+/// designed for).
+#[test]
+fn address_alias_dictionary() {
+    let mut faults = Vec::new();
+    for a in 0..6 {
+        for b in 0..6 {
+            if a != b {
+                faults.push(Fault::address_alias(a, b));
+            }
+        }
+    }
+    for test in [
+        library::mats_plus(),
+        library::march_cminus(),
+        library::march_ss(),
+        library::march_mlz(1e-3),
+    ] {
+        let report = grade(&test, WORDS, BITS, &faults);
+        assert_eq!(
+            report.detected,
+            report.total,
+            "{} missed AFs: {:?}",
+            test.name(),
+            report.escapes.first()
+        );
+    }
+}
+
+/// The data-background argument, demonstrated: an intra-word state
+/// coupling fault whose forced value matches the aggressor's state can
+/// never be sensitized by a solid background (the two cells always
+/// hold equal values), but a checkerboard separates them and March C−
+/// catches it.
+#[test]
+fn intra_word_cfst_needs_checkerboard() {
+    let aggr = CellRef { addr: 4, bit: 0 };
+    let vict = CellRef { addr: 4, bit: 1 };
+    let make = || {
+        let mut m = SimpleMemory::new(WORDS, BITS);
+        // While the aggressor holds '1', the victim is forced to '1'.
+        m.inject(Fault::coupling_state(aggr, vict, true, true));
+        m
+    };
+    let solid =
+        engine::run_with_background(&library::march_cminus(), &mut make(), DataBackground::Solid);
+    assert!(
+        !solid.detected(),
+        "solid background cannot separate the intra-word pair"
+    );
+    let checker = engine::run_with_background(
+        &library::march_cminus(),
+        &mut make(),
+        DataBackground::Checkerboard,
+    );
+    assert!(checker.detected(), "checkerboard sensitizes the CFst");
+}
+
+/// The background family closes the intra-word CFst dictionary: no
+/// single background catches everything, their union does (the
+/// ⌈log₂ B⌉-backgrounds theorem on a 4-bit window).
+#[test]
+fn background_family_closes_cfst_dictionary() {
+    let mut faults = Vec::new();
+    for a in 0..4usize {
+        for v in 0..4usize {
+            if a == v {
+                continue;
+            }
+            for when in [false, true] {
+                for forces in [false, true] {
+                    faults.push(Fault::coupling_state(
+                        CellRef { addr: 5, bit: a },
+                        CellRef { addr: 5, bit: v },
+                        when,
+                        forces,
+                    ));
+                }
+            }
+        }
+    }
+    let test = library::march_cminus();
+    let mut union = vec![false; faults.len()];
+    for bg in DataBackground::ALL {
+        let mut caught_here = 0;
+        for (k, fault) in faults.iter().enumerate() {
+            let mut m = SimpleMemory::new(WORDS, BITS);
+            m.inject(fault.clone());
+            if engine::run_with_background(&test, &mut m, bg).detected() {
+                union[k] = true;
+                caught_here += 1;
+            }
+        }
+        assert!(
+            caught_here < faults.len(),
+            "no single background may close the dictionary ({bg})"
+        );
+    }
+    assert!(union.iter().all(|&c| c), "the union must close it");
+}
+
+/// Inter-word CFst (force-opposite form) is caught even with the solid
+/// background — the words hold opposite values during the up sweep.
+#[test]
+fn inter_word_cfst_caught_solid() {
+    let aggr = CellRef { addr: 2, bit: 0 };
+    let vict = CellRef { addr: 9, bit: 0 };
+    let mut m = SimpleMemory::new(WORDS, BITS);
+    m.inject(Fault::coupling_state(aggr, vict, true, true));
+    let outcome = engine::run(&library::march_cminus(), &mut m);
+    assert!(outcome.detected());
+}
+
+/// Clean memories pass every library test under every background.
+#[test]
+fn clean_memory_passes_all_backgrounds() {
+    for bg in DataBackground::ALL {
+        for test in library::all(1e-3) {
+            let mut m = SimpleMemory::new(WORDS, BITS);
+            let outcome = engine::run_with_background(&test, &mut m, bg);
+            assert!(
+                !outcome.detected(),
+                "{} false-failed with {bg}",
+                test.name()
+            );
+        }
+    }
+}
+
+/// Retention faults stay covered by March m-LZ under non-solid
+/// backgrounds too: the weak value is exercised at every cell either
+/// in the first or second retention pass.
+#[test]
+fn retention_coverage_survives_backgrounds() {
+    for bg in DataBackground::ALL {
+        for weak in [false, true] {
+            let mut m = SimpleMemory::new(WORDS, BITS);
+            m.inject(Fault::retention_loss(CellRef { addr: 6, bit: 2 }, weak));
+            let outcome = engine::run_with_background(&library::march_mlz(1e-3), &mut m, bg);
+            assert!(outcome.detected(), "weak {weak} escaped under {bg}");
+        }
+    }
+}
+
+/// Multiple simultaneous faults still produce a detection (no masking
+/// in these simple combinations).
+#[test]
+fn multiple_faults_detected_together() {
+    let mut m = SimpleMemory::new(WORDS, BITS);
+    m.inject(Fault::stuck_at(CellRef { addr: 0, bit: 0 }, true));
+    m.inject(Fault::retention_loss(CellRef { addr: 5, bit: 3 }, true));
+    m.inject(Fault::wake_up_write(CellRef { addr: 9, bit: 7 }));
+    let outcome = engine::run(&library::march_mlz(1e-3), &mut m);
+    assert!(outcome.detected());
+    let addrs: std::collections::BTreeSet<usize> =
+        outcome.failures.iter().map(|f| f.addr).collect();
+    assert!(addrs.contains(&0));
+    assert!(addrs.contains(&5));
+    assert!(addrs.contains(&9));
+}
+
+/// Detection latency: the first failure of a weak-'1' retention fault
+/// always lands in ME4, independent of the address.
+#[test]
+fn detection_element_is_address_independent() {
+    for addr in [0, WORDS / 2, WORDS - 1] {
+        let mut m = SimpleMemory::new(WORDS, BITS);
+        m.inject(Fault::retention_loss(CellRef { addr, bit: 1 }, true));
+        let outcome = engine::run(&library::march_mlz(1e-3), &mut m);
+        assert_eq!(outcome.failures[0].element, 3, "addr {addr}");
+        assert_eq!(outcome.failures[0].addr, addr);
+    }
+}

@@ -1,0 +1,166 @@
+//! Process corners and their effect on MOSFET model cards.
+
+use std::fmt;
+
+use anasim::devices::mosfet::{MosParams, MosPolarity};
+
+/// The five global process corners the paper simulates.
+///
+/// A corner shifts the threshold voltage and scales the
+/// transconductance of *every* device of a given polarity die-wide;
+/// within-die mismatch (handled by [`crate::sigma`]) comes on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessCorner {
+    /// Both polarities slow (high Vth, low mobility).
+    Slow,
+    /// Nominal process.
+    #[default]
+    Typical,
+    /// Both polarities fast (low Vth, high mobility).
+    Fast,
+    /// Fast NMOS, slow PMOS — the paper's `fs`.
+    FastNSlowP,
+    /// Slow NMOS, fast PMOS — the paper's `sf`.
+    SlowNFastP,
+}
+
+/// Corner-induced Vth shift magnitude, volts.
+const CORNER_VTH_SHIFT: f64 = 0.04;
+/// Corner-induced transconductance skew, fractional.
+const CORNER_BETA_SKEW: f64 = 0.10;
+
+impl ProcessCorner {
+    /// All five corners in the order the paper lists them.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Slow,
+        ProcessCorner::Typical,
+        ProcessCorner::Fast,
+        ProcessCorner::FastNSlowP,
+        ProcessCorner::SlowNFastP,
+    ];
+
+    /// Vth shift (volts, signed) this corner applies to devices of the
+    /// given polarity. Slow devices have a *higher* threshold.
+    pub fn vth_shift(self, polarity: MosPolarity) -> f64 {
+        let speed = self.speed(polarity);
+        -speed * CORNER_VTH_SHIFT
+    }
+
+    /// Multiplicative β scale this corner applies to devices of the
+    /// given polarity.
+    pub fn beta_scale(self, polarity: MosPolarity) -> f64 {
+        1.0 + self.speed(polarity) * CORNER_BETA_SKEW
+    }
+
+    /// +1 for fast, 0 for typical, −1 for slow, per polarity.
+    fn speed(self, polarity: MosPolarity) -> f64 {
+        use MosPolarity::{Nmos, Pmos};
+        use ProcessCorner::*;
+        match (self, polarity) {
+            (Typical, _) => 0.0,
+            (Slow, _) => -1.0,
+            (Fast, _) => 1.0,
+            (FastNSlowP, Nmos) | (SlowNFastP, Pmos) => 1.0,
+            (FastNSlowP, Pmos) | (SlowNFastP, Nmos) => -1.0,
+        }
+    }
+
+    /// Applies the corner to a model card, returning the skewed card.
+    ///
+    /// ```
+    /// use anasim::devices::mosfet::MosParams;
+    /// use process::ProcessCorner;
+    ///
+    /// let nominal = MosParams::nmos(4.0e-4, 0.45);
+    /// let fs = ProcessCorner::FastNSlowP.apply(nominal);
+    /// assert!(fs.vth0 < nominal.vth0); // fast NMOS: lower threshold
+    /// assert!(fs.beta > nominal.beta);
+    /// ```
+    pub fn apply(self, params: MosParams) -> MosParams {
+        params
+            .with_vth_shift(self.vth_shift(params.polarity))
+            .with_beta_scale(self.beta_scale(params.polarity))
+    }
+
+    /// Paper-style abbreviation (`slow`, `typ`, `fast`, `fs`, `sf`).
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            ProcessCorner::Slow => "slow",
+            ProcessCorner::Typical => "typ",
+            ProcessCorner::Fast => "fast",
+            ProcessCorner::FastNSlowP => "fs",
+            ProcessCorner::SlowNFastP => "sf",
+        }
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_is_identity() {
+        let p = MosParams::nmos(4.0e-4, 0.45);
+        let t = ProcessCorner::Typical.apply(p);
+        assert_eq!(t.vth0, p.vth0);
+        assert_eq!(t.beta, p.beta);
+    }
+
+    #[test]
+    fn slow_raises_vth_lowers_beta() {
+        for pol in [MosPolarity::Nmos, MosPolarity::Pmos] {
+            assert!(ProcessCorner::Slow.vth_shift(pol) > 0.0);
+            assert!(ProcessCorner::Slow.beta_scale(pol) < 1.0);
+        }
+    }
+
+    #[test]
+    fn fast_lowers_vth_raises_beta() {
+        for pol in [MosPolarity::Nmos, MosPolarity::Pmos] {
+            assert!(ProcessCorner::Fast.vth_shift(pol) < 0.0);
+            assert!(ProcessCorner::Fast.beta_scale(pol) > 1.0);
+        }
+    }
+
+    #[test]
+    fn mixed_corners_are_antisymmetric() {
+        let fs_n = ProcessCorner::FastNSlowP.vth_shift(MosPolarity::Nmos);
+        let fs_p = ProcessCorner::FastNSlowP.vth_shift(MosPolarity::Pmos);
+        let sf_n = ProcessCorner::SlowNFastP.vth_shift(MosPolarity::Nmos);
+        let sf_p = ProcessCorner::SlowNFastP.vth_shift(MosPolarity::Pmos);
+        assert_eq!(fs_n, -fs_p);
+        assert_eq!(fs_n, -sf_n);
+        assert_eq!(fs_p, -sf_p);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProcessCorner::FastNSlowP.to_string(), "fs");
+        assert_eq!(ProcessCorner::SlowNFastP.to_string(), "sf");
+        assert_eq!(ProcessCorner::Typical.to_string(), "typ");
+    }
+
+    #[test]
+    fn all_lists_five_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ProcessCorner::ALL {
+            assert!(seen.insert(c.abbreviation()));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn pmos_application_direction() {
+        // Slow PMOS in fs: threshold magnitude goes up, beta down.
+        let p = MosParams::pmos(2.0e-4, 0.45);
+        let fs = ProcessCorner::FastNSlowP.apply(p);
+        assert!(fs.vth0 > p.vth0);
+        assert!(fs.beta < p.beta);
+    }
+}

@@ -1,0 +1,27 @@
+//! Diagnostic: print the regulator's internal node voltages at the
+//! nominal operating point for each tap.
+
+use process::PvtCondition;
+use regulator::{static_circuit, VrefTap};
+use sram::{ArrayLoad, CellInstance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pvt = PvtCondition::nominal();
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7)?;
+    for tap in VrefTap::ALL {
+        let mut c = static_circuit(pvt, tap)?;
+        let op = c.solve(&load)?;
+        println!(
+            "{tap}: vreg={:.4} (exp {:.4}, err {:+.1} mV)  vddcc={:.4}  bias={:.3e}  iload={:.3e}  taps={:?}",
+            op.vreg,
+            c.expected_vreg(),
+            (op.vreg - c.expected_vreg()) * 1e3,
+            op.vddcc,
+            op.bias_current,
+            op.load_current,
+            op.taps.map(|v| (v * 1e3).round() / 1e3),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! The 32 resistive-open defect sites of the paper's Fig. 5.
+//!
+//! `Df1`–`Df6` sit in the voltage-source divider (one in series with
+//! each of `R1`–`R6`); `Df7`–`Df32` sit in the error amplifier and
+//! output stage. The paper's figure is only available as a low-quality
+//! bitmap, so the exact wire segments are not recoverable; the sites
+//! here were placed so that each defect's *simulated* behaviour matches
+//! the paper's per-defect description and the published category map:
+//!
+//! * 17 defects cause retention faults (Table II rows): Df1–Df5, Df7–
+//!   Df12, Df16, Df19, Df23, Df26, Df29, Df32;
+//! * 6 gate-line defects are negligible: Df14, Df17, Df18, Df21, Df24,
+//!   Df25;
+//! * the rest raise `Vreg` and therefore static power (category 1).
+
+use std::fmt;
+
+/// Expected impact class of a defect (the paper's §IV.B taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectCategory {
+    /// Raises `Vreg` above its target: extra static power in DS mode.
+    IncreasedPower,
+    /// Lowers `Vreg`: data retention faults when it crosses DRV_DS.
+    RetentionFault,
+    /// Divider defects that cause either, depending on resistance and
+    /// the selected `Vref` tap (Df2–Df5).
+    Mixed,
+    /// No observable effect (series resistance in a line carrying no
+    /// DC current).
+    Negligible,
+}
+
+impl fmt::Display for DefectCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefectCategory::IncreasedPower => "increased static power",
+            DefectCategory::RetentionFault => "data retention fault",
+            DefectCategory::Mixed => "power or retention fault",
+            DefectCategory::Negligible => "negligible",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the 32 injected resistive-open defects.
+///
+/// ```
+/// use regulator::{Defect, DefectCategory};
+/// let df16 = Defect::new(16);
+/// assert_eq!(df16.to_string(), "Df16");
+/// assert_eq!(df16.expected_category(), DefectCategory::RetentionFault);
+/// assert!(!df16.is_transient_mechanism());
+/// assert!(Defect::new(8).is_transient_mechanism());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Defect(u8);
+
+impl Defect {
+    /// Creates `Df<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 32`.
+    pub fn new(n: u8) -> Self {
+        assert!((1..=32).contains(&n), "defect number {n} out of range");
+        Defect(n)
+    }
+
+    /// The defect number (1–32).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index (for arrays of all 32 sites).
+    pub fn index(self) -> usize {
+        self.0 as usize - 1
+    }
+
+    /// All 32 defects in order.
+    pub fn all() -> impl Iterator<Item = Defect> {
+        (1..=32).map(Defect)
+    }
+
+    /// The defects the paper's Table II characterizes (cause DRFs).
+    pub fn table2_rows() -> Vec<Defect> {
+        [1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 16, 19, 23, 26, 29, 32]
+            .into_iter()
+            .map(Defect)
+            .collect()
+    }
+
+    /// Whether the defect sits in the voltage-source divider.
+    pub fn in_voltage_source(self) -> bool {
+        self.0 <= 6
+    }
+
+    /// Whether this defect's DRF mechanism is time-domain (needs a
+    /// transient analysis rather than a DC solve): Df8 delays regulator
+    /// activation; Df11 causes an input undershoot at activation.
+    pub fn is_transient_mechanism(self) -> bool {
+        matches!(self.0, 8 | 11)
+    }
+
+    /// Expected category per the paper.
+    pub fn expected_category(self) -> DefectCategory {
+        match self.0 {
+            1 => DefectCategory::RetentionFault,
+            2..=5 => DefectCategory::Mixed,
+            6 => DefectCategory::IncreasedPower,
+            7..=12 => DefectCategory::RetentionFault,
+            16 | 19 | 23 | 26 | 29 | 32 => DefectCategory::RetentionFault,
+            14 | 17 | 18 | 21 | 24 | 25 => DefectCategory::Negligible,
+            13 | 15 | 20 | 22 | 27 | 28 | 30 | 31 => DefectCategory::IncreasedPower,
+            _ => unreachable!("defect numbers are validated at construction"),
+        }
+    }
+
+    /// The paper's description of the mechanism (Table II column
+    /// "Description", abridged; our wording for non-Table-II sites).
+    pub fn description(self) -> &'static str {
+        match self.0 {
+            1 => "reduces all reference taps and the bias tap; Vref and Vbias always lower than expected",
+            2 => "reduces Vref74/70/64 and Vbias52, increases Vref78; worst with Vref at 0.74/0.70/0.64*VDD",
+            3 => "reduces Vref70/64 and Vbias52, increases Vref78/74; worst with Vref at 0.70/0.64*VDD",
+            4 => "reduces Vref64 and Vbias52, increases the other taps; worst with Vref at 0.64*VDD",
+            5 => "reduces only Vbias52; high resistances choke the amplifier bias current",
+            6 => "raises every tap: Vreg regulates high, increasing DS static power",
+            7 => "series open in the tail connection: reduces amplifier bias current, Vreg degrades",
+            8 => "series open in the bias gate line: delays regulator activation; Vreg may decay to 0 V first",
+            9 => "series open in the bias source return: reduces amplifier bias current like Df7",
+            10 => "separates the output node from its pull-down: MPreg1 gate floats high, degrading Vreg",
+            11 => "series open in the Vref input line: activation undershoot on MNreg2's gate degrades Vreg momentarily",
+            12 => "second open site in the output-node pull-down branch: same effect as Df10",
+            13 => "weakens MPreg4's supply: output node sags, Vreg regulates high (power)",
+            14 => "open in MPreg3's gate tie: no DC current, negligible",
+            15 => "weakens MPreg4's pull-up of the output node: Vreg regulates high (power)",
+            16 => "voltage drop in MPreg1's supply: Vreg lower by the load-current drop",
+            17 => "open in MPreg4's gate line: no DC current, negligible",
+            18 => "open in the feedback sense line to MNreg3's gate: no DC current, negligible",
+            19 => "voltage drop between MPreg1's drain and the Vreg node: same effect as Df16",
+            20 => "degenerates the feedback input MNreg3: the loop settles high (power)",
+            21 => "open in MPreg2's gate line: no DC current, negligible",
+            22 => "series open in the mirror reference branch: at high resistance the mirror weakens, Vreg settles high (power)",
+            23 => "drops MPreg3's source: the mirror gate line sits lower, MPreg4 conducts harder, MPreg1's gate rises, Vreg degrades",
+            24 => "open in the final MPreg1 gate segment: no DC current, negligible",
+            25 => "series open in MPreg2's drain: only reduces the (tiny) pull-up leak, negligible",
+            26 => "second open site in MPreg3's source line: same effect as Df23",
+            27 => "second open site in the divider ground run: raises every tap like Df6 (power)",
+            28 => "second open site in MPreg4's source line: same effect as Df13 (power)",
+            29 => "drops the supply feeding the amplifier and output stage: Vreg necessarily lower",
+            30 => "second open site in MNreg3's source line: same effect as Df20 (power)",
+            31 => "third open site in the divider ground run: same effect as Df6/Df27 (power)",
+            32 => "voltage drop on the V_DD_CC line: array leakage current drops across it in DS mode",
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Df{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_two_defects() {
+        assert_eq!(Defect::all().count(), 32);
+        assert_eq!(Defect::new(1).to_string(), "Df1");
+        assert_eq!(Defect::new(32).to_string(), "Df32");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rejected() {
+        let _ = Defect::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thirty_three_rejected() {
+        let _ = Defect::new(33);
+    }
+
+    #[test]
+    fn category_counts_match_paper() {
+        let mut drf = 0;
+        let mut negligible = 0;
+        let mut power = 0;
+        let mut mixed = 0;
+        for d in Defect::all() {
+            match d.expected_category() {
+                DefectCategory::RetentionFault => drf += 1,
+                DefectCategory::Negligible => negligible += 1,
+                DefectCategory::IncreasedPower => power += 1,
+                DefectCategory::Mixed => mixed += 1,
+            }
+        }
+        assert_eq!(drf, 13); // Df1, Df7-12, Df16, Df19, Df23, Df26, Df29, Df32
+        assert_eq!(mixed, 4); // Df2-Df5
+        assert_eq!(negligible, 6);
+        assert_eq!(power, 9); // Df6 + 8 amplifier sites
+    }
+
+    #[test]
+    fn table2_rows_are_the_17_drf_capable_defects() {
+        let rows = Defect::table2_rows();
+        assert_eq!(rows.len(), 17);
+        for d in &rows {
+            assert!(matches!(
+                d.expected_category(),
+                DefectCategory::RetentionFault | DefectCategory::Mixed
+            ));
+        }
+        // Every DRF-capable defect is in the table.
+        for d in Defect::all() {
+            let capable = matches!(
+                d.expected_category(),
+                DefectCategory::RetentionFault | DefectCategory::Mixed
+            );
+            assert_eq!(capable, rows.contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn transient_mechanisms() {
+        assert!(Defect::new(8).is_transient_mechanism());
+        assert!(Defect::new(11).is_transient_mechanism());
+        assert!(!Defect::new(7).is_transient_mechanism());
+    }
+
+    #[test]
+    fn divider_membership() {
+        for n in 1..=6 {
+            assert!(Defect::new(n).in_voltage_source());
+        }
+        for n in 7..=32 {
+            assert!(!Defect::new(n).in_voltage_source());
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_unique_enough() {
+        for d in Defect::all() {
+            assert!(!d.description().is_empty());
+        }
+    }
+}

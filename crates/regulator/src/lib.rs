@@ -1,0 +1,46 @@
+//! `regulator` — the SRAM's embedded voltage regulator with
+//! resistive-open defect injection and characterization.
+//!
+//! Reproduces the paper's §II.B/§IV substrate: the divider-referenced
+//! five-transistor OTA regulator ([`topology`]), its 32 resistive-open
+//! defect sites ([`defect`]), the activation transients that make Df8
+//! and Df11 dangerous ([`solve`]), and the minimum-resistance /
+//! category characterization driving Table II ([`characterize`]).
+//!
+//! # Example: how far can Df16 drift before data is lost?
+//!
+//! ```no_run
+//! use process::PvtCondition;
+//! use regulator::{Defect, VrefTap, RegulatorDesign};
+//! use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
+//! use sram::{ArrayLoad, CellInstance, DrvOptions, StoredBit};
+//!
+//! # fn main() -> Result<(), anasim::Error> {
+//! let pvt = PvtCondition::nominal();
+//! let stressed = CellInstance::symmetric(pvt); // substitute a case-study cell
+//! let drv = sram::drv_ds(&stressed, StoredBit::One, &DrvOptions::default())?.drv;
+//! let load = ArrayLoad::build(&stressed, &[], 256 * 1024, 1.3, 9)?;
+//! let criterion = DrfCriterion { stressed: &stressed, stored: StoredBit::One, drv };
+//! let result = min_resistance(
+//!     &RegulatorDesign::lp40nm(), pvt, VrefTap::V74, Defect::new(16),
+//!     &load, &criterion, &CharacterizeOptions::default(),
+//! )?;
+//! println!("Df16 min resistance: {:?}", result.ohms);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod characterize;
+pub mod defect;
+pub mod solve;
+pub mod topology;
+
+pub use characterize::{
+    classify_at_tap, drf_at, min_resistance, CharacterizeOptions, DrfCriterion, MinResistance,
+};
+pub use defect::{Defect, DefectCategory};
+pub use solve::{activation_transient, ActivationResult};
+pub use topology::{
+    static_circuit, FeedMode, RegulatorCircuit, RegulatorDesign, RegulatorOp, VrefTap,
+    NO_DEFECT_OHMS, OPEN_THRESHOLD_OHMS,
+};

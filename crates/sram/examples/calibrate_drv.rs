@@ -1,0 +1,60 @@
+//! Calibration tool: prints the deep-sleep retention voltages of the
+//! paper's Table I mismatch patterns over a PVT sweep, so the cell
+//! sizing and σ_Vth can be tuned against the published values
+//! (symmetric ≈ 60 mV, CS4 110 mV, CS3 570 mV, CS2 686 mV, CS1 730 mV).
+//!
+//! Run with `cargo run --release -p sram --example calibrate_drv`.
+
+use process::{ProcessCorner, PvtCondition, Sigma};
+use sram::cell::{CellInstance, MismatchPattern};
+use sram::drv::{drv_ds, DrvOptions, StoredBit};
+
+fn pattern(v: [f64; 6]) -> MismatchPattern {
+    MismatchPattern::from_sigmas(v.map(Sigma))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases = [
+        ("sym ", pattern([0.0; 6])),
+        ("CS4-1", pattern([0.0, 0.0, 0.1, 0.1, 0.0, 0.0])),
+        ("CS3-1", pattern([0.0, 0.0, 3.0, 3.0, 0.0, 0.0])),
+        ("CS2-1", pattern([-3.0, -3.0, 0.0, 0.0, 0.0, 0.0])),
+        ("CS1-1", pattern([-6.0, -6.0, 6.0, 6.0, -6.0, 6.0])),
+    ];
+    let corners = [
+        ProcessCorner::Typical,
+        ProcessCorner::FastNSlowP,
+        ProcessCorner::SlowNFastP,
+        ProcessCorner::Slow,
+        ProcessCorner::Fast,
+    ];
+    let temps = [-30.0, 25.0, 125.0];
+    let opts = DrvOptions::default();
+    let sigma: f64 = std::env::var("SIGMA_VTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.09);
+    for (name, p) in cases {
+        let mut worst = 0.0f64;
+        let mut worst_at = String::new();
+        for corner in corners {
+            for temp in temps {
+                let pvt = PvtCondition::new(corner, 1.1, temp);
+                let mut inst = CellInstance::with_pattern(p, pvt);
+                if let Ok(sat) = std::env::var("V_SAT").map(|v| v.parse::<f64>().unwrap()) {
+                    inst.variation = process::VariationModel::new(sigma).with_saturation(sat);
+                }
+                let r = drv_ds(&inst, StoredBit::One, &opts)?;
+                if r.drv > worst {
+                    worst = r.drv;
+                    worst_at = pvt.to_string();
+                }
+            }
+        }
+        println!(
+            "{name}: worst DRV_DS1 = {:6.1} mV at {worst_at}",
+            worst * 1e3
+        );
+    }
+    Ok(())
+}

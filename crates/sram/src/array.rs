@@ -1,0 +1,351 @@
+//! Core-cell array organisation and per-cell mismatch registry.
+//!
+//! The paper's reference block is a 4K×64 word-oriented SRAM organised
+//! as 512 bit lines × 512 word lines (256K cells, 8 words per row,
+//! bit-interleaved). [`CellArray`] stores the logical data plus a sparse
+//! registry of cells carrying non-zero mismatch — the handful of
+//! "asymmetric" cells each case study places in the array.
+
+use std::collections::HashMap;
+
+use crate::cell::MismatchPattern;
+
+/// Physical organisation of the core-cell array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayGeometry {
+    /// Number of word lines (rows).
+    pub rows: usize,
+    /// Number of bit lines (columns).
+    pub cols: usize,
+    /// Bits per logical word.
+    pub word_bits: usize,
+}
+
+impl ArrayGeometry {
+    /// The paper's 4K×64 block: 512 WLs × 512 BLs.
+    pub fn paper() -> Self {
+        ArrayGeometry {
+            rows: 512,
+            cols: 512,
+            word_bits: 64,
+        }
+    }
+
+    /// A small geometry for fast tests (64 words of 8 bits).
+    pub fn small() -> Self {
+        ArrayGeometry {
+            rows: 16,
+            cols: 32,
+            word_bits: 8,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.cells() / self.word_bits
+    }
+
+    /// Words stored per physical row.
+    pub fn words_per_row(&self) -> usize {
+        self.cols / self.word_bits
+    }
+
+    /// Validates internal consistency.
+    pub fn is_valid(&self) -> bool {
+        self.rows > 0
+            && self.cols > 0
+            && self.word_bits > 0
+            && self.word_bits <= 64
+            && self.cols.is_multiple_of(self.word_bits)
+    }
+
+    /// Physical location of bit `bit` of word `addr`, using the usual
+    /// bit-interleaved column multiplexing (adjacent columns belong to
+    /// different words of the same row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `bit` is out of range.
+    pub fn cell_location(&self, addr: usize, bit: usize) -> CellLocation {
+        assert!(addr < self.words(), "address {addr} out of range");
+        assert!(bit < self.word_bits, "bit {bit} out of range");
+        let wpr = self.words_per_row();
+        CellLocation {
+            row: (addr / wpr) as u32,
+            col: (bit * wpr + addr % wpr) as u32,
+        }
+    }
+
+    /// Inverse of [`ArrayGeometry::cell_location`]: which `(addr, bit)`
+    /// a physical cell belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the array.
+    pub fn address_of(&self, loc: CellLocation) -> (usize, usize) {
+        let (row, col) = (loc.row as usize, loc.col as usize);
+        assert!(row < self.rows && col < self.cols, "location out of range");
+        let wpr = self.words_per_row();
+        let bit = col / wpr;
+        let addr = row * wpr + col % wpr;
+        (addr, bit)
+    }
+}
+
+impl Default for ArrayGeometry {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A physical cell position (word line, bit line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellLocation {
+    /// Word-line index.
+    pub row: u32,
+    /// Bit-line index.
+    pub col: u32,
+}
+
+/// The logical cell array: word storage plus the sparse registry of
+/// mismatch-carrying cells.
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    geometry: ArrayGeometry,
+    data: Vec<u64>,
+    special: HashMap<CellLocation, MismatchPattern>,
+}
+
+impl CellArray {
+    /// Creates a zero-initialised array with no special cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent.
+    pub fn new(geometry: ArrayGeometry) -> Self {
+        assert!(geometry.is_valid(), "invalid array geometry {geometry:?}");
+        CellArray {
+            geometry,
+            data: vec![0; geometry.words()],
+            special: HashMap::new(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    fn word_mask(&self) -> u64 {
+        if self.geometry.word_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.geometry.word_bits) - 1
+        }
+    }
+
+    /// Reads a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read_word(&self, addr: usize) -> u64 {
+        self.data[addr]
+    }
+
+    /// Writes a word (masked to the word width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_word(&mut self, addr: usize, value: u64) {
+        let mask = self.word_mask();
+        self.data[addr] = value & mask;
+    }
+
+    /// Reads one bit by physical location.
+    pub fn bit(&self, loc: CellLocation) -> bool {
+        let (addr, bit) = self.geometry.address_of(loc);
+        (self.data[addr] >> bit) & 1 == 1
+    }
+
+    /// Writes one bit by physical location.
+    pub fn set_bit(&mut self, loc: CellLocation, value: bool) {
+        let (addr, bit) = self.geometry.address_of(loc);
+        if value {
+            self.data[addr] |= 1 << bit;
+        } else {
+            self.data[addr] &= !(1 << bit);
+        }
+    }
+
+    /// Registers a mismatch pattern on one cell (replacing any previous
+    /// registration; a symmetric pattern removes the entry).
+    pub fn place_pattern(&mut self, loc: CellLocation, pattern: MismatchPattern) {
+        let (row, col) = (loc.row as usize, loc.col as usize);
+        assert!(
+            row < self.geometry.rows && col < self.geometry.cols,
+            "location out of range"
+        );
+        if pattern.is_symmetric() {
+            self.special.remove(&loc);
+        } else {
+            self.special.insert(loc, pattern);
+        }
+    }
+
+    /// Places `count` copies of `pattern`, one cell every
+    /// `col_stride` bit lines (the paper's CS5 uses 64 cells, one every
+    /// 8 BLs), on successive rows.
+    pub fn place_pattern_strided(
+        &mut self,
+        pattern: MismatchPattern,
+        count: usize,
+        col_stride: usize,
+    ) {
+        for k in 0..count {
+            let loc = CellLocation {
+                row: (k % self.geometry.rows) as u32,
+                col: ((k * col_stride) % self.geometry.cols) as u32,
+            };
+            self.place_pattern(loc, pattern);
+        }
+    }
+
+    /// Mismatch of a cell (symmetric when unregistered).
+    pub fn pattern_at(&self, loc: CellLocation) -> MismatchPattern {
+        self.special
+            .get(&loc)
+            .copied()
+            .unwrap_or_else(MismatchPattern::symmetric)
+    }
+
+    /// Iterates over the registered special cells.
+    pub fn special_cells(&self) -> impl Iterator<Item = (CellLocation, MismatchPattern)> + '_ {
+        self.special.iter().map(|(&l, &p)| (l, p))
+    }
+
+    /// Number of registered special cells.
+    pub fn special_count(&self) -> usize {
+        self.special.len()
+    }
+
+    /// Fills every word with `value`.
+    pub fn fill(&mut self, value: u64) {
+        let masked = value & self.word_mask();
+        self.data.iter_mut().for_each(|w| *w = masked);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellTransistor;
+    use process::Sigma;
+
+    #[test]
+    fn paper_geometry_shape() {
+        let g = ArrayGeometry::paper();
+        assert!(g.is_valid());
+        assert_eq!(g.cells(), 512 * 512);
+        assert_eq!(g.words(), 4096);
+        assert_eq!(g.words_per_row(), 8);
+    }
+
+    #[test]
+    fn location_roundtrip_all_small() {
+        let g = ArrayGeometry::small();
+        for addr in 0..g.words() {
+            for bit in 0..g.word_bits {
+                let loc = g.cell_location(addr, bit);
+                assert_eq!(g.address_of(loc), (addr, bit));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_spreads_bits_across_columns() {
+        let g = ArrayGeometry::paper();
+        let l0 = g.cell_location(0, 0);
+        let l1 = g.cell_location(0, 1);
+        assert_eq!(l0.row, l1.row);
+        // Adjacent bits of one word are 8 columns apart.
+        assert_eq!(l1.col - l0.col, 8);
+        // Adjacent words share a row in neighbouring columns.
+        let w1 = g.cell_location(1, 0);
+        assert_eq!(w1.row, 0);
+        assert_eq!(w1.col, 1);
+    }
+
+    #[test]
+    fn word_read_write_masked() {
+        let mut a = CellArray::new(ArrayGeometry::small());
+        a.write_word(3, 0xFFFF);
+        assert_eq!(a.read_word(3), 0xFF); // masked to 8 bits
+        a.write_word(3, 0x5A);
+        assert_eq!(a.read_word(3), 0x5A);
+    }
+
+    #[test]
+    fn bit_access_consistent_with_words() {
+        let mut a = CellArray::new(ArrayGeometry::small());
+        a.write_word(5, 0b1010_0001);
+        let g = a.geometry();
+        assert!(a.bit(g.cell_location(5, 0)));
+        assert!(!a.bit(g.cell_location(5, 1)));
+        assert!(a.bit(g.cell_location(5, 5)));
+        a.set_bit(g.cell_location(5, 1), true);
+        assert_eq!(a.read_word(5), 0b1010_0011);
+        a.set_bit(g.cell_location(5, 0), false);
+        assert_eq!(a.read_word(5), 0b1010_0010);
+    }
+
+    #[test]
+    fn special_cell_registry() {
+        let mut a = CellArray::new(ArrayGeometry::paper());
+        let p = MismatchPattern::symmetric().with(CellTransistor::MPcc1, Sigma(-3.0));
+        let loc = CellLocation { row: 10, col: 20 };
+        a.place_pattern(loc, p);
+        assert_eq!(a.special_count(), 1);
+        assert_eq!(a.pattern_at(loc), p);
+        assert!(a.pattern_at(CellLocation { row: 0, col: 0 }).is_symmetric());
+        // Placing a symmetric pattern clears the registration.
+        a.place_pattern(loc, MismatchPattern::symmetric());
+        assert_eq!(a.special_count(), 0);
+    }
+
+    #[test]
+    fn cs5_strided_placement() {
+        let mut a = CellArray::new(ArrayGeometry::paper());
+        let p = MismatchPattern::symmetric().with(CellTransistor::MPcc1, Sigma(-3.0));
+        a.place_pattern_strided(p, 64, 8);
+        assert_eq!(a.special_count(), 64);
+        // One cell every 8 bit lines.
+        let cols: std::collections::HashSet<u32> = a.special_cells().map(|(l, _)| l.col).collect();
+        assert_eq!(cols.len(), 64);
+        assert!(cols.iter().all(|c| c % 8 == 0));
+    }
+
+    #[test]
+    fn fill_sets_all_words() {
+        let mut a = CellArray::new(ArrayGeometry::small());
+        a.fill(u64::MAX);
+        for addr in 0..a.geometry().words() {
+            assert_eq!(a.read_word(addr), 0xFF);
+        }
+        a.fill(0);
+        assert_eq!(a.read_word(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_address_panics() {
+        let g = ArrayGeometry::small();
+        let _ = g.cell_location(g.words(), 0);
+    }
+}

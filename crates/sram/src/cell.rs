@@ -1,0 +1,409 @@
+//! The 6T SRAM core-cell: design card, within-die mismatch pattern, and
+//! netlist construction for retention-mode analyses.
+//!
+//! Transistor naming follows the paper's Fig. 3:
+//!
+//! ```text
+//!        VDD_CC ────┬──────────────┬────
+//!                 MPcc1          MPcc2
+//!   BL ── MNcc3 ──┐ │ S        SB │ ┌── MNcc4 ── BLB
+//!        (WL)     └─┼──────┐ ┌────┼─┘   (WL)
+//!                 MNcc1    ⤬     MNcc2      (cross-coupled gates)
+//!        GND ───────┴──────────────┴────
+//! ```
+//!
+//! `MPcc1`/`MNcc1` form the inverter driving node `S`; `MPcc2`/`MNcc2`
+//! drive `SB`; `MNcc3`/`MNcc4` are the pass transistors. In deep-sleep
+//! mode the word line and both bit lines sit at 0 V and the cell supply
+//! is lowered to `Vreg`.
+
+use std::fmt;
+
+use anasim::devices::mosfet::{MosParams, MosPolarity};
+use anasim::{Netlist, NodeId, SourceId};
+use process::{PvtCondition, Sigma, VariationModel};
+
+/// The six transistors of a 6T cell, named as in the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellTransistor {
+    /// Pull-up PMOS of the inverter driving node S.
+    MPcc1,
+    /// Pull-down NMOS of the inverter driving node S.
+    MNcc1,
+    /// Pull-up PMOS of the inverter driving node SB.
+    MPcc2,
+    /// Pull-down NMOS of the inverter driving node SB.
+    MNcc2,
+    /// Pass transistor between BL and S.
+    MNcc3,
+    /// Pass transistor between BLB and SB.
+    MNcc4,
+}
+
+impl CellTransistor {
+    /// All six transistors in the paper's listing order.
+    pub const ALL: [CellTransistor; 6] = [
+        CellTransistor::MPcc1,
+        CellTransistor::MNcc1,
+        CellTransistor::MPcc2,
+        CellTransistor::MNcc2,
+        CellTransistor::MNcc3,
+        CellTransistor::MNcc4,
+    ];
+}
+
+impl fmt::Display for CellTransistor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellTransistor::MPcc1 => "MPcc1",
+            CellTransistor::MNcc1 => "MNcc1",
+            CellTransistor::MPcc2 => "MPcc2",
+            CellTransistor::MNcc2 => "MNcc2",
+            CellTransistor::MNcc3 => "MNcc3",
+            CellTransistor::MNcc4 => "MNcc4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-transistor σ-valued threshold mismatch of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MismatchPattern {
+    sigmas: [f64; 6],
+}
+
+impl MismatchPattern {
+    /// A perfectly symmetric cell (zero mismatch everywhere).
+    pub fn symmetric() -> Self {
+        Self::default()
+    }
+
+    /// Builds a pattern from explicit per-transistor values in the
+    /// order `MPcc1, MNcc1, MPcc2, MNcc2, MNcc3, MNcc4` (the paper's
+    /// Table I column order).
+    pub fn from_sigmas(sigmas: [Sigma; 6]) -> Self {
+        MismatchPattern {
+            sigmas: sigmas.map(|s| s.value()),
+        }
+    }
+
+    /// Returns a copy with one transistor's deviation replaced.
+    pub fn with(mut self, transistor: CellTransistor, sigma: Sigma) -> Self {
+        self.sigmas[Self::index(transistor)] = sigma.value();
+        self
+    }
+
+    /// Deviation of one transistor.
+    pub fn sigma(&self, transistor: CellTransistor) -> Sigma {
+        Sigma(self.sigmas[Self::index(transistor)])
+    }
+
+    /// `true` when every deviation is zero.
+    pub fn is_symmetric(&self) -> bool {
+        self.sigmas.iter().all(|&s| s == 0.0)
+    }
+
+    /// The mirror pattern: swaps the two inverters and the two pass
+    /// transistors. The paper's CSx-0 rows are exactly the mirrors of
+    /// the CSx-1 rows.
+    pub fn mirrored(&self) -> Self {
+        let s = &self.sigmas;
+        MismatchPattern {
+            sigmas: [s[2], s[3], s[0], s[1], s[5], s[4]],
+        }
+    }
+
+    fn index(t: CellTransistor) -> usize {
+        match t {
+            CellTransistor::MPcc1 => 0,
+            CellTransistor::MNcc1 => 1,
+            CellTransistor::MPcc2 => 2,
+            CellTransistor::MNcc2 => 3,
+            CellTransistor::MNcc3 => 4,
+            CellTransistor::MNcc4 => 5,
+        }
+    }
+}
+
+impl fmt::Display for MismatchPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in CellTransistor::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}={}", self.sigma(t))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Nominal sizing of the 6T cell for the modeled 40 nm LP process.
+///
+/// The β ratio (pull-down : pass : pull-up ≈ 2 : 1.3 : 1) follows
+/// standard read-stability sizing; absolute values are calibrated
+/// against the paper's retention voltages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellDesign {
+    /// Pull-up PMOS card (MPcc1/MPcc2).
+    pub pull_up: MosParams,
+    /// Pull-down NMOS card (MNcc1/MNcc2).
+    pub pull_down: MosParams,
+    /// Pass-gate NMOS card (MNcc3/MNcc4).
+    pub pass_gate: MosParams,
+}
+
+impl CellDesign {
+    /// The calibrated 40 nm low-power cell used throughout the
+    /// reproduction.
+    pub fn lp40nm() -> Self {
+        CellDesign {
+            pull_up: MosParams::pmos(1.0e-4, 0.55),
+            pull_down: MosParams::nmos(2.0e-4, 0.55),
+            pass_gate: MosParams::nmos(1.3e-4, 0.58),
+        }
+    }
+
+    /// Nominal card of one transistor position.
+    pub fn card(&self, transistor: CellTransistor) -> MosParams {
+        match transistor {
+            CellTransistor::MPcc1 | CellTransistor::MPcc2 => self.pull_up,
+            CellTransistor::MNcc1 | CellTransistor::MNcc2 => self.pull_down,
+            CellTransistor::MNcc3 | CellTransistor::MNcc4 => self.pass_gate,
+        }
+    }
+}
+
+impl Default for CellDesign {
+    fn default() -> Self {
+        Self::lp40nm()
+    }
+}
+
+/// One concrete cell: design + mismatch + technology variability +
+/// operating condition. This is the unit on which SNM and DRV are
+/// measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellInstance {
+    /// Nominal design.
+    pub design: CellDesign,
+    /// Within-die mismatch of this instance.
+    pub pattern: MismatchPattern,
+    /// σ-to-volts conversion.
+    pub variation: VariationModel,
+    /// Operating condition (corner and temperature are used here; the
+    /// cell supply is an analysis variable, not taken from `pvt.vdd`).
+    pub pvt: PvtCondition,
+}
+
+impl CellInstance {
+    /// A symmetric cell of the default design at the given condition.
+    pub fn symmetric(pvt: PvtCondition) -> Self {
+        CellInstance {
+            design: CellDesign::default(),
+            pattern: MismatchPattern::symmetric(),
+            variation: VariationModel::default(),
+            pvt,
+        }
+    }
+
+    /// A cell with the given mismatch at the given condition.
+    pub fn with_pattern(pattern: MismatchPattern, pvt: PvtCondition) -> Self {
+        CellInstance {
+            pattern,
+            ..Self::symmetric(pvt)
+        }
+    }
+
+    /// Effective model card of one transistor: nominal design, skewed by
+    /// the corner, shifted by this instance's mismatch, at temperature.
+    ///
+    /// Sign convention follows the paper: the σ value shifts the
+    /// *signed* threshold voltage. For an NMOS, negative σ lowers Vth
+    /// (stronger, leakier device); for a PMOS, negative σ makes the
+    /// (negative) threshold more negative, i.e. *raises* the magnitude
+    /// stored in the model card (weaker pull-up). This is why negative
+    /// variation on `MPcc1`/`MNcc1`/`MNcc3` degrades retention of '1'
+    /// (paper §III.B observation 1).
+    pub fn card(&self, transistor: CellTransistor) -> MosParams {
+        let nominal = self.design.card(transistor);
+        let cornered = self.pvt.corner.apply(nominal);
+        let signed_shift = self.variation.to_volts(self.pattern.sigma(transistor));
+        let magnitude_shift = match nominal.polarity {
+            MosPolarity::Nmos => signed_shift,
+            MosPolarity::Pmos => -signed_shift,
+        };
+        cornered
+            .with_vth_shift(magnitude_shift)
+            .at_temp(self.pvt.temp_c)
+    }
+}
+
+/// Node handles of a cell retention netlist built by
+/// [`build_retention_netlist`].
+#[derive(Debug, Clone, Copy)]
+pub struct CellNodes {
+    /// True storage node S.
+    pub s: NodeId,
+    /// Complement storage node SB.
+    pub sb: NodeId,
+    /// Cell supply rail V_DD_CC.
+    pub vddc: NodeId,
+    /// Handle to the supply source value.
+    pub supply: SourceId,
+}
+
+/// Builds the full 6T cell in retention configuration: WL, BL and BLB
+/// grounded (peripheral circuitry off), supply at `vddc_volts`.
+///
+/// The returned netlist is bistable; DC analysis converges to one of the
+/// stable states depending on the warm start. It is used by the leakage
+/// model (supply current) and the retention-dynamics model; SNM
+/// extraction instead uses the loop-broken netlists from
+/// [`crate::vtc`].
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (they indicate an invalid
+/// model card, not a caller mistake).
+pub fn build_retention_netlist(
+    instance: &CellInstance,
+    vddc_volts: f64,
+) -> Result<(Netlist, CellNodes), anasim::Error> {
+    let mut nl = Netlist::new();
+    let vddc = nl.node("vddc");
+    let s = nl.node("s");
+    let sb = nl.node("sb");
+    let wl = nl.node("wl");
+    let bl = nl.node("bl");
+    let blb = nl.node("blb");
+    let supply = nl.vsource("VDDC", vddc, Netlist::GND, vddc_volts);
+    // Retention: peripheral rails all at 0 V.
+    nl.vsource("VWL", wl, Netlist::GND, 0.0);
+    nl.vsource("VBL", bl, Netlist::GND, 0.0);
+    nl.vsource("VBLB", blb, Netlist::GND, 0.0);
+    nl.mosfet("MPcc1", s, sb, vddc, instance.card(CellTransistor::MPcc1))?;
+    nl.mosfet(
+        "MNcc1",
+        s,
+        sb,
+        Netlist::GND,
+        instance.card(CellTransistor::MNcc1),
+    )?;
+    nl.mosfet("MPcc2", sb, s, vddc, instance.card(CellTransistor::MPcc2))?;
+    nl.mosfet(
+        "MNcc2",
+        sb,
+        s,
+        Netlist::GND,
+        instance.card(CellTransistor::MNcc2),
+    )?;
+    nl.mosfet("MNcc3", bl, wl, s, instance.card(CellTransistor::MNcc3))?;
+    nl.mosfet("MNcc4", blb, wl, sb, instance.card(CellTransistor::MNcc4))?;
+    Ok((
+        nl,
+        CellNodes {
+            s,
+            sb,
+            vddc,
+            supply,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::DcAnalysis;
+    use process::ProcessCorner;
+
+    #[test]
+    fn pattern_roundtrip() {
+        let p = MismatchPattern::symmetric()
+            .with(CellTransistor::MPcc1, Sigma(-6.0))
+            .with(CellTransistor::MNcc4, Sigma(6.0));
+        assert_eq!(p.sigma(CellTransistor::MPcc1), Sigma(-6.0));
+        assert_eq!(p.sigma(CellTransistor::MNcc4), Sigma(6.0));
+        assert_eq!(p.sigma(CellTransistor::MNcc2), Sigma(0.0));
+        assert!(!p.is_symmetric());
+        assert!(MismatchPattern::symmetric().is_symmetric());
+    }
+
+    #[test]
+    fn mirror_swaps_inverters_and_passes() {
+        let p = MismatchPattern::from_sigmas([
+            Sigma(-6.0),
+            Sigma(-5.0),
+            Sigma(6.0),
+            Sigma(5.0),
+            Sigma(-1.0),
+            Sigma(1.0),
+        ]);
+        let m = p.mirrored();
+        assert_eq!(m.sigma(CellTransistor::MPcc1), Sigma(6.0));
+        assert_eq!(m.sigma(CellTransistor::MNcc1), Sigma(5.0));
+        assert_eq!(m.sigma(CellTransistor::MPcc2), Sigma(-6.0));
+        assert_eq!(m.sigma(CellTransistor::MNcc2), Sigma(-5.0));
+        assert_eq!(m.sigma(CellTransistor::MNcc3), Sigma(1.0));
+        assert_eq!(m.sigma(CellTransistor::MNcc4), Sigma(-1.0));
+        // Mirroring twice is the identity.
+        assert_eq!(m.mirrored(), p);
+    }
+
+    #[test]
+    fn card_applies_corner_and_mismatch() {
+        let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.0, 125.0);
+        let inst = CellInstance::with_pattern(
+            MismatchPattern::symmetric().with(CellTransistor::MNcc1, Sigma(3.0)),
+            pvt,
+        );
+        let nominal = inst.design.pull_down;
+        let card = inst.card(CellTransistor::MNcc1);
+        // fs corner: fast NMOS lowers Vth by 40 mV; +3σ mismatch raises
+        // it by the (saturating) σ-to-volts conversion. Net shift:
+        let expected = nominal.vth0 - 0.04 + inst.variation.to_volts(Sigma(3.0));
+        assert!((card.vth0 - expected).abs() < 1e-12);
+        assert_eq!(card.temp_c, 125.0);
+    }
+
+    #[test]
+    fn retention_netlist_is_bistable() {
+        let inst = CellInstance::symmetric(PvtCondition::nominal());
+        let (nl, nodes) = build_retention_netlist(&inst, 1.1).unwrap();
+        let dc = DcAnalysis::new();
+        // Warm-start near state 1 (S high).
+        let mut x1 = nl.zero_state();
+        nl.set_guess(&mut x1, nodes.s, 1.1);
+        nl.set_guess(&mut x1, nodes.vddc, 1.1);
+        let sol1 = dc.operating_point_from(&nl, &x1).unwrap();
+        assert!(sol1.voltage(nodes.s) > 0.9, "S = {}", sol1.voltage(nodes.s));
+        assert!(sol1.voltage(nodes.sb) < 0.2);
+        // Warm-start near state 0 (SB high).
+        let mut x0 = nl.zero_state();
+        nl.set_guess(&mut x0, nodes.sb, 1.1);
+        nl.set_guess(&mut x0, nodes.vddc, 1.1);
+        let sol0 = dc.operating_point_from(&nl, &x0).unwrap();
+        assert!(sol0.voltage(nodes.sb) > 0.9);
+        assert!(sol0.voltage(nodes.s) < 0.2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellTransistor::MPcc1.to_string(), "MPcc1");
+        let p = MismatchPattern::symmetric().with(CellTransistor::MNcc1, Sigma(-3.0));
+        let s = p.to_string();
+        assert!(s.contains("MNcc1=-3σ"), "{s}");
+    }
+
+    #[test]
+    fn design_card_lookup() {
+        let d = CellDesign::lp40nm();
+        assert_eq!(d.card(CellTransistor::MPcc2), d.pull_up);
+        assert_eq!(d.card(CellTransistor::MNcc1), d.pull_down);
+        assert_eq!(d.card(CellTransistor::MNcc3), d.pass_gate);
+        // Read-stability sizing: pull-down strongest, pull-up weakest.
+        assert!(d.pull_down.beta > d.pass_gate.beta);
+        assert!(d.pass_gate.beta > d.pull_up.beta);
+    }
+}

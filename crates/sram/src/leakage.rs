@@ -1,0 +1,260 @@
+//! Core-cell-array leakage: the electrical load the array presents to
+//! the voltage regulator in deep-sleep mode.
+//!
+//! Two effects the paper leans on are reproduced here:
+//!
+//! * leakage grows steeply with temperature, which is why Table II's
+//!   minimum defect resistances are smallest at 125 °C;
+//! * cells whose supply approaches their retention voltage draw *extra*
+//!   current (their internal nodes degrade and the nominally-off
+//!   devices start conducting), which is why CS5's 64 stressed cells
+//!   load a marginal regulator harder than CS2's single cell.
+//!
+//! Both fall out of solving the cell netlist electrically; no ad-hoc
+//! fitting is involved.
+
+use anasim::dc::DcAnalysis;
+
+use crate::cell::{build_retention_netlist, CellInstance, MismatchPattern};
+use crate::drv::StoredBit;
+
+/// Supply current of one cell at the given deep-sleep supply voltage,
+/// holding the given value (amperes, drawn from V_DD_CC).
+///
+/// # Errors
+///
+/// Propagates netlist/solver failures.
+pub fn cell_supply_current(
+    instance: &CellInstance,
+    supply: f64,
+    stored: StoredBit,
+) -> Result<f64, anasim::Error> {
+    if supply <= 0.0 {
+        return Ok(0.0);
+    }
+    let (nl, nodes) = build_retention_netlist(instance, supply)?;
+    let mut guess = nl.zero_state();
+    nl.set_guess(&mut guess, nodes.vddc, supply);
+    match stored {
+        StoredBit::One => nl.set_guess(&mut guess, nodes.s, supply),
+        StoredBit::Zero => nl.set_guess(&mut guess, nodes.sb, supply),
+    }
+    let sol = DcAnalysis::new().operating_point_from(&nl, &guess)?;
+    // The supply source's branch current is negative when delivering
+    // current into the circuit.
+    let i = sol
+        .branch_current(&nl, "VDDC")
+        .expect("supply source has a branch");
+    Ok((-i).max(0.0))
+}
+
+/// One population of identical cells inside the array.
+#[derive(Debug, Clone, Copy)]
+pub struct CellPopulation {
+    /// The mismatch its members carry.
+    pub pattern: MismatchPattern,
+    /// How many cells.
+    pub count: usize,
+    /// The value those cells hold during the analysis.
+    pub stored: StoredBit,
+}
+
+/// Precomputed, interpolated I(V) curve of the whole array — the load
+/// the regulator solver attaches to its output node.
+#[derive(Debug, Clone)]
+pub struct ArrayLoad {
+    voltages: Vec<f64>,
+    currents: Vec<f64>,
+}
+
+impl ArrayLoad {
+    /// Builds the load curve for an array of `total_cells` cells of
+    /// which the listed populations are special (the rest are symmetric
+    /// cells holding '1'; at equal supply both states leak identically
+    /// for a symmetric cell).
+    ///
+    /// Sampled at `points` supplies over `[0, vmax]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`, `vmax <= 0`, or the populations exceed
+    /// `total_cells`.
+    pub fn build(
+        base: &CellInstance,
+        populations: &[CellPopulation],
+        total_cells: usize,
+        vmax: f64,
+        points: usize,
+    ) -> Result<Self, anasim::Error> {
+        assert!(points >= 2, "need at least two samples");
+        assert!(vmax > 0.0, "vmax must be positive");
+        let special: usize = populations.iter().map(|p| p.count).sum();
+        assert!(special <= total_cells, "populations exceed the array");
+        let bulk = (total_cells - special) as f64;
+        let mut voltages = Vec::with_capacity(points);
+        let mut currents = Vec::with_capacity(points);
+        for k in 0..points {
+            let v = vmax * k as f64 / (points - 1) as f64;
+            let mut i = if v > 0.0 {
+                bulk * cell_supply_current(base, v, StoredBit::One)?
+            } else {
+                0.0
+            };
+            for pop in populations {
+                let inst = CellInstance {
+                    pattern: pop.pattern,
+                    ..*base
+                };
+                i += pop.count as f64 * cell_supply_current(&inst, v, pop.stored)?;
+            }
+            voltages.push(v);
+            currents.push(i);
+        }
+        Ok(ArrayLoad { voltages, currents })
+    }
+
+    /// Interpolated load current at supply `v` (clamped to the sampled
+    /// range).
+    pub fn current(&self, v: f64) -> f64 {
+        let n = self.voltages.len();
+        if v <= self.voltages[0] {
+            return self.currents[0];
+        }
+        if v >= self.voltages[n - 1] {
+            return self.currents[n - 1];
+        }
+        let mut lo = 0;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.voltages[mid] <= v {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (v - self.voltages[lo]) / (self.voltages[hi] - self.voltages[lo]);
+        self.currents[lo] + t * (self.currents[hi] - self.currents[lo])
+    }
+
+    /// The sampled points, for diagnostics.
+    pub fn samples(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.voltages
+            .iter()
+            .copied()
+            .zip(self.currents.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellTransistor;
+    use process::{ProcessCorner, PvtCondition, Sigma};
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let cold = CellInstance::symmetric(PvtCondition::new(ProcessCorner::Typical, 1.1, -30.0));
+        let room = CellInstance::symmetric(PvtCondition::nominal());
+        let hot = CellInstance::symmetric(PvtCondition::new(ProcessCorner::Typical, 1.1, 125.0));
+        let i_cold = cell_supply_current(&cold, 0.7, StoredBit::One).unwrap();
+        let i_room = cell_supply_current(&room, 0.7, StoredBit::One).unwrap();
+        let i_hot = cell_supply_current(&hot, 0.7, StoredBit::One).unwrap();
+        assert!(i_cold < i_room && i_room < i_hot);
+        assert!(i_hot / i_room > 10.0, "hot/room = {}", i_hot / i_room);
+    }
+
+    #[test]
+    fn leakage_magnitude_is_plausible() {
+        // A 40 nm LP cell leaks on the order of picoamps at room
+        // temperature and reduced supply.
+        let inst = CellInstance::symmetric(PvtCondition::nominal());
+        let i = cell_supply_current(&inst, 0.77, StoredBit::One).unwrap();
+        assert!(
+            (1.0e-14..1.0e-9).contains(&i),
+            "cell leakage {i} A out of plausible range"
+        );
+    }
+
+    #[test]
+    fn symmetric_cell_states_leak_equally() {
+        let inst = CellInstance::symmetric(PvtCondition::nominal());
+        let i1 = cell_supply_current(&inst, 0.7, StoredBit::One).unwrap();
+        let i0 = cell_supply_current(&inst, 0.7, StoredBit::Zero).unwrap();
+        let rel = (i1 - i0).abs() / i1.max(1e-18);
+        assert!(rel < 0.01, "state asymmetry {rel}");
+    }
+
+    #[test]
+    fn stressed_cell_near_drv_draws_more() {
+        // A CS2-like cell (DRV ≈ 0.6–0.7 V) operated just above its DRV
+        // draws more than a symmetric cell at the same supply.
+        let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.0, 125.0);
+        let stressed = CellInstance::with_pattern(
+            MismatchPattern::symmetric()
+                .with(CellTransistor::MPcc1, Sigma(-3.0))
+                .with(CellTransistor::MNcc1, Sigma(-3.0)),
+            pvt,
+        );
+        let sym = CellInstance::symmetric(pvt);
+        let v = 0.72;
+        let i_stressed = cell_supply_current(&stressed, v, StoredBit::One).unwrap();
+        let i_sym = cell_supply_current(&sym, v, StoredBit::One).unwrap();
+        assert!(
+            i_stressed > 1.5 * i_sym,
+            "stressed {i_stressed} vs symmetric {i_sym}"
+        );
+    }
+
+    #[test]
+    fn array_load_scales_with_population() {
+        let base = CellInstance::symmetric(PvtCondition::nominal());
+        let small = ArrayLoad::build(&base, &[], 1000, 1.1, 5).unwrap();
+        let large = ArrayLoad::build(&base, &[], 10_000, 1.1, 5).unwrap();
+        let v = 0.7;
+        let ratio = large.current(v) / small.current(v);
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn array_load_interpolates_monotonically() {
+        let base = CellInstance::symmetric(PvtCondition::nominal());
+        let load = ArrayLoad::build(&base, &[], 1000, 1.1, 9).unwrap();
+        let mut last = -1.0;
+        for k in 0..=20 {
+            let v = 1.1 * k as f64 / 20.0;
+            let i = load.current(v);
+            assert!(i >= last, "non-monotone at {v}");
+            last = i;
+        }
+        assert_eq!(load.samples().count(), 9);
+    }
+
+    #[test]
+    fn populations_add_to_load() {
+        let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.0, 125.0);
+        let base = CellInstance::symmetric(pvt);
+        let pattern = MismatchPattern::symmetric()
+            .with(CellTransistor::MPcc1, Sigma(-3.0))
+            .with(CellTransistor::MNcc1, Sigma(-3.0));
+        let plain = ArrayLoad::build(&base, &[], 256 * 1024, 0.8, 5).unwrap();
+        let with_pop = ArrayLoad::build(
+            &base,
+            &[CellPopulation {
+                pattern,
+                count: 64,
+                stored: StoredBit::One,
+            }],
+            256 * 1024,
+            0.8,
+            5,
+        )
+        .unwrap();
+        // Near the stressed cells' DRV the loaded array draws more.
+        assert!(with_pop.current(0.72) > plain.current(0.72));
+    }
+}

@@ -1,0 +1,278 @@
+//! Power modes, power-mode control logic, and the power-switch network.
+//!
+//! Mirrors the paper's §II: primary inputs `SLEEP` and `PWRON` drive a
+//! PM-control block (always powered from the main rail) that steers the
+//! power switches of the core-cell array and peripheral circuitry and
+//! the regulator enable `REGON`.
+
+use std::fmt;
+
+/// The three power modes of the SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerMode {
+    /// Everything powered at nominal V_DD; read/write allowed.
+    Active,
+    /// Peripheral gated off; core-cell array held at `Vreg` by the
+    /// regulator. Data is retained (if `Vreg ≥ DRV_DS`); no operations.
+    DeepSleep,
+    /// Everything gated off; data is lost.
+    PowerOff,
+}
+
+impl fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerMode::Active => "ACT",
+            PowerMode::DeepSleep => "DS",
+            PowerMode::PowerOff => "PO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The SRAM's power-mode primary inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmInputs {
+    /// Request deep-sleep (only honoured while powered on).
+    pub sleep: bool,
+    /// Master power enable.
+    pub pwron: bool,
+}
+
+impl PmInputs {
+    /// Inputs selecting active mode.
+    pub fn active() -> Self {
+        PmInputs {
+            sleep: false,
+            pwron: true,
+        }
+    }
+
+    /// Inputs selecting deep-sleep mode.
+    pub fn deep_sleep() -> Self {
+        PmInputs {
+            sleep: true,
+            pwron: true,
+        }
+    }
+
+    /// Inputs selecting power-off mode.
+    pub fn power_off() -> Self {
+        PmInputs {
+            sleep: false,
+            pwron: false,
+        }
+    }
+}
+
+/// One recorded mode transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeTransition {
+    /// Mode before the inputs were applied.
+    pub from: PowerMode,
+    /// Mode after.
+    pub to: PowerMode,
+}
+
+/// The power-mode control logic. It decodes `SLEEP`/`PWRON` into the
+/// mode, the regulator enable and the power-switch controls, and logs
+/// transitions for the test engine.
+#[derive(Debug, Clone)]
+pub struct PmControl {
+    mode: PowerMode,
+    transitions: Vec<ModeTransition>,
+}
+
+impl PmControl {
+    /// Control logic out of reset: power-off.
+    pub fn new() -> Self {
+        PmControl {
+            mode: PowerMode::PowerOff,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Decodes inputs into a mode (combinational, as in the paper's
+    /// block diagram).
+    pub fn decode(inputs: PmInputs) -> PowerMode {
+        match (inputs.pwron, inputs.sleep) {
+            (false, _) => PowerMode::PowerOff,
+            (true, true) => PowerMode::DeepSleep,
+            (true, false) => PowerMode::Active,
+        }
+    }
+
+    /// Applies new inputs, recording and returning the transition.
+    pub fn apply(&mut self, inputs: PmInputs) -> ModeTransition {
+        let to = Self::decode(inputs);
+        let t = ModeTransition {
+            from: self.mode,
+            to,
+        };
+        self.mode = to;
+        self.transitions.push(t);
+        t
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// The `REGON` signal: regulator enabled only in deep-sleep.
+    pub fn regon(&self) -> bool {
+        self.mode == PowerMode::DeepSleep
+    }
+
+    /// Whether the core-cell array power switches connect V_DD_CC to
+    /// the main rail (active mode only).
+    pub fn core_switches_on(&self) -> bool {
+        self.mode == PowerMode::Active
+    }
+
+    /// Whether the peripheral power switches are on (active mode only).
+    pub fn peripheral_switches_on(&self) -> bool {
+        self.mode == PowerMode::Active
+    }
+
+    /// Recorded transition history.
+    pub fn transitions(&self) -> &[ModeTransition] {
+        &self.transitions
+    }
+}
+
+impl Default for PmControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The segmented PMOS power-switch network of one rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSwitchNetwork {
+    /// Number of parallel PMOS segments (the paper's N).
+    pub segments: usize,
+    /// On-resistance of one segment, ohms.
+    pub r_on_segment: f64,
+    /// Off-state leakage resistance of the whole network, ohms.
+    pub r_off_total: f64,
+}
+
+impl PowerSwitchNetwork {
+    /// A representative network for the modeled SRAM: 16 segments of
+    /// 40 Ω each.
+    pub fn lp40nm() -> Self {
+        PowerSwitchNetwork {
+            segments: 16,
+            r_on_segment: 40.0,
+            r_off_total: 1.0e9,
+        }
+    }
+
+    /// Effective resistance with `active_segments` of the switches
+    /// conducting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_segments > segments`.
+    pub fn resistance(&self, active_segments: usize) -> f64 {
+        assert!(active_segments <= self.segments, "too many active segments");
+        if active_segments == 0 {
+            self.r_off_total
+        } else {
+            self.r_on_segment / active_segments as f64
+        }
+    }
+
+    /// Fully-on resistance.
+    pub fn r_on(&self) -> f64 {
+        self.resistance(self.segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_matches_paper_truth_table() {
+        assert_eq!(PmControl::decode(PmInputs::active()), PowerMode::Active);
+        assert_eq!(
+            PmControl::decode(PmInputs::deep_sleep()),
+            PowerMode::DeepSleep
+        );
+        assert_eq!(
+            PmControl::decode(PmInputs::power_off()),
+            PowerMode::PowerOff
+        );
+        // SLEEP is ignored without PWRON.
+        assert_eq!(
+            PmControl::decode(PmInputs {
+                sleep: true,
+                pwron: false
+            }),
+            PowerMode::PowerOff
+        );
+    }
+
+    #[test]
+    fn regon_only_in_deep_sleep() {
+        let mut pm = PmControl::new();
+        assert!(!pm.regon());
+        pm.apply(PmInputs::active());
+        assert!(!pm.regon());
+        pm.apply(PmInputs::deep_sleep());
+        assert!(pm.regon());
+        pm.apply(PmInputs::power_off());
+        assert!(!pm.regon());
+    }
+
+    #[test]
+    fn switches_follow_mode() {
+        let mut pm = PmControl::new();
+        pm.apply(PmInputs::active());
+        assert!(pm.core_switches_on());
+        assert!(pm.peripheral_switches_on());
+        pm.apply(PmInputs::deep_sleep());
+        // In DS both switch banks open; the regulator takes over the
+        // core rail.
+        assert!(!pm.core_switches_on());
+        assert!(!pm.peripheral_switches_on());
+    }
+
+    #[test]
+    fn transition_log_records_sequence() {
+        let mut pm = PmControl::new();
+        pm.apply(PmInputs::active());
+        pm.apply(PmInputs::deep_sleep());
+        pm.apply(PmInputs::active());
+        let t = pm.transitions();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].from, PowerMode::Active);
+        assert_eq!(t[1].to, PowerMode::DeepSleep);
+        assert_eq!(t[2].to, PowerMode::Active);
+    }
+
+    #[test]
+    fn switch_network_resistance() {
+        let psn = PowerSwitchNetwork::lp40nm();
+        assert_eq!(psn.resistance(1), 40.0);
+        assert_eq!(psn.resistance(16), 2.5);
+        assert_eq!(psn.r_on(), 2.5);
+        assert_eq!(psn.resistance(0), 1.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many active segments")]
+    fn switch_network_validates() {
+        let psn = PowerSwitchNetwork::lp40nm();
+        let _ = psn.resistance(17);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PowerMode::Active.to_string(), "ACT");
+        assert_eq!(PowerMode::DeepSleep.to_string(), "DS");
+        assert_eq!(PowerMode::PowerOff.to_string(), "PO");
+    }
+}

@@ -1,0 +1,166 @@
+//! Deep-sleep retention dynamics: *when* a cell below its retention
+//! voltage actually loses its data.
+//!
+//! The paper (§V) observes that a DRF_DS is only detectable if the SRAM
+//! stays in deep-sleep long enough for the under-supplied cell to flip:
+//! near the retention voltage the internal nodes "discharge slowly due
+//! to leakage", which is why Table III keeps the SRAM in DS for 1 ms per
+//! iteration. This module models the flip time constant from the cell's
+//! own subthreshold leakage, so it inherits the correct temperature and
+//! corner behaviour (hot cells flip fast; cold slow-corner cells may
+//! out-wait the test).
+
+use crate::cell::{CellInstance, CellTransistor};
+use crate::drv::StoredBit;
+
+/// Storage-node capacitance of the modeled 40 nm cell, farads.
+const NODE_CAPACITANCE: f64 = 0.2e-15;
+
+/// Critical-slowing factor: how sharply the flip time diverges as the
+/// supply approaches the retention voltage from below.
+const SLOWING_GAIN: f64 = 0.5;
+
+/// Outcome of holding a cell in deep-sleep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetentionOutcome {
+    /// The cell kept its data.
+    Retained,
+    /// The cell flipped after approximately this many seconds in DS.
+    Flipped {
+        /// Estimated time from DS entry to data loss, seconds.
+        time_to_flip: f64,
+    },
+}
+
+impl RetentionOutcome {
+    /// Whether data survived.
+    pub fn retained(&self) -> bool {
+        matches!(self, RetentionOutcome::Retained)
+    }
+}
+
+/// Estimated time for a cell held *below* its retention voltage to lose
+/// its data, seconds.
+///
+/// The decay is governed by the subthreshold leakage of the
+/// nominally-off pull-down discharging the high storage node:
+/// `τ = C_node · V / I_off(V)`, multiplied by a critical-slowing factor
+/// that diverges as `vreg → drv⁻`.
+///
+/// # Panics
+///
+/// Panics if `vreg >= drv` (the cell is stable; there is no flip time).
+pub fn flip_time(instance: &CellInstance, stored: StoredBit, vreg: f64, drv: f64) -> f64 {
+    assert!(
+        vreg < drv,
+        "flip_time is defined only below the retention voltage"
+    );
+    if vreg <= 0.0 {
+        return 0.0;
+    }
+    // The transistor whose leakage discharges the stored-high node: the
+    // pull-down of the inverter holding that node high is off but
+    // leaking.
+    let off_device = match stored {
+        StoredBit::One => instance.card(CellTransistor::MNcc1),
+        StoredBit::Zero => instance.card(CellTransistor::MNcc2),
+    };
+    let i_off = off_device.off_leakage(vreg).max(1.0e-21);
+    let tau = NODE_CAPACITANCE * vreg / i_off;
+    let slowing = 1.0 + SLOWING_GAIN * vreg / (drv - vreg);
+    tau * slowing
+}
+
+/// Determines whether a cell holding `stored` survives `ds_time`
+/// seconds of deep-sleep at core supply `vreg`, given its retention
+/// voltage `drv` (from [`crate::drv::drv_ds`]).
+pub fn retention_outcome(
+    instance: &CellInstance,
+    stored: StoredBit,
+    vreg: f64,
+    drv: f64,
+    ds_time: f64,
+) -> RetentionOutcome {
+    if vreg >= drv {
+        return RetentionOutcome::Retained;
+    }
+    let t = flip_time(instance, stored, vreg, drv);
+    if t <= ds_time {
+        RetentionOutcome::Flipped { time_to_flip: t }
+    } else {
+        RetentionOutcome::Retained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use process::{ProcessCorner, PvtCondition};
+
+    fn instance_at(temp_c: f64) -> CellInstance {
+        CellInstance::symmetric(PvtCondition::new(ProcessCorner::Typical, 1.1, temp_c))
+    }
+
+    #[test]
+    fn above_drv_always_retains() {
+        let inst = instance_at(25.0);
+        let out = retention_outcome(&inst, StoredBit::One, 0.75, 0.73, 10.0);
+        assert_eq!(out, RetentionOutcome::Retained);
+        assert!(out.retained());
+    }
+
+    #[test]
+    fn far_below_drv_flips_quickly_at_high_temp() {
+        let inst = instance_at(125.0);
+        let out = retention_outcome(&inst, StoredBit::One, 0.3, 0.73, 1.0e-3);
+        match out {
+            RetentionOutcome::Flipped { time_to_flip } => {
+                assert!(time_to_flip < 1.0e-3, "flip in {time_to_flip} s");
+            }
+            RetentionOutcome::Retained => panic!("should have flipped"),
+        }
+    }
+
+    #[test]
+    fn hotter_flips_faster() {
+        let hot = flip_time(&instance_at(125.0), StoredBit::One, 0.5, 0.73);
+        let room = flip_time(&instance_at(25.0), StoredBit::One, 0.5, 0.73);
+        let cold = flip_time(&instance_at(-30.0), StoredBit::One, 0.5, 0.73);
+        assert!(hot < room && room < cold, "{hot} < {room} < {cold}");
+    }
+
+    #[test]
+    fn closer_to_drv_flips_slower() {
+        let inst = instance_at(25.0);
+        let near = flip_time(&inst, StoredBit::One, 0.72, 0.73);
+        let far = flip_time(&inst, StoredBit::One, 0.4, 0.73);
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn ds_time_gates_detection() {
+        // The same marginal condition is missed by a short DS window and
+        // caught by a longer one — the rationale for Table III's 1 ms.
+        let inst = instance_at(25.0);
+        let vreg = 0.70;
+        let drv = 0.73;
+        let t = flip_time(&inst, StoredBit::One, vreg, drv);
+        let short = retention_outcome(&inst, StoredBit::One, vreg, drv, t * 0.5);
+        let long = retention_outcome(&inst, StoredBit::One, vreg, drv, t * 2.0);
+        assert_eq!(short, RetentionOutcome::Retained);
+        assert!(matches!(long, RetentionOutcome::Flipped { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the retention voltage")]
+    fn flip_time_requires_instability() {
+        let inst = instance_at(25.0);
+        let _ = flip_time(&inst, StoredBit::One, 0.8, 0.73);
+    }
+
+    #[test]
+    fn zero_supply_flips_immediately() {
+        let inst = instance_at(25.0);
+        assert_eq!(flip_time(&inst, StoredBit::One, 0.0, 0.73), 0.0);
+    }
+}

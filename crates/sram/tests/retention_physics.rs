@@ -1,0 +1,160 @@
+//! Integration tests: cross-module physical consistency of the SRAM
+//! models — the relations the paper's analysis relies on, checked
+//! between independently implemented modules.
+
+use anasim::dc::DcAnalysis;
+use process::{ProcessCorner, PvtCondition, Sigma};
+use sram::cell::{build_retention_netlist, CellInstance, CellTransistor, MismatchPattern};
+use sram::drv::{drv_ds, drv_ds_worst, DrvOptions, StoredBit};
+use sram::leakage::cell_supply_current;
+use sram::retention::{flip_time, retention_outcome};
+use sram::snm::snm_ds;
+
+fn opts() -> DrvOptions {
+    DrvOptions::coarse()
+}
+
+/// The DRV found by the SNM bisection is consistent with direct
+/// bistability checks on the full cell netlist: above DRV both states
+/// are reachable, well below DRV the weak state relaxes to the strong
+/// one.
+#[test]
+fn drv_agrees_with_full_cell_bistability() {
+    let pvt = PvtCondition::nominal();
+    let pattern = MismatchPattern::symmetric()
+        .with(CellTransistor::MPcc1, Sigma(-3.0))
+        .with(CellTransistor::MNcc1, Sigma(-3.0));
+    let inst = CellInstance::with_pattern(pattern, pvt);
+    let drv = drv_ds(&inst, StoredBit::One, &opts()).unwrap().drv;
+
+    let holds_one_at = |supply: f64| {
+        let (nl, nodes) = build_retention_netlist(&inst, supply).unwrap();
+        let mut guess = nl.zero_state();
+        nl.set_guess(&mut guess, nodes.vddc, supply);
+        nl.set_guess(&mut guess, nodes.s, supply);
+        let sol = DcAnalysis::new().operating_point_from(&nl, &guess).unwrap();
+        // Did the '1' (S high) survive as an operating point?
+        sol.voltage(nodes.s) > sol.voltage(nodes.sb)
+    };
+    assert!(holds_one_at(drv + 0.05), "stable just above DRV");
+    assert!(
+        !holds_one_at((drv - 0.10).max(0.02)),
+        "weak state must vanish below DRV"
+    );
+}
+
+/// SNM at a supply above DRV is positive and grows with supply; the
+/// stressed lobe hits zero at the measured DRV within tolerance.
+#[test]
+fn snm_zero_crossing_matches_drv() {
+    let pvt = PvtCondition::nominal();
+    let pattern = MismatchPattern::symmetric()
+        .with(CellTransistor::MPcc2, Sigma(3.0))
+        .with(CellTransistor::MNcc2, Sigma(3.0));
+    let inst = CellInstance::with_pattern(pattern, pvt);
+    let r = drv_ds(&inst, StoredBit::One, &opts()).unwrap();
+    let above = snm_ds(&inst, r.drv + 0.03, 41).unwrap().snm1;
+    let below = snm_ds(&inst, (r.drv - 0.03).max(0.02), 41).unwrap().snm1;
+    assert!(above > 0.0, "SNM1 above DRV: {above}");
+    assert!(below < above, "SNM1 shrinks below DRV");
+    assert!(
+        below < 0.01,
+        "SNM1 essentially collapsed below DRV: {below}"
+    );
+}
+
+/// Leakage follows an Arrhenius-like trend: log-current is roughly
+/// linear in 1/T across the specified range.
+#[test]
+fn leakage_is_arrhenius_like() {
+    let mut points = Vec::new();
+    for temp in [-30.0, 25.0, 85.0, 125.0] {
+        let inst = CellInstance::symmetric(PvtCondition::new(ProcessCorner::Typical, 1.1, temp));
+        let i = cell_supply_current(&inst, 0.77, StoredBit::One).unwrap();
+        points.push((1.0 / (temp + 273.15), i.ln()));
+    }
+    // Successive slopes within 2x of each other (subthreshold slope has
+    // mild temperature dependence, but no wild curvature).
+    let slopes: Vec<f64> = points
+        .windows(2)
+        .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+        .collect();
+    for pair in slopes.windows(2) {
+        let ratio = pair[1] / pair[0];
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "Arrhenius slope curvature: {slopes:?}"
+        );
+    }
+    // And the overall magnitude: decades between cold and hot.
+    assert!(points.last().unwrap().1 - points[0].1 > std::f64::consts::LN_10 * 2.0);
+}
+
+/// Corner symmetry: a cell's DRV on the `fs` corner equals its mirror
+/// pattern's DRV on the `sf` corner with the bit flipped.
+#[test]
+fn corner_mirror_symmetry() {
+    let pattern = MismatchPattern::symmetric()
+        .with(CellTransistor::MPcc1, Sigma(-2.0))
+        .with(CellTransistor::MNcc1, Sigma(-2.0));
+    let fs = CellInstance::with_pattern(
+        pattern,
+        PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 25.0),
+    );
+    let sf_mirror = CellInstance::with_pattern(
+        pattern.mirrored(),
+        PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 25.0),
+    );
+    let d1 = drv_ds(&fs, StoredBit::One, &opts()).unwrap().drv;
+    let d0 = drv_ds(&sf_mirror, StoredBit::Zero, &opts()).unwrap().drv;
+    assert!((d1 - d0).abs() < 0.01, "mirror symmetry: {d1} vs {d0}");
+}
+
+/// The worst-of-both-values helper equals the max of the individual
+/// searches across a spread of patterns.
+#[test]
+fn worst_drv_is_max_of_sides() {
+    let pvt = PvtCondition::nominal();
+    for sig in [0.0, 1.0, 3.0] {
+        let pattern = MismatchPattern::symmetric().with(CellTransistor::MNcc1, Sigma(-sig));
+        let inst = CellInstance::with_pattern(pattern, pvt);
+        let worst = drv_ds_worst(&inst, &opts()).unwrap();
+        let one = drv_ds(&inst, StoredBit::One, &opts()).unwrap().drv;
+        let zero = drv_ds(&inst, StoredBit::Zero, &opts()).unwrap().drv;
+        assert!((worst - one.max(zero)).abs() < 1e-12, "sigma {sig}");
+    }
+}
+
+/// Flip dynamics interlock with the DRV: at the retention boundary the
+/// flip time diverges; far below it approaches the raw leakage time
+/// constant.
+#[test]
+fn flip_time_diverges_at_the_boundary() {
+    let pvt = PvtCondition::nominal();
+    let inst = CellInstance::symmetric(pvt);
+    let drv = 0.6; // an arbitrary reference level for the dynamics model
+    let near = flip_time(&inst, StoredBit::One, drv - 0.005, drv);
+    let mid = flip_time(&inst, StoredBit::One, drv - 0.10, drv);
+    let far = flip_time(&inst, StoredBit::One, drv - 0.40, drv);
+    assert!(near > 5.0 * mid, "critical slowing: {near} vs {mid}");
+    assert!(mid > far, "monotone in depth: {mid} vs {far}");
+    // Outcome wiring respects the same boundary.
+    assert!(retention_outcome(&inst, StoredBit::One, drv + 0.001, drv, 1e3).retained());
+    assert!(!retention_outcome(&inst, StoredBit::One, drv - 0.3, drv, 1.0).retained());
+}
+
+/// The supply current of a cell is continuous through its retention
+/// boundary (the DC solve transitions between the bistable and
+/// monostable branches without jumps larger than the physics implies).
+#[test]
+fn supply_current_monotone_in_voltage() {
+    let pvt = PvtCondition::new(ProcessCorner::Typical, 1.1, 125.0);
+    let inst = CellInstance::symmetric(pvt);
+    let mut last = 0.0;
+    for k in 1..=12 {
+        let v = k as f64 * 0.1;
+        let i = cell_supply_current(&inst, v, StoredBit::One).unwrap();
+        assert!(i >= last * 0.5, "no collapse at {v}: {i} vs {last}");
+        last = i;
+    }
+}

@@ -1,0 +1,71 @@
+//! Failure diagnosis demo: run the flow against different defect
+//! classes and show how the miscompare signatures map back to fault
+//! hypotheses and physical cell locations.
+//!
+//! Run with `cargo run --release --example failure_diagnosis`.
+
+use lp_sram_suite::drftest::case_study::CaseStudy;
+use lp_sram_suite::drftest::SramTarget;
+use lp_sram_suite::drftest::{diagnose_mlz, diagnose_mlz_with_prepass};
+use lp_sram_suite::march::{engine, library, CellRef, Fault, SimpleMemory};
+use lp_sram_suite::sram::{ArrayGeometry, DsConditions, SramDevice, StoredBit, TableRetention};
+
+fn main() {
+    let g = ArrayGeometry::small();
+    let test = library::march_mlz(1.0e-3);
+
+    println!("scenario 1: healthy device");
+    let mut m = SimpleMemory::new(g.words(), g.word_bits);
+    let sig = diagnose_mlz(&engine::run(&test, &mut m), g);
+    println!("  -> {}\n", sig.verdict());
+
+    println!("scenario 2: regulator marginally low (CS2 cell below its DRV)");
+    let mut dev = SramDevice::new(
+        g,
+        DsConditions { vreg: 0.600 },
+        Box::new(TableRetention {
+            symmetric_drv: 0.135,
+            special_drv: 0.640,
+        }),
+    );
+    let cs2 = CaseStudy::new(2, StoredBit::One);
+    dev.array_mut()
+        .place_pattern(g.cell_location(9, 4), cs2.pattern());
+    let mut target = SramTarget::new(dev);
+    let sig = diagnose_mlz(&engine::run(&test, &mut target), g);
+    println!("  -> {}\n", sig.verdict());
+
+    println!("scenario 3: rail collapse (Vreg far below every cell)");
+    let mut dev = SramDevice::new(
+        g,
+        DsConditions { vreg: 0.02 },
+        Box::new(TableRetention {
+            symmetric_drv: 0.135,
+            special_drv: 0.640,
+        }),
+    );
+    dev.power_up();
+    let mut target = SramTarget::new(dev);
+    let sig = diagnose_mlz(&engine::run(&test, &mut target), g);
+    println!("  -> {}\n", sig.verdict());
+
+    println!("scenario 4: peripheral power-gating fault (lost post-WUP write)");
+    let mut m = SimpleMemory::new(g.words(), g.word_bits);
+    m.inject(Fault::wake_up_write(CellRef { addr: 5, bit: 1 }));
+    let sig = diagnose_mlz(&engine::run(&test, &mut m), g);
+    println!("  -> {}\n", sig.verdict());
+
+    println!("scenario 5: ordinary transition fault (not a power-mode issue)");
+    // m-LZ alone cannot tell a write failure from a retention loss:
+    let mut m = SimpleMemory::new(g.words(), g.word_bits);
+    m.inject(Fault::transition(CellRef { addr: 2, bit: 0 }, true));
+    let sig = diagnose_mlz(&engine::run(&test, &mut m), g);
+    println!("  -> m-LZ alone:      {}", sig.verdict());
+    // ...which is why production flows run a classic March first:
+    let mut m = SimpleMemory::new(g.words(), g.word_bits);
+    m.inject(Fault::transition(CellRef { addr: 2, bit: 0 }, true));
+    let prepass = engine::run(&library::march_ss(), &mut m);
+    let mlz = engine::run(&test, &mut m);
+    let sig = diagnose_mlz_with_prepass(&prepass, &mlz, g);
+    println!("  -> with SS prepass: {}", sig.verdict());
+}

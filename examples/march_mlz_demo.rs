@@ -1,0 +1,59 @@
+//! March algorithm study: the paper's March m-LZ against the classic
+//! baselines, graded on a fault list that includes deep-sleep
+//! retention faults.
+//!
+//! Run with `cargo run --release --example march_mlz_demo`.
+
+use lp_sram_suite::drftest::DrfDs;
+use lp_sram_suite::march::coverage::{grade, standard_fault_list};
+use lp_sram_suite::march::library;
+
+fn main() {
+    let words = 256;
+    let bits = 16;
+    let faults = standard_fault_list(words, bits);
+    let retention: Vec<_> = faults
+        .iter()
+        .filter(|f| f.kind.needs_deep_sleep())
+        .cloned()
+        .collect();
+    let classic: Vec<_> = faults
+        .iter()
+        .filter(|f| !f.kind.needs_deep_sleep())
+        .cloned()
+        .collect();
+
+    println!(
+        "fault list: {} classic (SAF/TF/CF) + {} deep-sleep retention faults\n",
+        classic.len(),
+        retention.len()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>12}",
+        "algorithm", "length", "classic", "retention", "DRF_DS-able"
+    );
+    for test in library::all(1.0e-3) {
+        let (a, b) = test.length_formula();
+        let classic_cov = grade(&test, words, bits, &classic);
+        let retention_cov = grade(&test, words, bits, &retention);
+        println!(
+            "{:<12} {:>5}N+{:<2} {:>9.0}% {:>9.0}% {:>12}",
+            test.name(),
+            a,
+            b,
+            classic_cov.percent(),
+            retention_cov.percent(),
+            if DrfDs::detected_by(&test) {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+    println!();
+    println!("March m-LZ notation: {}", library::march_mlz(1.0e-3));
+    println!(
+        "complexity on the paper's 4Kx64 block: {} operations",
+        library::march_mlz(1.0e-3).complexity(4096)
+    );
+}

@@ -1,0 +1,24 @@
+//! The paper's stated future work, realized: characterization of the
+//! category-1 defects (the ones that *raise* `Vreg` and burn static
+//! power instead of losing data) — the power-side analogue of Table II.
+//!
+//! Run with `cargo run --release --example power_defect_characterization`.
+
+use lp_sram_suite::drftest::{power_defect_table, PowerDefectOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = PowerDefectOptions::default();
+    eprintln!(
+        "characterizing {} category-1 defects at {} ...",
+        options.defects.len(),
+        options.pvt
+    );
+    let report = power_defect_table(&options)?;
+    println!("{report}");
+    println!(
+        "note: these defects escape the retention flow by design (they never\n\
+         lower Vreg); catching them needs an IDDQ-style static power screen,\n\
+         which is exactly why the paper defers them to future work."
+    );
+    Ok(())
+}

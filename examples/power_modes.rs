@@ -1,0 +1,44 @@
+//! Static power across power modes (§IV.B category-1 discussion): how
+//! much deep-sleep saves, and why a defect that pins `Vreg` at V_DD
+//! still leaves > 30 % savings at the worst-case PVT.
+//!
+//! Run with `cargo run --release --example power_modes`.
+
+use lp_sram_suite::process::{ProcessCorner, PvtCondition};
+use lp_sram_suite::sram::{CellInstance, StaticPowerModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = StaticPowerModel::lp40nm();
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>9} {:>9}",
+        "condition", "ACT idle", "DS healthy", "DS Vreg=VDD", "savings", "w/defect"
+    );
+    for corner in [
+        ProcessCorner::Typical,
+        ProcessCorner::FastNSlowP,
+        ProcessCorner::SlowNFastP,
+    ] {
+        for temp in [25.0, 125.0] {
+            let pvt = PvtCondition::new(corner, 1.1, temp);
+            let base = CellInstance::symmetric(pvt);
+            let healthy = model.report(&base, 0.77)?;
+            let defective = model.report(&base, 1.1)?;
+            println!(
+                "{:<22} {:>10.2} uW {:>11.2} uW {:>11.2} uW {:>8.0}% {:>8.0}%",
+                pvt.to_string(),
+                healthy.active_idle * 1e6,
+                healthy.deep_sleep * 1e6,
+                defective.deep_sleep * 1e6,
+                healthy.savings * 100.0,
+                defective.savings * 100.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "paper's category-1 claim: even with Vreg stuck at VDD, switching off the\n\
+         peripheral circuitry alone keeps deep-sleep static power > 30% below idle\n\
+         active mode at the worst-case (hot) PVT conditions."
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Small-signal line-ripple transfer of the regulator: how much of a
+//! disturbance on the main supply reaches the retention rail, versus
+//! frequency. The reference is ratiometric (the divider tracks V_DD),
+//! so the DC transfer sits at the tap fraction; the rail capacitance
+//! filters fast ripple. Not in the paper — an AC-analysis showcase.
+//!
+//! Run with `cargo run --release --example regulator_frequency_response`.
+
+use lp_sram_suite::anasim::ac::log_grid;
+use lp_sram_suite::process::PvtCondition;
+use lp_sram_suite::regulator::{static_circuit, Defect, VrefTap};
+use lp_sram_suite::sram::{ArrayLoad, CellInstance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pvt = PvtCondition::new(lp_sram_suite::process::ProcessCorner::Typical, 1.1, 125.0);
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7)?;
+    let freqs = log_grid(10.0, 1.0e9, 2);
+
+    let mut healthy = static_circuit(pvt, VrefTap::V70)?;
+    let h = healthy.supply_transfer(&load, &freqs)?;
+    let mut faulty = static_circuit(pvt, VrefTap::V70)?;
+    faulty.inject(Defect::new(7), 10.0e6); // starved amplifier
+    let f = faulty.supply_transfer(&load, &freqs)?;
+
+    println!(
+        "{:>12} | {:>16} | {:>22}",
+        "freq (Hz)", "healthy |H| (dB)", "Df7-starved |H| (dB)"
+    );
+    for ((freq, hz), (_, fz)) in h.iter().zip(&f) {
+        println!("{freq:>12.0} | {:>16.1} | {:>22.1}", hz.db(), fz.db());
+    }
+    println!(
+        "\nDC transfer ≈ tap fraction ({:.2}) because the reference is ratiometric;\n\
+         the rail capacitance rolls fast ripple off.",
+        0.70
+    );
+    Ok(())
+}

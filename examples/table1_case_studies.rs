@@ -1,0 +1,26 @@
+//! Regenerates the paper's Table I: worst-case deep-sleep retention
+//! voltages of the five case studies of within-die Vth variation.
+//!
+//! Run with `cargo run --release --example table1_case_studies`
+//! (reduced PVT grid) or append `--paper` for the full grid.
+
+use lp_sram_suite::drftest::experiments::table1::{self, Table1Options};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = if std::env::args().any(|a| a == "--paper") {
+        Table1Options::paper()
+    } else {
+        Table1Options::quick()
+    };
+    eprintln!(
+        "measuring DRV_DS for 5 case studies over {} PVT points...",
+        options.corners.len() * options.temperatures.len()
+    );
+    let report = table1::run(&options)?;
+    println!("{report}");
+    println!(
+        "ordering CS1 > CS2 > CS3 > CS4 holds: {}",
+        report.ordering_holds()
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Table II: minimum resistance of each
+//! injected resistive-open defect that causes a data retention fault
+//! in deep-sleep mode, per case study, minimized over PVT, side by
+//! side with the published values.
+//!
+//! Run with `cargo run --release --example table2_defect_characterization`
+//! (single worst-case condition, fast), `-- --reduced` for the
+//! worst-case corner set, or `-- --paper` for the full 45-point grid
+//! (several minutes).
+
+use lp_sram_suite::drftest::experiments::table2::{self};
+use lp_sram_suite::drftest::Table2Options;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let options = if args.iter().any(|a| a == "--paper") {
+        Table2Options::paper()
+    } else if args.iter().any(|a| a == "--reduced") {
+        Table2Options::reduced()
+    } else {
+        Table2Options::quick()
+    };
+    eprintln!(
+        "characterizing {} defects x {} case studies over {} PVT points...",
+        options.defects.len(),
+        options.case_studies.len(),
+        options.corners.len() * options.temperatures.len() * options.supplies.len()
+    );
+    let report = table2::run(&options)?;
+    println!("{report}");
+    let shape = report.shape_holds();
+    println!("CS ordering (CS1 <= CS2 <= CS3): {}", shape.cs_ordering);
+    println!("CS5 <= CS2 (regulator loading):  {}", shape.cs5_below_cs2);
+    println!(
+        "of {{Df16, Df19, Df29}} among the 3 most critical amplifier defects: {}",
+        shape.critical_defects_in_top3
+    );
+    Ok(())
+}

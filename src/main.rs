@@ -1,0 +1,137 @@
+//! `lp-sram-suite` command-line driver: regenerates any of the paper's
+//! artifacts by name.
+//!
+//! ```text
+//! lp-sram-suite <artifact> [--paper|--reduced]
+//!   artifacts: fig4, fig5, table1, table2, table3, march, power,
+//!              power-defects, ds-time, monte-carlo, all
+//! ```
+
+use std::process::ExitCode;
+
+use drftest::case_study::CaseStudy;
+use drftest::drv_analysis::Fig4Options;
+use drftest::experiments::table1::Table1Options;
+use drftest::experiments::{fig4, table1, table2, table3};
+use drftest::{
+    ds_time_sweep, monte_carlo_drv, power_defect_table, taxonomy, CoverageOptions, DsTimeOptions,
+    MonteCarloOptions, PowerDefectOptions, Table2Options, TaxonomyOptions,
+};
+use march::library;
+use regulator::Defect;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lp-sram-suite <artifact> [--paper|--reduced]\n\
+         artifacts:\n\
+           fig4          DRV vs single-transistor Vth variation\n\
+           fig5          defect classification (colour coding)\n\
+           table1        case-study retention voltages\n\
+           table2        minimum defect resistances\n\
+           table3        optimized test flow + coverage matrix\n\
+           march         March algorithm comparison\n\
+           power-defects category-1 (power) defect characterization\n\
+           ds-time       deep-sleep dwell-time sweep\n\
+           monte-carlo   random-mismatch DRV distribution\n\
+           all           everything above with fast settings"
+    );
+    ExitCode::FAILURE
+}
+
+fn run(artifact: &str, paper: bool, reduced: bool) -> Result<(), Box<dyn std::error::Error>> {
+    match artifact {
+        "fig4" => {
+            let opts = if paper {
+                Fig4Options::paper()
+            } else {
+                Fig4Options::quick()
+            };
+            println!("{}", fig4::run(&opts)?);
+        }
+        "fig5" => {
+            println!("{}", taxonomy(&TaxonomyOptions::default())?);
+        }
+        "table1" => {
+            let opts = if paper {
+                Table1Options::paper()
+            } else {
+                Table1Options::quick()
+            };
+            println!("{}", table1::run(&opts)?);
+        }
+        "table2" => {
+            let opts = if paper {
+                Table2Options::paper()
+            } else if reduced {
+                Table2Options::reduced()
+            } else {
+                Table2Options::quick()
+            };
+            println!("{}", table2::run(&opts)?);
+        }
+        "table3" => {
+            let mut opts = CoverageOptions::paper();
+            if !paper {
+                opts.defects = Defect::table2_rows()
+                    .into_iter()
+                    .filter(|d| !d.is_transient_mechanism())
+                    .collect();
+            }
+            println!("{}", table3::run(&opts)?);
+        }
+        "march" => {
+            for test in library::all(1.0e-3) {
+                let (a, b) = test.length_formula();
+                println!("{test}  (length {a}N+{b})");
+            }
+        }
+        "power-defects" => {
+            println!("{}", power_defect_table(&PowerDefectOptions::default())?);
+        }
+        "ds-time" => {
+            println!("{}", ds_time_sweep(&DsTimeOptions::marginal_df16())?);
+        }
+        "monte-carlo" => {
+            println!("{}", monte_carlo_drv(&MonteCarloOptions::default())?);
+            for n in [1u8, 2, 4] {
+                let cs = CaseStudy::new(n, sram::StoredBit::One);
+                println!("{cs}: paper DRV {:.0} mV", cs.paper_drv_mv());
+            }
+        }
+        "all" => {
+            for artifact in [
+                "table1",
+                "fig4",
+                "table2",
+                "table3",
+                "fig5",
+                "march",
+                "power-defects",
+                "ds-time",
+                "monte-carlo",
+            ] {
+                println!("==== {artifact} ====");
+                run(artifact, false, false)?;
+                println!();
+            }
+        }
+        _ => return Err(format!("unknown artifact `{artifact}`").into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(artifact) = args.first() else {
+        return usage();
+    };
+    let paper = args.iter().any(|a| a == "--paper");
+    let reduced = args.iter().any(|a| a == "--reduced");
+    match run(artifact, paper, reduced) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Consistency checks across abstraction layers: the behavioural
+//! models must agree with the electrical ones they summarize.
+
+use lp_sram_suite::drftest::case_study::CaseStudy;
+use lp_sram_suite::drftest::SramTarget;
+use lp_sram_suite::march::{engine, library, CellRef, Fault, SimpleMemory, TestTarget};
+use lp_sram_suite::process::{ProcessCorner, PvtCondition};
+use lp_sram_suite::sram::{
+    drv_ds, ArrayGeometry, CellInstance, DrvOptions, DsConditions, ElectricalRetention,
+    RetentionPolicy, SramDevice, StoredBit, TableRetention,
+};
+
+/// The table-based weak-bit classifier agrees with the electrical DRV
+/// asymmetry for every case-study pattern.
+#[test]
+fn weak_bit_classifier_matches_electrical_drv() {
+    let pvt = PvtCondition::new(ProcessCorner::Typical, 1.1, 25.0);
+    for cs in CaseStudy::all() {
+        if cs.number == 4 {
+            continue; // 0.1σ: too small for a meaningful weak side
+        }
+        let inst = CellInstance::with_pattern(cs.pattern(), pvt);
+        let d1 = drv_ds(&inst, StoredBit::One, &DrvOptions::coarse())
+            .unwrap()
+            .drv;
+        let d0 = drv_ds(&inst, StoredBit::Zero, &DrvOptions::coarse())
+            .unwrap()
+            .drv;
+        let electrical_weak = if d1 > d0 {
+            StoredBit::One
+        } else {
+            StoredBit::Zero
+        };
+        assert_eq!(
+            TableRetention::weak_bit_of(&cs.pattern()),
+            Some(electrical_weak),
+            "{cs}: d1={d1:.3} d0={d0:.3}"
+        );
+    }
+}
+
+/// An electrically-backed device and a behavioural memory with the
+/// equivalent retention fault produce the same March m-LZ verdict.
+#[test]
+fn electrical_and_behavioural_devices_agree() {
+    let cs = CaseStudy::new(2, StoredBit::One);
+    let pvt = PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 125.0);
+    let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+    let drv = drv_ds(&stressed, StoredBit::One, &DrvOptions::coarse())
+        .unwrap()
+        .drv;
+    let geometry = ArrayGeometry::small();
+    let loc = geometry.cell_location(5, 2);
+    let test = library::march_mlz(1e-3);
+
+    for vreg in [drv + 0.03, drv - 0.05] {
+        // Electrical route (full physics policy).
+        let mut device = SramDevice::new(
+            geometry,
+            DsConditions { vreg },
+            Box::new(ElectricalRetention::new(
+                CellInstance::symmetric(pvt),
+                DrvOptions::coarse(),
+            )),
+        );
+        device.array_mut().place_pattern(loc, cs.pattern());
+        let mut target = SramTarget::new(device);
+        let electrical = engine::run(&test, &mut target);
+
+        // Behavioural route (march's own fault model).
+        let mut memory = SimpleMemory::new(geometry.words(), geometry.word_bits);
+        if vreg < drv {
+            let (addr, bit) = geometry.address_of(loc);
+            memory.inject(Fault::retention_loss(CellRef { addr, bit }, true));
+        }
+        let behavioural = engine::run(&test, &mut memory);
+
+        assert_eq!(
+            electrical.detected(),
+            behavioural.detected(),
+            "verdicts diverge at vreg = {vreg}"
+        );
+        if electrical.detected() {
+            assert_eq!(electrical.failures[0].addr, behavioural.failures[0].addr);
+            assert_eq!(
+                electrical.failures[0].element,
+                behavioural.failures[0].element
+            );
+        }
+    }
+}
+
+/// The electrical retention policy's cached DRV agrees with a direct
+/// measurement.
+#[test]
+fn retention_policy_cache_agrees_with_direct_measurement() {
+    let pvt = PvtCondition::nominal();
+    let cs = CaseStudy::new(3, StoredBit::One);
+    let mut policy = ElectricalRetention::new(CellInstance::symmetric(pvt), DrvOptions::coarse());
+    let via_policy = policy.drv(&cs.pattern(), StoredBit::One).unwrap();
+    let direct = drv_ds(
+        &CellInstance::with_pattern(cs.pattern(), pvt),
+        StoredBit::One,
+        &DrvOptions::coarse(),
+    )
+    .unwrap()
+    .drv;
+    assert!((via_policy - direct).abs() < 1e-9);
+}
+
+/// The SramTarget adapter preserves word geometry and the all-ones
+/// background used by the March engine.
+#[test]
+fn adapter_geometry_roundtrip() {
+    let device = SramDevice::new(
+        ArrayGeometry::paper(),
+        DsConditions { vreg: 0.77 },
+        Box::new(TableRetention {
+            symmetric_drv: 0.135,
+            special_drv: 0.64,
+        }),
+    );
+    let target = SramTarget::new(device);
+    assert_eq!(target.word_count(), 4096);
+    assert_eq!(target.word_bits(), 64);
+    assert_eq!(target.ones(), u64::MAX);
+}
+
+/// Retention policies behave identically through the trait object.
+#[test]
+fn policy_trait_object_dispatch() {
+    let mut table: Box<dyn RetentionPolicy + Send> = Box::new(TableRetention {
+        symmetric_drv: 0.135,
+        special_drv: 0.64,
+    });
+    let cs = CaseStudy::new(2, StoredBit::One);
+    let out = table
+        .outcome(&cs.pattern(), StoredBit::One, 0.5, 1e-3)
+        .unwrap();
+    assert!(!out.retained());
+    let out = table
+        .outcome(&cs.pattern(), StoredBit::One, 0.7, 1e-3)
+        .unwrap();
+    assert!(out.retained());
+}
