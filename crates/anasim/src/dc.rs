@@ -3,7 +3,7 @@
 use crate::error::Error;
 use crate::mna::AnalysisMode;
 use crate::netlist::{Netlist, SourceId};
-use crate::newton::{solve, NewtonOptions, Solution};
+use crate::newton::{solve_with_retry, NewtonOptions, RetryPolicy, Solution};
 
 /// DC analysis driver.
 ///
@@ -22,17 +22,33 @@ use crate::newton::{solve, NewtonOptions, Solution};
 #[derive(Debug, Clone, Default)]
 pub struct DcAnalysis {
     options: NewtonOptions,
+    retry: RetryPolicy,
 }
 
 impl DcAnalysis {
-    /// Creates a driver with default solver options.
+    /// Creates a driver with default solver options and the full
+    /// [`RetryPolicy::ladder`] escalation.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a driver with explicit solver options.
+    /// Creates a driver with explicit solver options (retry policy
+    /// stays at the default ladder; see [`with_retry`]).
+    ///
+    /// [`with_retry`]: DcAnalysis::with_retry
     pub fn with_options(options: NewtonOptions) -> Self {
-        DcAnalysis { options }
+        DcAnalysis {
+            options,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the retry policy (builder style). Pass
+    /// [`RetryPolicy::none`] to measure the un-rescued solver.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The solver options in use.
@@ -40,14 +56,19 @@ impl DcAnalysis {
         &self.options
     }
 
+    /// The retry policy in use.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Solves the DC operating point.
     ///
     /// # Errors
     ///
     /// Propagates solver failures ([`Error::NoConvergence`],
-    /// [`Error::SingularMatrix`]).
+    /// [`Error::SingularMatrix`]) after the retry ladder is exhausted.
     pub fn operating_point(&self, netlist: &Netlist) -> Result<Solution, Error> {
-        solve(netlist, &self.options, None, AnalysisMode::Dc)
+        solve_with_retry(netlist, &self.options, None, AnalysisMode::Dc, &self.retry)
     }
 
     /// Solves the DC operating point starting from a previous solution
@@ -57,7 +78,13 @@ impl DcAnalysis {
     ///
     /// Propagates solver failures.
     pub fn operating_point_from(&self, netlist: &Netlist, x0: &[f64]) -> Result<Solution, Error> {
-        solve(netlist, &self.options, Some(x0), AnalysisMode::Dc)
+        solve_with_retry(
+            netlist,
+            &self.options,
+            Some(x0),
+            AnalysisMode::Dc,
+            &self.retry,
+        )
     }
 
     /// Sweeps the value of `source` over `values`, warm-starting each
@@ -82,7 +109,13 @@ impl DcAnalysis {
         let mut warm: Option<Vec<f64>> = None;
         for &v in values {
             netlist.set_source(source, v);
-            let result = solve(netlist, &self.options, warm.as_deref(), AnalysisMode::Dc);
+            let result = solve_with_retry(
+                netlist,
+                &self.options,
+                warm.as_deref(),
+                AnalysisMode::Dc,
+                &self.retry,
+            );
             match result {
                 Ok(sol) => {
                     warm = Some(sol.raw().to_vec());

@@ -38,6 +38,25 @@ pub enum Error {
     EmptySweep,
 }
 
+impl Error {
+    /// Whether a retry with escalated solver options
+    /// ([`crate::newton::RetryPolicy`]) can plausibly rescue this
+    /// failure.
+    ///
+    /// Convergence failures and singular matrices are retryable: both
+    /// can be artifacts of the iteration (a bad starting point, a
+    /// Jacobian momentarily singular along the Newton path) rather
+    /// than of the circuit. Structural errors — invalid values,
+    /// duplicate or unknown devices, bad time axes, empty sweeps —
+    /// are deterministic and retrying cannot change them.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::NoConvergence { .. } | Error::SingularMatrix { .. }
+        )
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -83,6 +102,28 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::NoConvergence {
+            iterations: 10,
+            residual: 1.0
+        }
+        .is_retryable());
+        assert!(Error::SingularMatrix { pivot_row: 3 }.is_retryable());
+        for fatal in [
+            Error::InvalidValue {
+                device: "R1".into(),
+                what: "negative".into(),
+            },
+            Error::DuplicateDevice("X".into()),
+            Error::UnknownDevice("Y".into()),
+            Error::InvalidTimeAxis("dt".into()),
+            Error::EmptySweep,
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal} must be fatal");
+        }
     }
 
     #[test]

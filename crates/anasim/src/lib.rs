@@ -51,7 +51,7 @@ pub mod units;
 
 pub use error::Error;
 pub use netlist::{Netlist, NodeId, SourceId};
-pub use newton::{NewtonOptions, Solution};
+pub use newton::{NewtonOptions, RescueStage, RetryPolicy, Solution, SolverStats};
 
 /// Boltzmann constant over elementary charge, in volts per kelvin.
 ///

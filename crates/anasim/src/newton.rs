@@ -49,6 +49,70 @@ impl NewtonOptions {
     }
 }
 
+/// Which continuation stage ultimately produced a converged solution.
+///
+/// Ordered from cheapest to most desperate: comparing two stages with
+/// `<`/`max` answers "which run needed the heavier rescue".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RescueStage {
+    /// Plain Newton from the provided starting point.
+    #[default]
+    Plain,
+    /// The gmin-stepping continuation ladder.
+    GminStepping,
+    /// The source-stepping continuation ladder.
+    SourceStepping,
+    /// Heavily damped iteration restarted from the caller's warm start.
+    DampedWarmStart,
+    /// Heavily damped gmin ladder.
+    DampedGmin,
+    /// Accepted with a permanent 1 nS regularizing shunt.
+    GminRegularized,
+}
+
+impl std::fmt::Display for RescueStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RescueStage::Plain => "plain",
+            RescueStage::GminStepping => "gmin-stepping",
+            RescueStage::SourceStepping => "source-stepping",
+            RescueStage::DampedWarmStart => "damped-warm-start",
+            RescueStage::DampedGmin => "damped-gmin",
+            RescueStage::GminRegularized => "gmin-regularized",
+        })
+    }
+}
+
+/// Telemetry for one solve (or one retry ladder of solves).
+///
+/// Campaign executors aggregate these to report how hard the solver had
+/// to work — and which rescue tier, if any, saved each operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverStats {
+    /// Newton iterations spent across all continuation stages and
+    /// retry attempts.
+    pub iterations: usize,
+    /// Continuation stages attempted before convergence (1 = plain
+    /// Newton sufficed).
+    pub stages: usize,
+    /// Whole-solve retries taken by [`RetryPolicy`] escalation
+    /// (0 = the first attempt converged).
+    pub retries: usize,
+    /// The continuation stage that produced the accepted solution.
+    pub rescued_by: RescueStage,
+}
+
+impl SolverStats {
+    /// Folds another solve's telemetry into this one (used by
+    /// transient analyses, which run one solve per time step).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.iterations += other.iterations;
+        self.stages += other.stages;
+        self.retries += other.retries;
+        self.rescued_by = self.rescued_by.max(other.rescued_by);
+    }
+}
+
 /// A converged solution of one analysis point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -56,6 +120,9 @@ pub struct Solution {
     node_unknowns: usize,
     /// Newton iterations spent across all continuation stages.
     pub iterations: usize,
+    /// How the solver got here: iterations, stages, retries, and the
+    /// rescue tier that produced the accepted answer.
+    pub stats: SolverStats,
 }
 
 impl Solution {
@@ -64,7 +131,21 @@ impl Solution {
             x,
             node_unknowns,
             iterations,
+            stats: SolverStats {
+                iterations,
+                stages: 1,
+                retries: 0,
+                rescued_by: RescueStage::Plain,
+            },
         }
+    }
+
+    /// Tags the solution with which continuation stage rescued it and
+    /// how many stages were attempted along the way.
+    pub(crate) fn rescued(mut self, stage: RescueStage, stages: usize) -> Self {
+        self.stats.rescued_by = stage;
+        self.stats.stages = stages;
+        self
     }
 
     /// Voltage at `node` (0 for ground).
@@ -77,6 +158,22 @@ impl Solution {
         match node.unknown_index() {
             None => 0.0,
             Some(i) => self.x[i],
+        }
+    }
+
+    /// Voltage at `node`, or `None` when the node does not belong to
+    /// the netlist this solution was computed from.
+    ///
+    /// Campaign and diagnostic paths prefer this over [`voltage`]:
+    /// a stray node becomes a recordable failure instead of a panic
+    /// that aborts the whole table.
+    ///
+    /// [`voltage`]: Solution::voltage
+    pub fn try_voltage(&self, node: NodeId) -> Option<f64> {
+        match node.unknown_index() {
+            None => Some(0.0),
+            Some(i) if i < self.node_unknowns => self.x.get(i).copied(),
+            Some(_) => None,
         }
     }
 
@@ -216,11 +313,13 @@ pub fn solve(
     };
 
     let mut total_iters = 0usize;
+    let mut stages_tried = 1usize;
 
     // Stage 1: plain Newton from the provided start.
     match newton_stage(netlist, opts, start.clone(), 0.0, 1.0, mode) {
         StageOutcome::Converged(x, it) => {
-            return Ok(Solution::new(x, node_unknowns, total_iters + it))
+            return Ok(Solution::new(x, node_unknowns, total_iters + it)
+                .rescued(RescueStage::Plain, stages_tried))
         }
         StageOutcome::Failed { .. } => {}
         StageOutcome::Singular => {
@@ -231,6 +330,7 @@ pub fn solve(
 
     // Stage 2: gmin stepping.
     if opts.gmin_stepping {
+        stages_tried += 1;
         let mut x = vec![0.0; n];
         let mut ok = true;
         let mut gmin = 1.0e-2;
@@ -251,13 +351,15 @@ pub fn solve(
             if let StageOutcome::Converged(final_x, it) =
                 newton_stage(netlist, opts, x, 0.0, 1.0, mode)
             {
-                return Ok(Solution::new(final_x, node_unknowns, total_iters + it));
+                return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
+                    .rescued(RescueStage::GminStepping, stages_tried));
             }
         }
     }
 
     // Stage 3: source stepping.
     if opts.source_stepping {
+        stages_tried += 1;
         let mut x = vec![0.0; n];
         let mut ok = true;
         for step in 1..=20 {
@@ -274,7 +376,8 @@ pub fn solve(
             }
         }
         if ok {
-            return Ok(Solution::new(x, node_unknowns, total_iters));
+            return Ok(Solution::new(x, node_unknowns, total_iters)
+                .rescued(RescueStage::SourceStepping, stages_tried));
         }
     }
 
@@ -282,6 +385,7 @@ pub fn solve(
     // (when one was provided, it is near the solution; tiny steps keep
     // the iterate inside the basin).
     if x0.is_some() && opts.gmin_stepping {
+        stages_tried += 1;
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
@@ -290,7 +394,8 @@ pub fn solve(
         if let StageOutcome::Converged(x, it) =
             newton_stage(netlist, &damped, start.clone(), 0.0, 1.0, mode)
         {
-            return Ok(Solution::new(x, node_unknowns, total_iters + it));
+            return Ok(Solution::new(x, node_unknowns, total_iters + it)
+                .rescued(RescueStage::DampedWarmStart, stages_tried));
         }
     }
 
@@ -298,6 +403,7 @@ pub fn solve(
     // two-branch oscillations that starved-amplifier operating points
     // can provoke in the plain iteration.
     if opts.gmin_stepping {
+        stages_tried += 1;
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
@@ -323,7 +429,8 @@ pub fn solve(
             if let StageOutcome::Converged(final_x, it) =
                 newton_stage(netlist, &damped, x, 0.0, 1.0, mode)
             {
-                return Ok(Solution::new(final_x, node_unknowns, total_iters + it));
+                return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
+                    .rescued(RescueStage::DampedGmin, stages_tried));
             }
         }
     }
@@ -333,6 +440,7 @@ pub fn solve(
     // below the tolerances of any analysis in this suite — and gives
     // pathological off-state operating points a well-defined answer.
     if opts.gmin_stepping {
+        stages_tried += 1;
         let damped = NewtonOptions {
             max_step: 0.05,
             max_iterations: 1000,
@@ -359,7 +467,8 @@ pub fn solve(
         if let StageOutcome::Converged(final_x, it) =
             newton_stage(netlist, &final_damped, x, 1.0e-9, 1.0, mode)
         {
-            return Ok(Solution::new(final_x, node_unknowns, total_iters + it));
+            return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
+                .rescued(RescueStage::GminRegularized, stages_tried));
         }
     }
 
@@ -370,8 +479,132 @@ pub fn solve(
             iterations: opts.max_iterations,
             residual,
         }),
-        StageOutcome::Converged(x, it) => Ok(Solution::new(x, node_unknowns, it)),
+        StageOutcome::Converged(x, it) => {
+            Ok(Solution::new(x, node_unknowns, it).rescued(RescueStage::Plain, stages_tried))
+        }
     }
+}
+
+/// Escalation schedule for re-attempting a failed operating point.
+///
+/// When a solve fails with a [retryable](Error::is_retryable) error,
+/// the policy re-runs it with progressively more forgiving
+/// [`NewtonOptions`]:
+///
+/// 1. the caller's options, unchanged;
+/// 2. `iteration_growth`× the iteration budget;
+/// 3. additionally `damping_shrink`× the `max_step` clamp (tighter
+///    damping tames oscillating iterates);
+/// 4. additionally `reltol_relax`× the relative tolerance;
+/// 5. additionally both continuation ladders forced on.
+///
+/// Escalations are cumulative: attempt *k* carries every relaxation of
+/// attempts `1..k`. The ladder trades accuracy for completion *only*
+/// on points that would otherwise produce no answer at all — a point
+/// that converges on attempt 1 is bit-identical to a run without the
+/// policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: usize,
+    /// Iteration-budget multiplier applied from the second attempt.
+    pub iteration_growth: f64,
+    /// `max_step` multiplier applied from the third attempt.
+    pub damping_shrink: f64,
+    /// `reltol` multiplier applied from the fourth attempt.
+    pub reltol_relax: f64,
+}
+
+impl RetryPolicy {
+    /// The full five-rung escalation ladder (the default for analyses).
+    pub fn ladder() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            iteration_growth: 2.0,
+            damping_shrink: 0.5,
+            reltol_relax: 10.0,
+        }
+    }
+
+    /// No retries: one attempt with the caller's options, failures
+    /// surface immediately. Used by benchmarks and ablations that must
+    /// measure the un-rescued solver.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            iteration_growth: 1.0,
+            damping_shrink: 1.0,
+            reltol_relax: 1.0,
+        }
+    }
+
+    /// The options used for `attempt` (0-based), derived from `base`
+    /// by the cumulative escalation schedule.
+    pub fn options_for_attempt(&self, base: &NewtonOptions, attempt: usize) -> NewtonOptions {
+        let mut opts = base.clone();
+        if attempt >= 1 {
+            opts.max_iterations =
+                ((opts.max_iterations as f64) * self.iteration_growth).ceil() as usize;
+        }
+        if attempt >= 2 {
+            opts.max_step *= self.damping_shrink;
+        }
+        if attempt >= 3 {
+            opts.reltol *= self.reltol_relax;
+        }
+        if attempt >= 4 {
+            opts.gmin_stepping = true;
+            opts.source_stepping = true;
+        }
+        opts
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::ladder()
+    }
+}
+
+/// [`solve`] wrapped in the [`RetryPolicy`] escalation ladder.
+///
+/// Retries only on [retryable](Error::is_retryable) errors; structural
+/// failures (floating nodes, invalid devices) surface immediately. The
+/// returned solution's [`SolverStats::retries`] records how many
+/// escalations were needed.
+///
+/// # Errors
+///
+/// The last attempt's error when every rung of the ladder fails.
+pub fn solve_with_retry(
+    netlist: &Netlist,
+    opts: &NewtonOptions,
+    x0: Option<&[f64]>,
+    mode: AnalysisMode<'_>,
+    policy: &RetryPolicy,
+) -> Result<Solution, Error> {
+    let attempts = policy.max_attempts.max(1);
+    let mut iters_burned = 0usize;
+    let mut stages_burned = 0usize;
+    for attempt in 0..attempts {
+        let attempt_opts = policy.options_for_attempt(opts, attempt);
+        match solve(netlist, &attempt_opts, x0, mode) {
+            Ok(mut sol) => {
+                sol.stats.retries = attempt;
+                sol.stats.iterations += iters_burned;
+                sol.stats.stages += stages_burned;
+                sol.iterations = sol.stats.iterations;
+                return Ok(sol);
+            }
+            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                // Failed attempts ran the whole continuation ladder.
+                iters_burned += attempt_opts.max_iterations;
+                stages_burned += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("retry loop always returns")
 }
 
 #[cfg(test)]
@@ -444,6 +677,175 @@ mod tests {
         let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
         let v = sol.voltage(out);
         assert!((0.0..=1.1).contains(&v), "inverter mid output {v}");
+    }
+
+    /// A CMOS inverter biased at its switching threshold: the
+    /// high-gain transition region makes undamped iterates overshoot,
+    /// so a tightly budgeted plain Newton (no continuation) fails.
+    fn threshold_inverter() -> (Netlist, crate::netlist::NodeId) {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let input = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+        nl.vsource("VIN", input, Netlist::GND, 0.55);
+        nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+            .unwrap();
+        nl.mosfet(
+            "MN",
+            out,
+            input,
+            Netlist::GND,
+            MosParams::nmos(4.0e-4, 0.45),
+        )
+        .unwrap();
+        (nl, out)
+    }
+
+    #[test]
+    fn retry_ladder_rescues_plain_newton_failure() {
+        let (nl, out) = threshold_inverter();
+        // Starved iteration budget and no continuation: plain Newton
+        // cannot settle the transition region.
+        let opts = NewtonOptions {
+            max_iterations: 3,
+            ..NewtonOptions::plain()
+        };
+        let plain = solve(&nl, &opts, None, AnalysisMode::Dc);
+        assert!(
+            plain.is_err(),
+            "expected the starved plain solve to fail, got {plain:?}"
+        );
+        assert!(plain.unwrap_err().is_retryable());
+
+        // The escalation ladder rescues the same point from the same
+        // options: more iterations, then tighter damping, then forced
+        // continuation.
+        let sol = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &RetryPolicy::ladder())
+            .expect("escalation ladder must rescue the point");
+        assert!(sol.stats.retries > 0, "stats: {:?}", sol.stats);
+        let v = sol.voltage(out);
+        assert!((0.0..=1.1).contains(&v), "inverter output {v}");
+    }
+
+    #[test]
+    fn retry_none_surfaces_the_first_failure() {
+        let (nl, _) = threshold_inverter();
+        let opts = NewtonOptions {
+            max_iterations: 3,
+            ..NewtonOptions::plain()
+        };
+        let r = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &RetryPolicy::none());
+        assert!(r.is_err(), "none() must not escalate");
+    }
+
+    #[test]
+    fn forced_continuation_rung_regularizes_singular_circuits() {
+        // A node with no DC path to ground is singular under plain
+        // Newton at every budget; only the final rung — which forces
+        // the continuation ladders on — reaches the gmin-regularized
+        // accept and yields a (shunt-defined) answer.
+        let mut nl = Netlist::new();
+        let c = nl.node("c");
+        nl.isource("I1", Netlist::GND, c, 1e-3);
+        assert!(solve(&nl, &NewtonOptions::plain(), None, AnalysisMode::Dc).is_err());
+        let sol = solve_with_retry(
+            &nl,
+            &NewtonOptions::plain(),
+            None,
+            AnalysisMode::Dc,
+            &RetryPolicy::ladder(),
+        )
+        .expect("forced gmin rung must regularize");
+        assert_eq!(sol.stats.retries, 4, "stats: {:?}", sol.stats);
+        assert_eq!(sol.stats.rescued_by, RescueStage::GminRegularized);
+    }
+
+    #[test]
+    fn escalation_schedule_is_cumulative() {
+        let base = NewtonOptions::plain();
+        let p = RetryPolicy::ladder();
+        let a0 = p.options_for_attempt(&base, 0);
+        assert_eq!(a0, base);
+        let a1 = p.options_for_attempt(&base, 1);
+        assert_eq!(a1.max_iterations, base.max_iterations * 2);
+        assert_eq!(a1.max_step, base.max_step);
+        let a2 = p.options_for_attempt(&base, 2);
+        assert_eq!(a2.max_iterations, base.max_iterations * 2);
+        assert!((a2.max_step - base.max_step * 0.5).abs() < 1e-12);
+        assert_eq!(a2.reltol, base.reltol);
+        let a3 = p.options_for_attempt(&base, 3);
+        assert!((a3.reltol - base.reltol * 10.0).abs() < 1e-12);
+        assert!(!a3.gmin_stepping);
+        let a4 = p.options_for_attempt(&base, 4);
+        assert!(a4.gmin_stepping && a4.source_stepping);
+        assert!((a4.max_step - base.max_step * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_attempt_success_reports_zero_retries() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        let sol = solve_with_retry(
+            &nl,
+            &NewtonOptions::default(),
+            None,
+            AnalysisMode::Dc,
+            &RetryPolicy::ladder(),
+        )
+        .unwrap();
+        assert_eq!(sol.stats.retries, 0);
+        assert_eq!(sol.stats.rescued_by, RescueStage::Plain);
+        assert_eq!(sol.stats.stages, 1);
+        assert_eq!(sol.stats.iterations, sol.iterations);
+    }
+
+    #[test]
+    fn try_voltage_distinguishes_foreign_nodes() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, Netlist::GND, 2.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
+        assert_eq!(sol.try_voltage(Netlist::GND), Some(0.0));
+        assert!((sol.try_voltage(a).unwrap() - 2.0).abs() < 1e-9);
+        // A node index from a bigger, unrelated netlist.
+        let mut big = Netlist::new();
+        let _ = big.node("x");
+        let _ = big.node("y");
+        let foreign = big.node("z");
+        assert_eq!(sol.try_voltage(foreign), None);
+    }
+
+    #[test]
+    fn solver_stats_absorb_aggregates() {
+        let mut a = SolverStats {
+            iterations: 10,
+            stages: 1,
+            retries: 0,
+            rescued_by: RescueStage::Plain,
+        };
+        let b = SolverStats {
+            iterations: 50,
+            stages: 3,
+            retries: 2,
+            rescued_by: RescueStage::GminStepping,
+        };
+        a.absorb(&b);
+        assert_eq!(a.iterations, 60);
+        assert_eq!(a.stages, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.rescued_by, RescueStage::GminStepping);
+    }
+
+    #[test]
+    fn rescue_stages_order_by_desperation() {
+        assert!(RescueStage::Plain < RescueStage::GminStepping);
+        assert!(RescueStage::GminStepping < RescueStage::SourceStepping);
+        assert!(RescueStage::DampedGmin < RescueStage::GminRegularized);
+        assert_eq!(RescueStage::GminRegularized.to_string(), "gmin-regularized");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::error::Error;
 use crate::mna::AnalysisMode;
 use crate::netlist::{Netlist, NodeId};
-use crate::newton::{solve, NewtonOptions, Solution};
+use crate::newton::{solve_with_retry, NewtonOptions, RetryPolicy, Solution, SolverStats};
 
 /// Transient analysis driver with a fixed step.
 #[derive(Debug, Clone)]
@@ -16,6 +16,7 @@ pub struct TransientAnalysis {
     dt: f64,
     t_stop: f64,
     options: NewtonOptions,
+    retry: RetryPolicy,
 }
 
 /// Result of a transient run: the time axis and the unknown vector at
@@ -25,6 +26,7 @@ pub struct TransientResult {
     times: Vec<f64>,
     states: Vec<Vec<f64>>,
     node_unknowns: usize,
+    stats: SolverStats,
 }
 
 impl TransientResult {
@@ -80,6 +82,13 @@ impl TransientResult {
     pub fn node_unknowns(&self) -> usize {
         self.node_unknowns
     }
+
+    /// Aggregated solver telemetry over every time step (iterations and
+    /// retries are summed; `rescued_by` is the heaviest rescue tier any
+    /// step needed).
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
 }
 
 impl TransientAnalysis {
@@ -94,12 +103,21 @@ impl TransientAnalysis {
             dt,
             t_stop,
             options: NewtonOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Replaces the solver options.
     pub fn with_options(mut self, options: NewtonOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Replaces the retry policy. Pass [`RetryPolicy::none`] to
+    /// measure the un-rescued solver.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -127,8 +145,11 @@ impl TransientAnalysis {
     /// propagated from the initial operating point or any step.
     pub fn run(&self, netlist: &Netlist) -> Result<TransientResult, Error> {
         self.validate()?;
-        let op = solve(netlist, &self.options, None, AnalysisMode::Dc)?;
-        self.integrate(netlist, op.into_raw())
+        let op = solve_with_retry(netlist, &self.options, None, AnalysisMode::Dc, &self.retry)?;
+        let op_stats = op.stats;
+        let mut result = self.integrate(netlist, op.into_raw())?;
+        result.stats.absorb(&op_stats);
+        Ok(result)
     }
 
     /// Runs the analysis from an explicit initial unknown vector. This
@@ -157,6 +178,7 @@ impl TransientAnalysis {
         let node_unknowns = netlist.num_nodes() - 1;
         let mut times = vec![0.0];
         let mut states = vec![x0];
+        let mut stats = SolverStats::default();
         let steps = (self.t_stop / self.dt).ceil() as usize;
         for k in 1..=steps {
             let time = (k as f64 * self.dt).min(self.t_stop);
@@ -170,7 +192,9 @@ impl TransientAnalysis {
                 time,
                 prev: &prev,
             };
-            let sol: Solution = solve(netlist, &self.options, Some(&prev), mode)?;
+            let sol: Solution =
+                solve_with_retry(netlist, &self.options, Some(&prev), mode, &self.retry)?;
+            stats.absorb(&sol.stats);
             times.push(time);
             states.push(sol.into_raw());
         }
@@ -178,6 +202,7 @@ impl TransientAnalysis {
             times,
             states,
             node_unknowns,
+            stats,
         })
     }
 }

@@ -51,11 +51,17 @@ fn synthetic_matrix() -> CoverageMatrix {
             }
         }
     }
+    let attempted = defects.len() * n;
     CoverageMatrix {
         combos,
         defects,
         min_r,
         maximized,
+        failures: Vec::new(),
+        coverage: drftest::Coverage {
+            attempted,
+            completed: attempted,
+        },
     }
 }
 

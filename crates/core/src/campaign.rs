@@ -1,0 +1,311 @@
+//! Resilient campaign machinery shared by the experiment executors.
+//!
+//! The paper's tables are products of thousands of operating-point
+//! solves over a (defect × case-study × PVT) grid. A single
+//! pathological point used to abort a whole campaign; this module
+//! provides the pieces that let an executor *record* such a point and
+//! keep going:
+//!
+//! * [`PointFailure`] — a structured record of one grid point that
+//!   stayed unsolved after the full [`anasim::RetryPolicy`] escalation
+//!   ladder;
+//! * [`Coverage`] — attempted/completed accounting rendered as the
+//!   completeness percentage of a partial table;
+//! * [`Checkpoint`] — an append-only tab-separated log of completed
+//!   rows (plain `std`, no dependencies) that lets an interrupted
+//!   campaign resume without recomputing finished cells.
+//!
+//! Only *retryable* solver errors ([`anasim::Error::is_retryable`])
+//! are downgraded to failures; structural errors (invalid netlists,
+//! bad time axes) still abort, because they mean the campaign itself
+//! is misconfigured.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use process::PvtCondition;
+use regulator::Defect;
+
+/// One grid point (or shared sub-computation) a campaign could not
+/// evaluate after exhausting the solver's rescue ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// The defect under characterization (`None` when the failure hit
+    /// a defect-independent context, e.g. a DRV or array-load build).
+    pub defect: Option<Defect>,
+    /// The case-study column, if the point had one.
+    pub case_study: Option<u8>,
+    /// The grid condition, if the point had one.
+    pub pvt: Option<PvtCondition>,
+    /// The terminal solver error.
+    pub error: anasim::Error,
+    /// Solve attempts spent before giving up (the retry ladder's
+    /// budget).
+    pub attempts: usize,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.defect {
+            Some(d) => write!(f, "{d}")?,
+            None => f.write_str("(context)")?,
+        }
+        if let Some(cs) = self.case_study {
+            write!(f, " × CS{cs}")?;
+        }
+        if let Some(pvt) = self.pvt {
+            write!(f, " @ {pvt}")?;
+        }
+        write!(f, " — {} (after {} attempts)", self.error, self.attempts)
+    }
+}
+
+/// Attempted/completed accounting of a campaign's grid points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Coverage {
+    /// Grid points the campaign tried to evaluate.
+    pub attempted: usize,
+    /// Points that produced a result (including "no fault found").
+    pub completed: usize,
+}
+
+impl Coverage {
+    /// Records one successfully evaluated point.
+    pub fn record_ok(&mut self) {
+        self.attempted += 1;
+        self.completed += 1;
+    }
+
+    /// Records one point that stayed unsolved.
+    pub fn record_failure(&mut self) {
+        self.attempted += 1;
+    }
+
+    /// Folds a sub-campaign's accounting into this one.
+    pub fn merge(&mut self, other: Coverage) {
+        self.attempted += other.attempted;
+        self.completed += other.completed;
+    }
+
+    /// Completion percentage (100 for an empty campaign).
+    pub fn percent(&self) -> f64 {
+        if self.attempted == 0 {
+            100.0
+        } else {
+            self.completed as f64 / self.attempted as f64 * 100.0
+        }
+    }
+
+    /// Whether every attempted point completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.attempted
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} grid points ({:.1}%)",
+            self.completed,
+            self.attempted,
+            self.percent()
+        )
+    }
+}
+
+/// Renders the completeness footer every partial-capable report
+/// appends below its table: a coverage line, then one line per
+/// unresolved point.
+pub fn completeness_footer(coverage: &Coverage, failures: &[PointFailure]) -> String {
+    let mut out = format!("coverage: {coverage}");
+    for failure in failures {
+        out.push_str("\n  unresolved: ");
+        out.push_str(&failure.to_string());
+    }
+    out
+}
+
+/// An append-only tab-separated checkpoint log.
+///
+/// Each completed row of a campaign is appended as one line whose
+/// first field is a stable key (e.g. `df16/cs1`); a rerun pointed at
+/// the same file skips keys already present. Lines starting with `#`
+/// are comments. Plain `std` I/O — no serialization dependency.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    path: PathBuf,
+}
+
+impl Checkpoint {
+    /// A checkpoint backed by `path` (the file need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Checkpoint { path: path.into() }
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The keys (first field) of every row already logged. An absent
+    /// file reads as empty — a fresh campaign.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "file not found".
+    pub fn completed_keys(&self) -> io::Result<HashSet<String>> {
+        Ok(self
+            .rows()?
+            .into_iter()
+            .filter_map(|mut r| (!r.is_empty()).then(|| r.swap_remove(0)))
+            .collect())
+    }
+
+    /// Every logged row, split into fields. Later rows win when a key
+    /// repeats (the map form; here duplicates are all returned in file
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "file not found".
+    pub fn rows(&self) -> io::Result<Vec<Vec<String>>> {
+        let text = match fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        Ok(text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .map(|l| l.split('\t').map(str::to_string).collect())
+            .collect())
+    }
+
+    /// As [`rows`](Checkpoint::rows), but keyed by the first field;
+    /// later duplicates overwrite earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "file not found".
+    pub fn rows_by_key(&self) -> io::Result<HashMap<String, Vec<String>>> {
+        Ok(self
+            .rows()?
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|mut r| {
+                let key = r.remove(0);
+                (key, r)
+            })
+            .collect())
+    }
+
+    /// Appends one row (fields joined by tabs), creating the file and
+    /// its parent directories on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append(&self, fields: &[String]) -> io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", fields.join("\t"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_accounting_and_percent() {
+        let mut c = Coverage::default();
+        assert_eq!(c.percent(), 100.0);
+        assert!(c.is_complete());
+        c.record_ok();
+        c.record_ok();
+        c.record_failure();
+        assert_eq!(c.attempted, 3);
+        assert_eq!(c.completed, 2);
+        assert!(!c.is_complete());
+        assert!((c.percent() - 66.666).abs() < 0.01);
+        let mut d = Coverage::default();
+        d.record_ok();
+        d.merge(c);
+        assert_eq!(d.attempted, 4);
+        assert_eq!(d.completed, 3);
+        assert_eq!(d.to_string(), "3/4 grid points (75.0%)");
+    }
+
+    #[test]
+    fn point_failure_renders_coordinates() {
+        let f = PointFailure {
+            defect: Some(Defect::new(16)),
+            case_study: Some(1),
+            pvt: Some(PvtCondition::nominal()),
+            error: anasim::Error::NoConvergence {
+                iterations: 400,
+                residual: 1.0e-2,
+            },
+            attempts: 5,
+        };
+        let s = f.to_string();
+        assert!(s.contains("Df16"), "{s}");
+        assert!(s.contains("CS1"), "{s}");
+        assert!(s.contains("after 5 attempts"), "{s}");
+        let ctx = PointFailure { defect: None, ..f };
+        assert!(ctx.to_string().starts_with("(context)"));
+    }
+
+    #[test]
+    fn footer_lists_unresolved_points() {
+        let mut c = Coverage::default();
+        c.record_ok();
+        c.record_failure();
+        let failures = vec![PointFailure {
+            defect: Some(Defect::new(8)),
+            case_study: Some(2),
+            pvt: None,
+            error: anasim::Error::SingularMatrix { pivot_row: 3 },
+            attempts: 5,
+        }];
+        let footer = completeness_footer(&c, &failures);
+        assert!(footer.starts_with("coverage: 1/2"), "{footer}");
+        assert!(footer.contains("unresolved: Df8 × CS2"), "{footer}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_resume() {
+        let dir = std::env::temp_dir().join("drftest-campaign-test");
+        let path = dir.join("nested").join("table2.tsv");
+        let _ = fs::remove_file(&path);
+        let cp = Checkpoint::new(&path);
+        // Absent file: empty, not an error.
+        assert!(cp.completed_keys().unwrap().is_empty());
+        cp.append(&["df16/cs1".into(), "976.56".into(), "fs".into()])
+            .unwrap();
+        cp.append(&["df19/cs1".into(), "-".into(), "-".into()])
+            .unwrap();
+        // Re-log a key: the later row wins in the keyed view.
+        cp.append(&["df16/cs1".into(), "980.00".into(), "sf".into()])
+            .unwrap();
+        let keys = cp.completed_keys().unwrap();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains("df16/cs1") && keys.contains("df19/cs1"));
+        let by_key = cp.rows_by_key().unwrap();
+        assert_eq!(by_key["df16/cs1"][0], "980.00");
+        assert_eq!(by_key["df19/cs1"][0], "-");
+        assert_eq!(cp.rows().unwrap().len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

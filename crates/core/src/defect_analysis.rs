@@ -2,6 +2,7 @@
 //! defect × case study, minimized over the PVT grid.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use process::{ProcessCorner, PvtCondition};
 use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
@@ -9,6 +10,7 @@ use regulator::{Defect, RegulatorDesign, VrefTap};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
+use crate::campaign::{Checkpoint, Coverage, PointFailure};
 use crate::case_study::CaseStudy;
 
 /// The regulator configuration rule of §IV.A: pick the tap that puts
@@ -46,6 +48,14 @@ pub struct Table2Options {
     pub drv: DrvOptions,
     /// Samples of the array-load I(V) curve.
     pub load_points: usize,
+    /// Fault-injection hook for resilience tests: `(defect number,
+    /// case-study number)` cells whose every grid point is forced to
+    /// report a synthetic non-convergence instead of being solved.
+    pub inject_failures: Vec<(u8, u8)>,
+    /// When set, completed `(defect, case study)` cells are appended to
+    /// this tab-separated file and a rerun pointed at the same path
+    /// resumes, skipping cells already logged.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Table2Options {
@@ -62,6 +72,8 @@ impl Table2Options {
             characterize: CharacterizeOptions::default(),
             drv: DrvOptions::default(),
             load_points: 9,
+            inject_failures: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -103,6 +115,21 @@ pub struct Table2Cell {
     pub pvt: Option<PvtCondition>,
     /// Rail voltage at the failing point (diagnostic).
     pub vddcc: Option<f64>,
+    /// Grid points of this cell left unsolved after the rescue ladder;
+    /// when non-zero the cell's minimum is over the points that *did*
+    /// complete.
+    pub failed_points: usize,
+}
+
+impl Table2Cell {
+    fn empty() -> Self {
+        Table2Cell {
+            min_ohms: None,
+            pvt: None,
+            vddcc: None,
+            failed_points: 0,
+        }
+    }
 }
 
 /// One defect row.
@@ -114,13 +141,20 @@ pub struct Table2Row {
     pub cells: Vec<Table2Cell>,
 }
 
-/// The full table.
+/// The full table, possibly partial: grid points that stayed unsolved
+/// after the solver's rescue ladder are listed in `failures` and
+/// accounted in `coverage` instead of aborting the campaign.
 #[derive(Debug, Clone)]
 pub struct Table2 {
     /// Case studies, column order.
     pub case_studies: Vec<CaseStudy>,
     /// Rows in `options.defects` order.
     pub rows: Vec<Table2Row>,
+    /// Grid points (or shared contexts) left unsolved this run.
+    pub failures: Vec<PointFailure>,
+    /// Attempted/completed accounting over all grid points (resumed
+    /// cells count with the failure tally recorded at checkpoint time).
+    pub coverage: Coverage,
 }
 
 impl Table2 {
@@ -144,63 +178,171 @@ struct GridContext {
     load: ArrayLoad,
 }
 
-/// Runs the campaign.
+/// Stable checkpoint key of one (defect, case-study) cell.
+fn cell_key(defect: Defect, cs_number: u8) -> String {
+    format!("df{}/cs{}", defect.number(), cs_number)
+}
+
+fn checkpoint_fields(key: &str, cell: &Table2Cell) -> Vec<String> {
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.6e}"));
+    vec![
+        key.to_string(),
+        opt(cell.min_ohms),
+        cell.pvt
+            .map_or_else(|| "-".to_string(), |p| p.corner.abbreviation().to_string()),
+        opt(cell.pvt.map(|p| p.vdd)),
+        opt(cell.pvt.map(|p| p.temp_c)),
+        opt(cell.vddcc),
+        cell.failed_points.to_string(),
+    ]
+}
+
+/// Parses a checkpoint row back into a cell; `None` (recompute) on any
+/// malformed or stale-format field.
+fn checkpoint_cell(fields: &[String]) -> Option<Table2Cell> {
+    let opt = |s: &str| -> Option<Option<f64>> {
+        if s == "-" {
+            Some(None)
+        } else {
+            s.parse::<f64>().ok().map(Some)
+        }
+    };
+    if fields.len() < 6 {
+        return None;
+    }
+    let min_ohms = opt(&fields[0])?;
+    let pvt = if fields[1] == "-" {
+        None
+    } else {
+        let corner = *ProcessCorner::ALL
+            .iter()
+            .find(|c| c.abbreviation() == fields[1])?;
+        Some(PvtCondition::new(
+            corner,
+            opt(&fields[2])??,
+            opt(&fields[3])??,
+        ))
+    };
+    Some(Table2Cell {
+        min_ohms,
+        pvt,
+        vddcc: opt(&fields[4])?,
+        failed_points: fields[5].parse().ok()?,
+    })
+}
+
+/// Runs the campaign with per-grid-point fault isolation.
+///
+/// Each grid point runs independently: a point that the solver's
+/// escalation ladder cannot rescue is recorded in the returned table's
+/// `failures`/`coverage` (and in the owning cell's `failed_points`)
+/// rather than aborting the whole campaign. When
+/// [`Table2Options::checkpoint`] is set, finished cells are appended
+/// there and a rerun resumes past them.
 ///
 /// # Errors
 ///
-/// Propagates solver failures.
+/// Non-retryable failures — invalid netlists, bad sweep setups, and
+/// checkpoint I/O problems (surfaced as
+/// [`anasim::Error::InvalidValue`]) — still abort: they mean the
+/// campaign itself is misconfigured, not that one point is hard.
 pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
-    // Cache contexts keyed by (cs number, corner, temp, vdd).
-    let mut contexts: HashMap<(u8, &'static str, i64, i64), GridContext> = HashMap::new();
+    let grid_size = options.corners.len() * options.temperatures.len() * options.supplies.len();
+    let checkpoint = options.checkpoint.as_ref().map(Checkpoint::new);
+    let io_err = |e: std::io::Error| anasim::Error::InvalidValue {
+        device: "checkpoint".into(),
+        what: e.to_string(),
+    };
+    let resumed = match &checkpoint {
+        Some(cp) => cp.rows_by_key().map_err(io_err)?,
+        None => HashMap::new(),
+    };
+
+    // Cache contexts keyed by (cs number, corner, temp, vdd); a context
+    // whose construction failed is cached poisoned so the failure is
+    // charged to every cell that needs it without re-solving.
+    let mut contexts: HashMap<(u8, &'static str, i64, i64), Result<GridContext, anasim::Error>> =
+        HashMap::new();
     let mut rows = Vec::with_capacity(options.defects.len());
+    let mut failures: Vec<PointFailure> = Vec::new();
+    let mut coverage = Coverage::default();
 
     for &defect in &options.defects {
         let mut cells = Vec::with_capacity(options.case_studies.len());
         for cs in &options.case_studies {
-            let mut best: Table2Cell = Table2Cell {
-                min_ohms: None,
-                pvt: None,
-                vddcc: None,
-            };
+            let key = cell_key(defect, cs.number);
+            if let Some(cell) = resumed.get(&key).and_then(|f| checkpoint_cell(f)) {
+                coverage.merge(Coverage {
+                    attempted: grid_size,
+                    completed: grid_size - cell.failed_points.min(grid_size),
+                });
+                cells.push(cell);
+                continue;
+            }
+            let mut best = Table2Cell::empty();
+            let injected = options
+                .inject_failures
+                .contains(&(defect.number(), cs.number));
             for &corner in &options.corners {
                 for &temp in &options.temperatures {
                     for &vdd in &options.supplies {
                         let pvt = PvtCondition::new(corner, vdd, temp);
                         let tap = tap_for_vdd(vdd);
-                        let key = (
+                        if injected {
+                            best.failed_points += 1;
+                            coverage.record_failure();
+                            failures.push(PointFailure {
+                                defect: Some(defect),
+                                case_study: Some(cs.number),
+                                pvt: Some(pvt),
+                                error: anasim::Error::NoConvergence {
+                                    iterations: 0,
+                                    residual: f64::INFINITY,
+                                },
+                                attempts: options.characterize.retry.max_attempts,
+                            });
+                            continue;
+                        }
+                        let ctx_key = (
                             cs.number,
                             corner.abbreviation(),
                             temp as i64,
                             (vdd * 100.0) as i64,
                         );
-                        if let std::collections::hash_map::Entry::Vacant(e) = contexts.entry(key) {
-                            let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
-                            let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
-                            let base = CellInstance::symmetric(pvt);
-                            let load = ArrayLoad::build(
-                                &base,
-                                &[CellPopulation {
-                                    pattern: cs.pattern(),
-                                    count: cs.cell_count(),
-                                    stored: StoredBit::One,
-                                }],
-                                256 * 1024,
-                                1.3,
-                                options.load_points,
-                            )?;
-                            e.insert(GridContext {
-                                stressed,
-                                drv,
-                                load,
-                            });
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            contexts.entry(ctx_key)
+                        {
+                            let built = build_context(cs, pvt, options);
+                            if let Err(e) = &built {
+                                if !e.is_retryable() {
+                                    return Err(e.clone());
+                                }
+                                // Charged once, at first encounter; the
+                                // per-point tallies below cover reuse.
+                                failures.push(PointFailure {
+                                    defect: None,
+                                    case_study: Some(cs.number),
+                                    pvt: Some(pvt),
+                                    error: e.clone(),
+                                    attempts: options.drv.retry.max_attempts,
+                                });
+                            }
+                            slot.insert(built);
                         }
-                        let ctx = &contexts[&key];
+                        let ctx = match &contexts[&ctx_key] {
+                            Ok(ctx) => ctx,
+                            Err(_) => {
+                                best.failed_points += 1;
+                                coverage.record_failure();
+                                continue;
+                            }
+                        };
                         let criterion = DrfCriterion {
                             stressed: &ctx.stressed,
                             stored: StoredBit::One,
                             drv: ctx.drv,
                         };
-                        let found = min_resistance(
+                        match min_resistance(
                             &options.design,
                             pvt,
                             tap,
@@ -208,18 +350,35 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                             &ctx.load,
                             &criterion,
                             &options.characterize,
-                        )?;
-                        if let Some(ohms) = found.ohms {
-                            if best.min_ohms.is_none_or(|b| ohms < b) {
-                                best = Table2Cell {
-                                    min_ohms: Some(ohms),
-                                    pvt: Some(pvt),
-                                    vddcc: found.vddcc_at_fault,
-                                };
+                        ) {
+                            Ok(found) => {
+                                coverage.record_ok();
+                                if let Some(ohms) = found.ohms {
+                                    if best.min_ohms.is_none_or(|b| ohms < b) {
+                                        best.min_ohms = Some(ohms);
+                                        best.pvt = Some(pvt);
+                                        best.vddcc = found.vddcc_at_fault;
+                                    }
+                                }
                             }
+                            Err(e) if e.is_retryable() => {
+                                best.failed_points += 1;
+                                coverage.record_failure();
+                                failures.push(PointFailure {
+                                    defect: Some(defect),
+                                    case_study: Some(cs.number),
+                                    pvt: Some(pvt),
+                                    error: e,
+                                    attempts: options.characterize.retry.max_attempts,
+                                });
+                            }
+                            Err(e) => return Err(e),
                         }
                     }
                 }
+            }
+            if let Some(cp) = &checkpoint {
+                cp.append(&checkpoint_fields(&key, &best)).map_err(io_err)?;
             }
             cells.push(best);
         }
@@ -228,6 +387,35 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
     Ok(Table2 {
         case_studies: options.case_studies.clone(),
         rows,
+        failures,
+        coverage,
+    })
+}
+
+/// Builds the per-(case study, PVT) shared context.
+fn build_context(
+    cs: &CaseStudy,
+    pvt: PvtCondition,
+    options: &Table2Options,
+) -> Result<GridContext, anasim::Error> {
+    let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+    let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
+    let base = CellInstance::symmetric(pvt);
+    let load = ArrayLoad::build(
+        &base,
+        &[CellPopulation {
+            pattern: cs.pattern(),
+            count: cs.cell_count(),
+            stored: StoredBit::One,
+        }],
+        256 * 1024,
+        1.3,
+        options.load_points,
+    )?;
+    Ok(GridContext {
+        stressed,
+        drv,
+        load,
     })
 }
 
@@ -247,6 +435,14 @@ mod tests {
         }
     }
 
+    /// Pulls the cell for (defect, case study), failing with the grid
+    /// coordinate in the message instead of a bare unwrap.
+    fn cell_at(table: &Table2, df: u8, cs: u8) -> Table2Cell {
+        *table.cell(Defect::new(df), cs).unwrap_or_else(|| {
+            panic!("campaign produced no cell at (Df{df}, CS{cs})");
+        })
+    }
+
     #[test]
     fn quick_campaign_over_two_defects() {
         let mut opts = Table2Options::quick();
@@ -257,17 +453,91 @@ mod tests {
         ];
         let table = table2(&opts).unwrap();
         assert_eq!(table.rows.len(), 2);
+        assert!(
+            table.coverage.is_complete() && table.failures.is_empty(),
+            "healthy quick campaign must be complete, got {} with {} failures",
+            table.coverage,
+            table.failures.len()
+        );
+        // 2 defects × 2 CS × 1 grid point.
+        assert_eq!(table.coverage.attempted, 4);
         // Df16 hurts; lower-DRV CS2 needs more resistance than CS1.
-        let cs1 = table.cell(Defect::new(16), 1).unwrap();
-        let cs2 = table.cell(Defect::new(16), 2).unwrap();
-        let r1 = cs1.min_ohms.expect("Df16 causes DRFs for CS1");
-        let r2 = cs2.min_ohms.expect("Df16 causes DRFs for CS2");
+        let cs1 = cell_at(&table, 16, 1);
+        let cs2 = cell_at(&table, 16, 2);
+        let r1 = cs1
+            .min_ohms
+            .unwrap_or_else(|| panic!("no DRF threshold at (Df16, CS1): {cs1:?}"));
+        let r2 = cs2
+            .min_ohms
+            .unwrap_or_else(|| panic!("no DRF threshold at (Df16, CS2): {cs2:?}"));
         assert!(
             r1 < r2,
             "CS1 (highest DRV) must need the least resistance: {r1} vs {r2}"
         );
         // The negligible sense-line defect never fails.
-        let neg = table.cell(Defect::new(18), 1).unwrap();
-        assert_eq!(neg.min_ohms, None);
+        let neg = cell_at(&table, 18, 1);
+        assert_eq!(neg.min_ohms, None, "(Df18, CS1) unexpectedly faulted");
+        assert_eq!(neg.failed_points, 0, "(Df18, CS1) lost grid points");
+    }
+
+    #[test]
+    fn injected_failure_is_isolated_not_fatal() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(19)];
+        opts.case_studies = vec![
+            CaseStudy::new(1, StoredBit::One),
+            CaseStudy::new(2, StoredBit::One),
+        ];
+        // Force every grid point of (Df19, CS1) to fail.
+        opts.inject_failures = vec![(19, 1)];
+        let table = table2(&opts).expect("campaign must survive an unsolvable point");
+
+        // The poisoned cell carries the tally, not a result.
+        let hurt = cell_at(&table, 19, 1);
+        assert_eq!(hurt.failed_points, 1);
+        assert_eq!(hurt.min_ohms, None);
+        // Every other cell still completed normally.
+        assert!(cell_at(&table, 16, 1).min_ohms.is_some());
+        assert!(cell_at(&table, 16, 2).min_ohms.is_some());
+        assert_eq!(cell_at(&table, 19, 2).failed_points, 0);
+        // And the bookkeeping reflects exactly one lost point.
+        assert_eq!(table.failures.len(), 1);
+        let f = &table.failures[0];
+        assert_eq!(f.defect, Some(Defect::new(19)));
+        assert_eq!(f.case_study, Some(1));
+        assert!(f.error.is_retryable());
+        assert!(f.attempts >= 1);
+        assert_eq!(table.coverage.attempted, 4);
+        assert_eq!(table.coverage.completed, 3);
+        assert!(!table.coverage.is_complete());
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_logged_cells() {
+        let dir = std::env::temp_dir().join("drftest-table2-ckpt");
+        let path = dir.join("table2.tsv");
+        let _ = std::fs::remove_file(&path);
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16)];
+        opts.case_studies = vec![CaseStudy::new(1, StoredBit::One)];
+        opts.checkpoint = Some(path.clone());
+        let first = table2(&opts).unwrap();
+        let logged = Checkpoint::new(&path).rows_by_key().unwrap();
+        assert!(logged.contains_key("df16/cs1"), "cell not checkpointed");
+
+        // A rerun resumes from the file and reproduces the same cell
+        // without recomputing (verified by the round-trip parse).
+        let second = table2(&opts).unwrap();
+        let a = cell_at(&first, 16, 1);
+        let b = cell_at(&second, 16, 1);
+        let (ra, rb) = (a.min_ohms.unwrap(), b.min_ohms.unwrap());
+        assert!(
+            ((ra - rb) / ra).abs() < 1.0e-5,
+            "resumed cell drifted: {ra} vs {rb}"
+        );
+        assert_eq!(a.pvt.map(|p| p.corner), b.pvt.map(|p| p.corner));
+        assert_eq!(a.failed_points, b.failed_points);
+        assert!(second.coverage.is_complete());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

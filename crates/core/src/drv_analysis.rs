@@ -11,6 +11,8 @@ use process::{ProcessCorner, PvtCondition, Sigma};
 use sram::drv::{drv_ds, DrvOptions, StoredBit};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
+use crate::campaign::{Coverage, PointFailure};
+
 /// Options for the Fig. 4 sweep.
 #[derive(Debug, Clone)]
 pub struct Fig4Options {
@@ -83,11 +85,18 @@ impl Fig4Series {
     }
 }
 
-/// The complete Fig. 4 dataset: six series.
+/// The complete Fig. 4 dataset: six series, possibly partial (see
+/// `failures`/`coverage` — unsolved grid points are excluded from the
+/// per-point maxima rather than aborting the sweep).
 #[derive(Debug, Clone)]
 pub struct Fig4Data {
     /// One series per cell transistor, in Fig. 3 order.
     pub series: Vec<Fig4Series>,
+    /// Grid points left unsolved this run.
+    pub failures: Vec<PointFailure>,
+    /// Attempted/completed accounting over the (transistor × σ ×
+    /// corner × temp) grid.
+    pub coverage: Coverage,
 }
 
 impl Fig4Data {
@@ -145,13 +154,17 @@ impl Fig4Data {
     }
 }
 
-/// Runs the Fig. 4 sweep.
+/// Runs the Fig. 4 sweep with per-grid-point fault isolation: a point
+/// the rescue ladder cannot solve is recorded in the returned
+/// `failures`/`coverage` and left out of the maxima.
 ///
 /// # Errors
 ///
-/// Propagates solver failures.
+/// Propagates non-retryable failures (invalid setups).
 pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
     let mut series = Vec::with_capacity(6);
+    let mut failures = Vec::new();
+    let mut coverage = Coverage::default();
     for transistor in CellTransistor::ALL {
         let mut points = Vec::with_capacity(options.sigmas.len());
         for &sigma in &options.sigmas {
@@ -162,13 +175,30 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                 for &temp in &options.temperatures {
                     let pvt = PvtCondition::new(corner, options.vdd, temp);
                     let inst = CellInstance::with_pattern(pattern, pvt);
-                    let d1 = drv_ds(&inst, StoredBit::One, &options.drv)?.drv;
-                    let d0 = drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv;
-                    if d1 > best1.0 {
-                        best1 = (d1, pvt);
-                    }
-                    if d0 > best0.0 {
-                        best0 = (d0, pvt);
+                    let point = drv_ds(&inst, StoredBit::One, &options.drv).and_then(|d1| {
+                        Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv))
+                    });
+                    match point {
+                        Ok((d1, d0)) => {
+                            coverage.record_ok();
+                            if d1 > best1.0 {
+                                best1 = (d1, pvt);
+                            }
+                            if d0 > best0.0 {
+                                best0 = (d0, pvt);
+                            }
+                        }
+                        Err(e) if e.is_retryable() => {
+                            coverage.record_failure();
+                            failures.push(PointFailure {
+                                defect: None,
+                                case_study: None,
+                                pvt: Some(pvt),
+                                error: e,
+                                attempts: options.drv.retry.max_attempts,
+                            });
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
             }
@@ -182,7 +212,11 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
         }
         series.push(Fig4Series { transistor, points });
     }
-    Ok(Fig4Data { series })
+    Ok(Fig4Data {
+        series,
+        failures,
+        coverage,
+    })
 }
 
 #[cfg(test)]
@@ -193,6 +227,11 @@ mod tests {
     fn quick_sweep_reproduces_observations() {
         let data = fig4(&Fig4Options::quick()).unwrap();
         assert_eq!(data.series.len(), 6);
+        assert!(
+            data.coverage.is_complete() && data.failures.is_empty(),
+            "healthy quick sweep must be complete: {}",
+            data.coverage
+        );
         assert!(data.observation1_holds(), "observation 1 failed");
         assert!(data.observation2_holds(), "observation 2 failed");
         assert!(data.pass_transistors_matter_less());

@@ -5,6 +5,7 @@ use std::fmt;
 
 use sram::CellTransistor;
 
+use crate::campaign::completeness_footer;
 use crate::drv_analysis::{fig4 as sweep, Fig4Data, Fig4Options};
 use crate::report::{format_mv, TextTable};
 
@@ -49,7 +50,15 @@ impl fmt::Display for Fig4Report {
             f,
             "Fig. 4b — worst-case DRV_DS0 (mV) vs Vth variation",
             |p| p.drv_ds0,
-        )
+        )?;
+        if !self.data.coverage.is_complete() {
+            writeln!(
+                f,
+                "{}",
+                completeness_footer(&self.data.coverage, &self.data.failures)
+            )?;
+        }
+        Ok(())
     }
 }
 

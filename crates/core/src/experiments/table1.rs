@@ -7,6 +7,7 @@ use process::{ProcessCorner, PvtCondition};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{CellInstance, StoredBit};
 
+use crate::campaign::{completeness_footer, Coverage, PointFailure};
 use crate::case_study::CaseStudy;
 use crate::report::{format_mv, TextTable};
 
@@ -68,11 +69,18 @@ impl Table1Row {
     }
 }
 
-/// The regenerated table.
+/// The regenerated table, possibly partial: grid points unsolved after
+/// the rescue ladder are listed in `failures` and excluded from the
+/// per-row maxima.
 #[derive(Debug, Clone)]
 pub struct Table1Report {
     /// Rows for CS1…CS5 (`-1` variants).
     pub rows: Vec<Table1Row>,
+    /// Grid points left unsolved this run.
+    pub failures: Vec<PointFailure>,
+    /// Attempted/completed accounting over the (CS × corner × temp)
+    /// grid.
+    pub coverage: Coverage,
 }
 
 impl Table1Report {
@@ -114,17 +122,31 @@ impl fmt::Display for Table1Report {
                 row.worst_pvt.to_string(),
             ]);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        if !self.coverage.is_complete() {
+            write!(
+                f,
+                "\n{}",
+                completeness_footer(&self.coverage, &self.failures)
+            )?;
+        }
+        Ok(())
     }
 }
 
 /// Runs the Table I experiment over the five `-1` case studies.
 ///
+/// Each grid point runs in isolation: points unsolved after the rescue
+/// ladder are recorded in the report's `failures`/`coverage` and left
+/// out of the maxima rather than aborting the run.
+///
 /// # Errors
 ///
-/// Propagates solver failures.
+/// Propagates non-retryable failures (invalid setups).
 pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
     let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut coverage = Coverage::default();
     for cs in CaseStudy::ones() {
         let mut best1 = (0.0f64, PvtCondition::nominal());
         let mut best0 = 0.0f64;
@@ -132,12 +154,28 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
             for &temp in &options.temperatures {
                 let pvt = PvtCondition::new(corner, options.vdd, temp);
                 let inst = CellInstance::with_pattern(cs.pattern(), pvt);
-                let d1 = drv_ds(&inst, StoredBit::One, &options.drv)?.drv;
-                let d0 = drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv;
-                if d1 > best1.0 {
-                    best1 = (d1, pvt);
+                let point = drv_ds(&inst, StoredBit::One, &options.drv)
+                    .and_then(|d1| Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv)));
+                match point {
+                    Ok((d1, d0)) => {
+                        coverage.record_ok();
+                        if d1 > best1.0 {
+                            best1 = (d1, pvt);
+                        }
+                        best0 = best0.max(d0);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        coverage.record_failure();
+                        failures.push(PointFailure {
+                            defect: None,
+                            case_study: Some(cs.number),
+                            pvt: Some(pvt),
+                            error: e,
+                            attempts: options.drv.retry.max_attempts,
+                        });
+                    }
+                    Err(e) => return Err(e),
                 }
-                best0 = best0.max(d0);
             }
         }
         rows.push(Table1Row {
@@ -148,7 +186,11 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
             paper_drv: cs.paper_drv_mv() / 1.0e3,
         });
     }
-    Ok(Table1Report { rows })
+    Ok(Table1Report {
+        rows,
+        failures,
+        coverage,
+    })
 }
 
 #[cfg(test)]
@@ -160,6 +202,13 @@ mod tests {
         let report = run(&Table1Options::quick()).unwrap();
         assert_eq!(report.rows.len(), 5);
         assert!(report.ordering_holds(), "{report}");
+        assert!(
+            report.coverage.is_complete() && report.failures.is_empty(),
+            "healthy quick run must be complete: {}",
+            report.coverage
+        );
+        // 5 CS × 2 corners × 1 temp.
+        assert_eq!(report.coverage.attempted, 10);
         // CSx-1 rows: the stressed lobe (DS1) sets the DRV; the other
         // lobe stays near the symmetric floor.
         for row in &report.rows {

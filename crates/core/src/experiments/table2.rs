@@ -5,6 +5,7 @@ use std::fmt;
 
 use regulator::Defect;
 
+use crate::campaign::completeness_footer;
 use crate::defect_analysis::{table2 as campaign, Table2, Table2Options};
 use crate::report::{format_min_resistance, TextTable};
 
@@ -230,7 +231,15 @@ impl fmt::Display for Table2Report {
             cells.push(worst);
             t.push_row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        if !self.table.coverage.is_complete() {
+            write!(
+                f,
+                "\n{}",
+                completeness_footer(&self.table.coverage, &self.table.failures)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -270,5 +279,21 @@ mod tests {
         assert!(text.contains("Df19"));
         assert!(text.contains("CS1 paper"));
         assert!(text.contains("195.31"), "paper value shown: {text}");
+        assert!(
+            !text.contains("coverage:"),
+            "complete runs render no footer: {text}"
+        );
+    }
+
+    #[test]
+    fn partial_report_renders_coverage_footer() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(19)];
+        opts.case_studies = vec![CaseStudy::new(1, StoredBit::One)];
+        opts.inject_failures = vec![(19, 1)];
+        let report = run(&opts).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("coverage: 0/1"), "{text}");
+        assert!(text.contains("unresolved: Df19 × CS1"), "{text}");
     }
 }

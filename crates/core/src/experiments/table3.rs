@@ -4,6 +4,7 @@
 
 use std::fmt;
 
+use crate::campaign::completeness_footer;
 use crate::optimize::{
     build_coverage, escape_analysis, greedy_cover, CoverageMatrix, CoverageOptions,
 };
@@ -66,7 +67,15 @@ impl fmt::Display for Table3Report {
             t.push_row(row);
         }
         writeln!(f, "{t}")?;
-        writeln!(f, "(* = detection-maximizing combination for that defect)")
+        writeln!(f, "(* = detection-maximizing combination for that defect)")?;
+        if !self.matrix.coverage.is_complete() {
+            writeln!(
+                f,
+                "{}",
+                completeness_footer(&self.matrix.coverage, &self.matrix.failures)
+            )?;
+        }
+        Ok(())
     }
 }
 

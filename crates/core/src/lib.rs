@@ -16,7 +16,9 @@
 //!   electrically-backed SRAM ([`sram_target`]),
 //! * the flow optimizer behind Table III ([`optimize`]), and
 //! * displayable experiment reports pairing measured values with the
-//!   published ones ([`experiments`]).
+//!   published ones ([`experiments`]), and
+//! * the resilient-campaign machinery — per-point failure records,
+//!   coverage accounting, and checkpoint/resume ([`campaign`]).
 //!
 //! # Example: is a defective regulator caught by the optimized flow?
 //!
@@ -38,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod case_study;
 pub mod defect_analysis;
 pub mod diagnosis;
@@ -53,6 +56,7 @@ pub mod sram_target;
 pub mod taxonomy;
 pub mod test_flow;
 
+pub use campaign::{completeness_footer, Checkpoint, Coverage, PointFailure};
 pub use case_study::{CaseStudy, WORST_CASE_DRV};
 pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
 pub use diagnosis::{diagnose_mlz, diagnose_mlz_with_prepass, FailureSignature, LostValue};

@@ -7,10 +7,10 @@
 //! studies sit relative to it.
 
 use process::{MonteCarlo, PvtCondition, Sigma};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sram::drv::{drv_ds_worst, DrvOptions};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
+
+use crate::campaign::{completeness_footer, Coverage, PointFailure};
 
 /// Options for the Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -36,13 +36,20 @@ impl Default for MonteCarloOptions {
     }
 }
 
-/// The sampled distribution.
+/// The sampled distribution, possibly partial: samples the rescue
+/// ladder could not solve are dropped from the statistics and listed in
+/// `failures` (quantiles over a partial sample set are slightly
+/// optimistic, which `coverage` quantifies).
 #[derive(Debug, Clone)]
 pub struct MonteCarloReport {
     /// Worst-of-both-values DRV per sampled cell, volts, ascending.
     pub drvs: Vec<f64>,
     /// The symmetric-cell DRV at the same condition, volts.
     pub symmetric_drv: f64,
+    /// Samples left unsolved this run.
+    pub failures: Vec<PointFailure>,
+    /// Attempted/completed accounting over the sample set.
+    pub coverage: Coverage,
 }
 
 impl MonteCarloReport {
@@ -90,7 +97,11 @@ impl std::fmt::Display for MonteCarloReport {
             f,
             "  cells above the worst-case design point (730 mV): {:.1}%",
             self.exceedance(0.730) * 100.0
-        )
+        )?;
+        if !self.coverage.is_complete() {
+            writeln!(f, "{}", completeness_footer(&self.coverage, &self.failures))?;
+        }
+        Ok(())
     }
 }
 
@@ -98,19 +109,42 @@ impl std::fmt::Display for MonteCarloReport {
 /// from the standard normal, in σ units) and measures each cell's
 /// worst-of-both-values retention voltage.
 ///
+/// Samples run in isolation: one the rescue ladder cannot solve is
+/// dropped (recorded in the report's `failures`/`coverage`) and the
+/// run continues.
+///
 /// # Errors
 ///
-/// Propagates solver failures.
+/// Propagates non-retryable failures, and any failure on the symmetric
+/// baseline — without it the report has no reference point.
 pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, anasim::Error> {
-    let mut mc = MonteCarlo::new(StdRng::seed_from_u64(options.seed));
+    let mut mc = MonteCarlo::seeded(options.seed);
     let mut drvs = Vec::with_capacity(options.samples);
+    let mut failures = Vec::new();
+    let mut coverage = Coverage::default();
     for _ in 0..options.samples {
         let mut pattern = MismatchPattern::symmetric();
         for t in CellTransistor::ALL {
             pattern = pattern.with(t, mc.sample_sigma());
         }
         let inst = CellInstance::with_pattern(pattern, options.pvt);
-        drvs.push(drv_ds_worst(&inst, &options.drv)?);
+        match drv_ds_worst(&inst, &options.drv) {
+            Ok(drv) => {
+                coverage.record_ok();
+                drvs.push(drv);
+            }
+            Err(e) if e.is_retryable() => {
+                coverage.record_failure();
+                failures.push(PointFailure {
+                    defect: None,
+                    case_study: None,
+                    pvt: Some(options.pvt),
+                    error: e,
+                    attempts: options.drv.retry.max_attempts,
+                });
+            }
+            Err(e) => return Err(e),
+        }
     }
     drvs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let symmetric_drv = drv_ds_worst(
@@ -120,6 +154,8 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
     Ok(MonteCarloReport {
         drvs,
         symmetric_drv,
+        failures,
+        coverage,
     })
 }
 
@@ -154,6 +190,11 @@ mod tests {
     fn distribution_is_sane() {
         let report = small_run();
         assert_eq!(report.drvs.len(), 40);
+        assert!(
+            report.coverage.is_complete() && report.failures.is_empty(),
+            "healthy run must be complete: {}",
+            report.coverage
+        );
         // Quantiles are monotone.
         assert!(report.quantile(0.5) <= report.quantile(0.9));
         assert!(report.quantile(0.9) <= report.quantile(1.0));

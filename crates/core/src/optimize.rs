@@ -8,6 +8,7 @@ use regulator::{Defect, RegulatorDesign, VrefTap};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
+use crate::campaign::{Coverage, PointFailure};
 use crate::case_study::{CaseStudy, WORST_CASE_DRV};
 use crate::test_flow::{FlowIteration, TestFlow};
 
@@ -89,6 +90,12 @@ pub struct CoverageMatrix {
     /// `maximized[d][c]`: whether combination `c` is within slack of
     /// defect `d`'s best combination.
     pub maximized: Vec<Vec<bool>>,
+    /// Matrix entries (or shared contexts) left unsolved after the
+    /// rescue ladder; the corresponding `min_r` entries are `None`.
+    pub failures: Vec<PointFailure>,
+    /// Attempted/completed accounting over the (defect × combination)
+    /// matrix.
+    pub coverage: Coverage,
 }
 
 impl CoverageMatrix {
@@ -106,9 +113,14 @@ impl CoverageMatrix {
 /// Builds the coverage matrix by characterizing every defect at each of
 /// the 12 (V_DD, Vref) combinations.
 ///
+/// Matrix entries run in isolation: an entry (or a shared per-supply
+/// context) the rescue ladder cannot solve stays `None` in `min_r` and
+/// is recorded in the matrix's `failures`/`coverage` rather than
+/// aborting the build.
+///
 /// # Errors
 ///
-/// Propagates solver failures.
+/// Propagates non-retryable failures (invalid setups).
 pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasim::Error> {
     let mut combos = Vec::with_capacity(12);
     for &vdd in &[1.0, 1.1, 1.2] {
@@ -121,38 +133,62 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
         }
     }
     let cs = &options.case_study;
-    // Per-supply context (corner/temp fixed, vdd varies).
-    let mut contexts: Vec<(f64, CellInstance, f64, ArrayLoad)> = Vec::new();
+    let mut failures = Vec::new();
+    let mut coverage = Coverage::default();
+    // Per-supply context (corner/temp fixed, vdd varies); a failed
+    // build poisons that supply's column instead of the whole matrix.
+    type SupplyContext = (CellInstance, f64, ArrayLoad);
+    let mut contexts: Vec<(f64, Result<SupplyContext, anasim::Error>)> = Vec::new();
     for &vdd in &[1.0, 1.1, 1.2] {
         let pvt = PvtCondition::new(options.corner, vdd, options.temp_c);
-        let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
-        let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
-        let base = CellInstance::symmetric(pvt);
-        let load = ArrayLoad::build(
-            &base,
-            &[CellPopulation {
-                pattern: cs.pattern(),
-                count: cs.cell_count(),
-                stored: StoredBit::One,
-            }],
-            256 * 1024,
-            1.3,
-            options.load_points,
-        )?;
-        contexts.push((vdd, stressed, drv, load));
+        let built: Result<SupplyContext, anasim::Error> = (|| {
+            let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
+            let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
+            let base = CellInstance::symmetric(pvt);
+            let load = ArrayLoad::build(
+                &base,
+                &[CellPopulation {
+                    pattern: cs.pattern(),
+                    count: cs.cell_count(),
+                    stored: StoredBit::One,
+                }],
+                256 * 1024,
+                1.3,
+                options.load_points,
+            )?;
+            Ok((stressed, drv, load))
+        })();
+        if let Err(e) = &built {
+            if !e.is_retryable() {
+                return Err(e.clone());
+            }
+            failures.push(PointFailure {
+                defect: None,
+                case_study: Some(cs.number),
+                pvt: Some(pvt),
+                error: e.clone(),
+                attempts: options.drv.retry.max_attempts,
+            });
+        }
+        contexts.push((vdd, built));
     }
 
     let mut min_r = vec![vec![None; combos.len()]; options.defects.len()];
     for (d, &defect) in options.defects.iter().enumerate() {
         for (c, combo) in combos.iter().enumerate() {
-            let (_, stressed, drv, load) = contexts
+            let (_, built) = contexts
                 .iter()
-                .find(|(v, ..)| (*v - combo.vdd).abs() < 1e-9)
+                .find(|(v, _)| (*v - combo.vdd).abs() < 1e-9)
                 .expect("context exists for every supply");
+            let Ok((stressed, drv, load)) = built else {
+                coverage.record_failure();
+                continue;
+            };
             // A combination whose healthy Vreg already sits below the
             // stressed cell's DRV would fail fault-free parts: it is
             // not usable for this criterion.
             if combo.expected_vreg() < *drv {
+                coverage.record_ok();
                 continue;
             }
             let pvt = PvtCondition::new(options.corner, combo.vdd, options.temp_c);
@@ -161,7 +197,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 stored: StoredBit::One,
                 drv: *drv,
             };
-            let found = min_resistance(
+            match min_resistance(
                 &options.design,
                 pvt,
                 combo.tap,
@@ -169,8 +205,23 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 load,
                 &criterion,
                 &options.characterize,
-            )?;
-            min_r[d][c] = found.ohms;
+            ) {
+                Ok(found) => {
+                    coverage.record_ok();
+                    min_r[d][c] = found.ohms;
+                }
+                Err(e) if e.is_retryable() => {
+                    coverage.record_failure();
+                    failures.push(PointFailure {
+                        defect: Some(defect),
+                        case_study: Some(cs.number),
+                        pvt: Some(pvt),
+                        error: e,
+                        attempts: options.characterize.retry.max_attempts,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -195,6 +246,8 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
         defects: options.defects.clone(),
         min_r,
         maximized,
+        failures,
+        coverage,
     })
 }
 
@@ -403,6 +456,11 @@ mod tests {
             defects: vec![Defect::new(16), Defect::new(3), Defect::new(4)],
             min_r,
             maximized,
+            failures: Vec::new(),
+            coverage: Coverage {
+                attempted: 12,
+                completed: 12,
+            },
         }
     }
 
@@ -471,6 +529,11 @@ mod tests {
         let opts = CoverageOptions::quick();
         let matrix = build_coverage(&opts).unwrap();
         assert_eq!(matrix.combos.len(), 12);
+        assert!(
+            matrix.coverage.is_complete() && matrix.failures.is_empty(),
+            "healthy build must be complete: {}",
+            matrix.coverage
+        );
         // Df16 must be detectable somewhere.
         let d16 = matrix
             .defects

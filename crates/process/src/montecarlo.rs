@@ -6,8 +6,7 @@
 //! contain a ±6σ fully-adversarial cell, which is exactly why the paper
 //! calls that case "a theoretical case study".
 
-use rand::Rng;
-
+use crate::rng::{RandomSource, SplitMix64};
 use crate::sigma::Sigma;
 
 /// A seeded Gaussian sampler producing σ-valued threshold deviations.
@@ -17,7 +16,15 @@ pub struct MonteCarlo<R> {
     cache: Option<f64>,
 }
 
-impl<R: Rng> MonteCarlo<R> {
+impl MonteCarlo<SplitMix64> {
+    /// A sampler over the crate's built-in generator; equal seeds give
+    /// equal streams.
+    pub fn seeded(seed: u64) -> Self {
+        MonteCarlo::new(SplitMix64::seed_from_u64(seed))
+    }
+}
+
+impl<R: RandomSource> MonteCarlo<R> {
     /// Wraps a random-number generator.
     pub fn new(rng: R) -> Self {
         MonteCarlo { rng, cache: None }
@@ -30,8 +37,8 @@ impl<R: Rng> MonteCarlo<R> {
             return v;
         }
         // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - self.rng.gen::<f64>();
-        let u2: f64 = self.rng.gen();
+        let u1: f64 = 1.0 - self.rng.next_f64();
+        let u2: f64 = self.rng.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.cache = Some(r * theta.sin());
@@ -52,11 +59,9 @@ impl<R: Rng> MonteCarlo<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn sampler(seed: u64) -> MonteCarlo<StdRng> {
-        MonteCarlo::new(StdRng::seed_from_u64(seed))
+    fn sampler(seed: u64) -> MonteCarlo<SplitMix64> {
+        MonteCarlo::seeded(seed)
     }
 
     #[test]

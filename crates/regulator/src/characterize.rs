@@ -8,7 +8,7 @@ use sram::retention::retention_outcome;
 use sram::{ArrayLoad, CellInstance};
 
 use crate::defect::{Defect, DefectCategory};
-use crate::solve::activation_transient;
+use crate::solve::activation_transient_with_retry;
 use crate::topology::{FeedMode, RegulatorCircuit, RegulatorDesign, VrefTap, OPEN_THRESHOLD_OHMS};
 
 /// Tuning of the characterization sweep.
@@ -29,6 +29,9 @@ pub struct CharacterizeOptions {
     pub transient_dt: f64,
     /// Window simulated for activation transients, seconds.
     pub transient_window: f64,
+    /// Solver escalation on non-converged points (the full ladder by
+    /// default; [`anasim::RetryPolicy::none`] for ablations).
+    pub retry: anasim::RetryPolicy,
 }
 
 impl Default for CharacterizeOptions {
@@ -41,6 +44,7 @@ impl Default for CharacterizeOptions {
             ds_time: 1.0e-3,
             transient_dt: 4.0e-6,
             transient_window: 1.0e-3,
+            retry: anasim::RetryPolicy::ladder(),
         }
     }
 }
@@ -118,6 +122,7 @@ pub fn drf_at(
         drf_at_transient(design, pvt, tap, defect, ohms, load, criterion, opts)
     } else {
         let mut circuit = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
+        circuit.set_retry(opts.retry);
         drf_at_dc(&mut circuit, defect, ohms, load, criterion, opts)
     }
 }
@@ -133,7 +138,7 @@ fn drf_at_transient(
     criterion: &DrfCriterion<'_>,
     opts: &CharacterizeOptions,
 ) -> Result<(bool, f64), anasim::Error> {
-    let wave = activation_transient(
+    let wave = activation_transient_with_retry(
         design,
         pvt,
         tap,
@@ -142,6 +147,7 @@ fn drf_at_transient(
         load,
         opts.transient_window,
         opts.transient_dt,
+        opts.retry,
     )?;
     let v_min = wave.min_vddcc();
     if v_min >= criterion.drv {
@@ -190,7 +196,9 @@ pub fn min_resistance(
     let mut dc_circuit = if defect.is_transient_mechanism() {
         None
     } else {
-        Some(RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?)
+        let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
+        c.set_retry(opts.retry);
+        Some(c)
     };
     let mut eval = |ohms: f64| -> Result<(bool, f64), anasim::Error> {
         match dc_circuit.as_mut() {
@@ -271,11 +279,12 @@ pub fn classify_at_tap(
     const MARGIN: f64 = 0.01;
     let healthy = {
         let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
+        c.set_retry(opts.retry);
         c.solve(load)?.vddcc
     };
     let probe = |ohms: f64| -> Result<f64, anasim::Error> {
         if defect.is_transient_mechanism() {
-            Ok(activation_transient(
+            Ok(activation_transient_with_retry(
                 design,
                 pvt,
                 tap,
@@ -284,10 +293,12 @@ pub fn classify_at_tap(
                 load,
                 opts.transient_window,
                 opts.transient_dt,
+                opts.retry,
             )?
             .min_vddcc())
         } else {
             let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
+            c.set_retry(opts.retry);
             c.inject(defect, ohms);
             Ok(c.solve(load)?.vddcc)
         }

@@ -501,6 +501,12 @@ impl RegulatorCircuit {
         self.nl.set_param(self.defects[defect.index()], ohms);
     }
 
+    /// Replaces the DC solver's retry policy (the escalation ladder by
+    /// default; [`anasim::RetryPolicy::none`] for ablation runs).
+    pub fn set_retry(&mut self, retry: anasim::RetryPolicy) {
+        self.dc = self.dc.clone().with_retry(retry);
+    }
+
     /// Removes every injected defect.
     pub fn clear_defects(&mut self) {
         for id in self.defects {
@@ -578,8 +584,14 @@ impl RegulatorCircuit {
             let taps = self.n_taps.map(|n| sol.voltage(n));
             let bias_current = {
                 // Tail current read through the Df9 branch voltage: the
-                // source resistor carries the full tail current.
-                let v_src = sol.voltage(self.nl.find_node("mn1_src").expect("node exists"));
+                // source resistor carries the full tail current. Probed
+                // with try_voltage so a topology variant without the
+                // node reads 0 A instead of panicking mid-campaign.
+                let v_src = self
+                    .nl
+                    .find_node("mn1_src")
+                    .and_then(|n| sol.try_voltage(n))
+                    .unwrap_or(0.0);
                 v_src / self.nl.param(self.defects[Defect::new(9).index()])
             };
             let supply_current = -sol

@@ -2,10 +2,14 @@
 //! artifacts by name.
 //!
 //! ```text
-//! lp-sram-suite <artifact> [--paper|--reduced]
+//! lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]
 //!   artifacts: fig4, fig5, table1, table2, table3, march, power,
 //!              power-defects, ds-time, monte-carlo, all
 //! ```
+//!
+//! `--checkpoint` (table2 only) appends each completed table cell to
+//! the given tab-separated file; rerunning with the same path resumes,
+//! skipping cells already logged.
 
 use std::process::ExitCode;
 
@@ -22,7 +26,7 @@ use regulator::Defect;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lp-sram-suite <artifact> [--paper|--reduced]\n\
+        "usage: lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]\n\
          artifacts:\n\
            fig4          DRV vs single-transistor Vth variation\n\
            fig5          defect classification (colour coding)\n\
@@ -33,12 +37,18 @@ fn usage() -> ExitCode {
            power-defects category-1 (power) defect characterization\n\
            ds-time       deep-sleep dwell-time sweep\n\
            monte-carlo   random-mismatch DRV distribution\n\
-           all           everything above with fast settings"
+           all           everything above with fast settings\n\
+         --checkpoint <file> (table2): log completed cells and resume"
     );
     ExitCode::FAILURE
 }
 
-fn run(artifact: &str, paper: bool, reduced: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    artifact: &str,
+    paper: bool,
+    reduced: bool,
+    checkpoint: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
     match artifact {
         "fig4" => {
             let opts = if paper {
@@ -60,13 +70,14 @@ fn run(artifact: &str, paper: bool, reduced: bool) -> Result<(), Box<dyn std::er
             println!("{}", table1::run(&opts)?);
         }
         "table2" => {
-            let opts = if paper {
+            let mut opts = if paper {
                 Table2Options::paper()
             } else if reduced {
                 Table2Options::reduced()
             } else {
                 Table2Options::quick()
             };
+            opts.checkpoint = checkpoint.map(std::path::PathBuf::from);
             println!("{}", table2::run(&opts)?);
         }
         "table3" => {
@@ -111,7 +122,7 @@ fn run(artifact: &str, paper: bool, reduced: bool) -> Result<(), Box<dyn std::er
                 "monte-carlo",
             ] {
                 println!("==== {artifact} ====");
-                run(artifact, false, false)?;
+                run(artifact, false, false, None)?;
                 println!();
             }
         }
@@ -127,7 +138,12 @@ fn main() -> ExitCode {
     };
     let paper = args.iter().any(|a| a == "--paper");
     let reduced = args.iter().any(|a| a == "--reduced");
-    match run(artifact, paper, reduced) {
+    let checkpoint = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    match run(artifact, paper, reduced, checkpoint) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,4 +1,11 @@
 //! Property-based tests over the suite's core invariants.
+//!
+//! Gated behind the `proptest` cargo feature: the crates.io `proptest`
+//! dependency cannot be fetched in offline/air-gapped environments, so
+//! the default (tier-1) build compiles this file to nothing. Restore
+//! the commented dev-dependency in the root `Cargo.toml` and pass
+//! `--features proptest` to run these suites.
+#![cfg(feature = "proptest")]
 
 use lp_sram_suite::anasim::dc::DcAnalysis;
 use lp_sram_suite::anasim::matrix::{solve_dense, DenseMatrix};
