@@ -100,16 +100,29 @@ pub struct SolverStats {
     pub retries: usize,
     /// The continuation stage that produced the accepted solution.
     pub rescued_by: RescueStage,
+    /// Largest iteration count any single absorbed solve needed. For a
+    /// lone solve this equals [`iterations`](SolverStats::iterations);
+    /// after a transient run it is the cost of the worst time step,
+    /// which the summed `iterations` can no longer show.
+    pub max_iterations: usize,
+    /// Deepest rescue ladder (continuation stage count) any single
+    /// absorbed solve reached. 1 = plain Newton sufficed everywhere.
+    pub rescue_depth: usize,
 }
 
 impl SolverStats {
     /// Folds another solve's telemetry into this one (used by
     /// transient analyses, which run one solve per time step).
+    /// Sums iterations/stages/retries; takes the worst-case
+    /// `max_iterations`, `rescue_depth` and `rescued_by`. The default
+    /// (empty) stats value is the identity of this fold.
     pub fn absorb(&mut self, other: &SolverStats) {
         self.iterations += other.iterations;
         self.stages += other.stages;
         self.retries += other.retries;
         self.rescued_by = self.rescued_by.max(other.rescued_by);
+        self.max_iterations = self.max_iterations.max(other.max_iterations);
+        self.rescue_depth = self.rescue_depth.max(other.rescue_depth);
     }
 }
 
@@ -136,6 +149,8 @@ impl Solution {
                 stages: 1,
                 retries: 0,
                 rescued_by: RescueStage::Plain,
+                max_iterations: iterations,
+                rescue_depth: 1,
             },
         }
     }
@@ -145,6 +160,7 @@ impl Solution {
     pub(crate) fn rescued(mut self, stage: RescueStage, stages: usize) -> Self {
         self.stats.rescued_by = stage;
         self.stats.stages = stages;
+        self.stats.rescue_depth = stages;
         self
     }
 
@@ -594,6 +610,12 @@ pub fn solve_with_retry(
                 sol.stats.iterations += iters_burned;
                 sol.stats.stages += stages_burned;
                 sol.iterations = sol.stats.iterations;
+                sol.stats.max_iterations = sol.stats.iterations;
+                obs::counter_add("anasim.solve.count", 1);
+                obs::counter_add(&format!("anasim.rescue.{}", sol.stats.rescued_by), 1);
+                obs::hist_record("anasim.solve.iterations", sol.stats.iterations as f64);
+                obs::hist_record("anasim.solve.retries", sol.stats.retries as f64);
+                obs::tally_add(sol.stats.iterations as u64, sol.stats.retries as u64);
                 return Ok(sol);
             }
             Err(e) if e.is_retryable() && attempt + 1 < attempts => {
@@ -601,7 +623,10 @@ pub fn solve_with_retry(
                 iters_burned += attempt_opts.max_iterations;
                 stages_burned += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                obs::counter_add("anasim.solve.failed", 1);
+                return Err(e);
+            }
         }
     }
     unreachable!("retry loop always returns")
@@ -826,18 +851,45 @@ mod tests {
             stages: 1,
             retries: 0,
             rescued_by: RescueStage::Plain,
+            max_iterations: 10,
+            rescue_depth: 1,
         };
         let b = SolverStats {
             iterations: 50,
             stages: 3,
             retries: 2,
             rescued_by: RescueStage::GminStepping,
+            max_iterations: 30,
+            rescue_depth: 3,
         };
         a.absorb(&b);
         assert_eq!(a.iterations, 60);
         assert_eq!(a.stages, 4);
         assert_eq!(a.retries, 2);
         assert_eq!(a.rescued_by, RescueStage::GminStepping);
+        // Worst-case fields take the max, not the sum.
+        assert_eq!(a.max_iterations, 30);
+        assert_eq!(a.rescue_depth, 3);
+    }
+
+    #[test]
+    fn solver_stats_default_is_absorb_identity() {
+        let stats = SolverStats {
+            iterations: 42,
+            stages: 2,
+            retries: 1,
+            rescued_by: RescueStage::SourceStepping,
+            max_iterations: 25,
+            rescue_depth: 2,
+        };
+        // Absorbing the empty stats changes nothing…
+        let mut a = stats;
+        a.absorb(&SolverStats::default());
+        assert_eq!(a, stats);
+        // …and absorbing into the empty stats reproduces the operand.
+        let mut b = SolverStats::default();
+        b.absorb(&stats);
+        assert_eq!(b, stats);
     }
 
     #[test]

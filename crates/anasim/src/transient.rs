@@ -198,6 +198,7 @@ impl TransientAnalysis {
             times.push(time);
             states.push(sol.into_raw());
         }
+        obs::counter_add("anasim.transient.steps", (times.len() - 1) as u64);
         Ok(TransientResult {
             times,
             states,

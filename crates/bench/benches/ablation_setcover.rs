@@ -61,6 +61,7 @@ fn synthetic_matrix() -> CoverageMatrix {
         coverage: drftest::Coverage {
             attempted,
             completed: attempted,
+            elapsed_s: 0.0,
         },
     }
 }

@@ -1,0 +1,100 @@
+//! Emits `BENCH_table2.json`: a small committed baseline of the
+//! Table II campaign's throughput and solver cost at the quick setting.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2_baseline [out.json]
+//! ```
+//!
+//! The file records points/sec and the solver iteration totals so a
+//! future change that regresses the campaign (more Newton iterations,
+//! deeper rescue-ladder use, lower throughput) shows up as a diff
+//! against the committed numbers. Timing-derived fields vary by host;
+//! the iteration/retry totals are deterministic.
+
+use drftest::experiments::table2;
+use drftest::Table2Options;
+use obs::Json;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_table2.json".to_string());
+    obs::reset();
+    let report = table2::run(&Table2Options::quick()).expect("quick campaign solves");
+    obs::flush();
+    let snapshot = obs::snapshot();
+    let counter = |name: &str| *snapshot.counters.get(name).unwrap_or(&0);
+    let hist_sum = |name: &str| {
+        snapshot
+            .histograms
+            .get(name)
+            .map(|h| h.sum())
+            .unwrap_or(0.0)
+    };
+    let coverage = report.table.coverage;
+    let doc = Json::obj([
+        (
+            "schema".to_string(),
+            Json::Str("lp-sram-suite/bench-baseline/v1".to_string()),
+        ),
+        ("artifact".to_string(), Json::Str("table2".to_string())),
+        ("mode".to_string(), Json::Str("quick".to_string())),
+        ("version".to_string(), Json::Str(obs::describe_version())),
+        (
+            "points_attempted".to_string(),
+            Json::Num(coverage.attempted as f64),
+        ),
+        (
+            "points_completed".to_string(),
+            Json::Num(coverage.completed as f64),
+        ),
+        ("elapsed_s".to_string(), Json::Num(coverage.elapsed_s)),
+        (
+            "points_per_sec".to_string(),
+            Json::Num(coverage.points_per_sec()),
+        ),
+        (
+            "solver".to_string(),
+            Json::obj([
+                (
+                    "solves".to_string(),
+                    Json::Num(counter("anasim.solve.count") as f64),
+                ),
+                (
+                    "failed".to_string(),
+                    Json::Num(counter("anasim.solve.failed") as f64),
+                ),
+                (
+                    "iterations_total".to_string(),
+                    Json::Num(hist_sum("anasim.solve.iterations")),
+                ),
+                (
+                    "retries_total".to_string(),
+                    Json::Num(hist_sum("anasim.solve.retries")),
+                ),
+                (
+                    "rescue_plain".to_string(),
+                    Json::Num(counter("anasim.rescue.plain") as f64),
+                ),
+                (
+                    "rescue_gmin_regularized".to_string(),
+                    Json::Num(counter("anasim.rescue.gmin-regularized") as f64),
+                ),
+                (
+                    "rescue_gmin_stepping".to_string(),
+                    Json::Num(counter("anasim.rescue.gmin-stepping") as f64),
+                ),
+                (
+                    "transient_steps".to_string(),
+                    Json::Num(counter("anasim.transient.steps") as f64),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_pretty()).expect("baseline written");
+    eprintln!(
+        "wrote {out}: {} points at {:.2} points/s",
+        coverage.completed,
+        coverage.points_per_sec()
+    );
+}

@@ -64,12 +64,14 @@ impl fmt::Display for PointFailure {
 }
 
 /// Attempted/completed accounting of a campaign's grid points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Coverage {
     /// Grid points the campaign tried to evaluate.
     pub attempted: usize,
     /// Points that produced a result (including "no fault found").
     pub completed: usize,
+    /// Campaign wall-clock, seconds (0 until the executor stamps it).
+    pub elapsed_s: f64,
 }
 
 impl Coverage {
@@ -84,10 +86,22 @@ impl Coverage {
         self.attempted += 1;
     }
 
-    /// Folds a sub-campaign's accounting into this one.
+    /// Folds a sub-campaign's accounting into this one. Elapsed times
+    /// add up: sub-campaigns run sequentially.
     pub fn merge(&mut self, other: Coverage) {
         self.attempted += other.attempted;
         self.completed += other.completed;
+        self.elapsed_s += other.elapsed_s;
+    }
+
+    /// Completed points per wall-clock second (0 until the elapsed
+    /// time is stamped).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
     }
 
     /// Completion percentage (100 for an empty campaign).
@@ -118,15 +132,83 @@ impl fmt::Display for Coverage {
 }
 
 /// Renders the completeness footer every partial-capable report
-/// appends below its table: a coverage line, then one line per
-/// unresolved point.
+/// appends below its table: a coverage line (with wall-clock and
+/// throughput once the executor stamped `elapsed_s`), then one line
+/// per unresolved point.
 pub fn completeness_footer(coverage: &Coverage, failures: &[PointFailure]) -> String {
     let mut out = format!("coverage: {coverage}");
+    if coverage.elapsed_s > 0.0 {
+        out.push_str(&format!(
+            " — {:.1} s wall-clock, {:.2} points/s",
+            coverage.elapsed_s,
+            coverage.points_per_sec()
+        ));
+    }
     for failure in failures {
         out.push_str("\n  unresolved: ");
         out.push_str(&failure.to_string());
     }
     out
+}
+
+/// Publishes a campaign's final coverage into the obs gauges the
+/// manifest builder reads ([`obs::RunManifest::from_snapshot`]).
+pub fn publish_coverage(coverage: &Coverage) {
+    obs::gauge_set(obs::GAUGE_COVERAGE_ATTEMPTED, coverage.attempted as f64);
+    obs::gauge_set(obs::GAUGE_COVERAGE_COMPLETED, coverage.completed as f64);
+    obs::gauge_set(obs::GAUGE_COVERAGE_ELAPSED_S, coverage.elapsed_s);
+}
+
+/// Records one grid point's cost into the obs registry (slowest-point
+/// and retry-hot-spot lists plus the `campaign.point_seconds`
+/// histogram), translating [`anasim::SolverStats`] into the flat
+/// fields the registry stores.
+pub fn record_point(key: &str, seconds: f64, stats: &anasim::SolverStats) {
+    obs::record_point(key, seconds, stats.retries as u64, stats.iterations as u64);
+}
+
+/// Scope timer for one campaign grid point: snapshots the wall clock
+/// and the thread's solver tally at construction, and attributes the
+/// deltas to the point's key on [`finish`](PointTimer::finish).
+#[derive(Debug)]
+pub struct PointTimer {
+    key: String,
+    start: std::time::Instant,
+    tally0: obs::SolverTally,
+}
+
+impl PointTimer {
+    /// Starts timing the point identified by `key`.
+    pub fn start(key: impl Into<String>) -> Self {
+        PointTimer {
+            key: key.into(),
+            start: std::time::Instant::now(),
+            tally0: obs::tally(),
+        }
+    }
+
+    /// Records the point's wall-clock, iterations and retries into the
+    /// obs registry and emits a `point` trace event when a sink is
+    /// installed.
+    pub fn finish(self) {
+        let seconds = self.start.elapsed().as_secs_f64();
+        let work = obs::tally().since(&self.tally0);
+        obs::record_point(&self.key, seconds, work.retries, work.iterations);
+        if obs::sink_installed() {
+            obs::emit(
+                "point",
+                vec![
+                    ("key".to_string(), obs::Json::Str(self.key)),
+                    ("seconds".to_string(), obs::Json::Num(seconds)),
+                    (
+                        "iterations".to_string(),
+                        obs::Json::Num(work.iterations as f64),
+                    ),
+                    ("retries".to_string(), obs::Json::Num(work.retries as f64)),
+                ],
+            );
+        }
+    }
 }
 
 /// An append-only tab-separated checkpoint log.
@@ -282,6 +364,29 @@ mod tests {
         let footer = completeness_footer(&c, &failures);
         assert!(footer.starts_with("coverage: 1/2"), "{footer}");
         assert!(footer.contains("unresolved: Df8 × CS2"), "{footer}");
+        // Unstamped coverage shows no timing.
+        assert!(!footer.contains("wall-clock"), "{footer}");
+    }
+
+    #[test]
+    fn footer_reports_wall_clock_and_throughput() {
+        let mut c = Coverage::default();
+        for _ in 0..6 {
+            c.record_ok();
+        }
+        c.elapsed_s = 12.0;
+        assert!((c.points_per_sec() - 0.5).abs() < 1e-12);
+        let footer = completeness_footer(&c, &[]);
+        assert!(
+            footer.contains("12.0 s wall-clock") && footer.contains("0.50 points/s"),
+            "{footer}"
+        );
+        // Merging sums elapsed time (sequential sub-campaigns).
+        let mut total = Coverage::default();
+        total.merge(c);
+        total.merge(c);
+        assert!((total.elapsed_s - 24.0).abs() < 1e-12);
+        assert_eq!(total.completed, 12);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use regulator::{Defect, RegulatorDesign, VrefTap};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
-use crate::campaign::{Checkpoint, Coverage, PointFailure};
+use crate::campaign::{publish_coverage, Checkpoint, Coverage, PointFailure, PointTimer};
 use crate::case_study::CaseStudy;
 
 /// The regulator configuration rule of §IV.A: pick the tap that puts
@@ -247,6 +247,8 @@ fn checkpoint_cell(fields: &[String]) -> Option<Table2Cell> {
 /// [`anasim::Error::InvalidValue`]) — still abort: they mean the
 /// campaign itself is misconfigured, not that one point is hard.
 pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
+    let _span = obs::span("table2");
+    let campaign_start = std::time::Instant::now();
     let grid_size = options.corners.len() * options.temperatures.len() * options.supplies.len();
     let checkpoint = options.checkpoint.as_ref().map(Checkpoint::new);
     let io_err = |e: std::io::Error| anasim::Error::InvalidValue {
@@ -275,6 +277,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                 coverage.merge(Coverage {
                     attempted: grid_size,
                     completed: grid_size - cell.failed_points.min(grid_size),
+                    elapsed_s: 0.0,
                 });
                 cells.push(cell);
                 continue;
@@ -312,7 +315,10 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                         if let std::collections::hash_map::Entry::Vacant(slot) =
                             contexts.entry(ctx_key)
                         {
-                            let built = build_context(cs, pvt, options);
+                            let built = {
+                                let _span = obs::span("context");
+                                build_context(cs, pvt, options)
+                            };
                             if let Err(e) = &built {
                                 if !e.is_retryable() {
                                     return Err(e.clone());
@@ -342,6 +348,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                             stored: StoredBit::One,
                             drv: ctx.drv,
                         };
+                        let timer = PointTimer::start(format!("{key} @ {pvt}"));
                         match min_resistance(
                             &options.design,
                             pvt,
@@ -352,6 +359,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                             &options.characterize,
                         ) {
                             Ok(found) => {
+                                timer.finish();
                                 coverage.record_ok();
                                 if let Some(ohms) = found.ohms {
                                     if best.min_ohms.is_none_or(|b| ohms < b) {
@@ -362,6 +370,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                                 }
                             }
                             Err(e) if e.is_retryable() => {
+                                timer.finish();
                                 best.failed_points += 1;
                                 coverage.record_failure();
                                 failures.push(PointFailure {
@@ -380,10 +389,13 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             if let Some(cp) = &checkpoint {
                 cp.append(&checkpoint_fields(&key, &best)).map_err(io_err)?;
             }
+            obs::progress(&format!("table2 cell {key} done ({coverage})"));
             cells.push(best);
         }
         rows.push(Table2Row { defect, cells });
     }
+    coverage.elapsed_s = campaign_start.elapsed().as_secs_f64();
+    publish_coverage(&coverage);
     Ok(Table2 {
         case_studies: options.case_studies.clone(),
         rows,

@@ -11,7 +11,7 @@ use process::{ProcessCorner, PvtCondition, Sigma};
 use sram::drv::{drv_ds, DrvOptions, StoredBit};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
-use crate::campaign::{Coverage, PointFailure};
+use crate::campaign::{publish_coverage, Coverage, PointFailure, PointTimer};
 
 /// Options for the Fig. 4 sweep.
 #[derive(Debug, Clone)]
@@ -162,6 +162,8 @@ impl Fig4Data {
 ///
 /// Propagates non-retryable failures (invalid setups).
 pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
+    let _span = obs::span("fig4");
+    let sweep_start = std::time::Instant::now();
     let mut series = Vec::with_capacity(6);
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
@@ -175,9 +177,13 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                 for &temp in &options.temperatures {
                     let pvt = PvtCondition::new(corner, options.vdd, temp);
                     let inst = CellInstance::with_pattern(pattern, pvt);
+                    let timer = PointTimer::start(format!("{transistor}/{sigma:+.0}σ @ {pvt}"));
                     let point = drv_ds(&inst, StoredBit::One, &options.drv).and_then(|d1| {
                         Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv))
                     });
+                    if !matches!(&point, Err(e) if !e.is_retryable()) {
+                        timer.finish();
+                    }
                     match point {
                         Ok((d1, d0)) => {
                             coverage.record_ok();
@@ -210,8 +216,11 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                 worst_pvt_ds0: best0.1,
             });
         }
+        obs::progress(&format!("fig4 series {transistor} done ({coverage})"));
         series.push(Fig4Series { transistor, points });
     }
+    coverage.elapsed_s = sweep_start.elapsed().as_secs_f64();
+    publish_coverage(&coverage);
     Ok(Fig4Data {
         series,
         failures,

@@ -7,7 +7,7 @@ use process::{ProcessCorner, PvtCondition};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{CellInstance, StoredBit};
 
-use crate::campaign::{completeness_footer, Coverage, PointFailure};
+use crate::campaign::{completeness_footer, publish_coverage, Coverage, PointFailure, PointTimer};
 use crate::case_study::CaseStudy;
 use crate::report::{format_mv, TextTable};
 
@@ -144,6 +144,8 @@ impl fmt::Display for Table1Report {
 ///
 /// Propagates non-retryable failures (invalid setups).
 pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
+    let _span = obs::span("table1");
+    let run_start = std::time::Instant::now();
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
@@ -154,8 +156,12 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
             for &temp in &options.temperatures {
                 let pvt = PvtCondition::new(corner, options.vdd, temp);
                 let inst = CellInstance::with_pattern(cs.pattern(), pvt);
+                let timer = PointTimer::start(format!("cs{} @ {pvt}", cs.number));
                 let point = drv_ds(&inst, StoredBit::One, &options.drv)
                     .and_then(|d1| Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv)));
+                if !matches!(&point, Err(e) if !e.is_retryable()) {
+                    timer.finish();
+                }
                 match point {
                     Ok((d1, d0)) => {
                         coverage.record_ok();
@@ -178,6 +184,7 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
                 }
             }
         }
+        obs::progress(&format!("table1 row CS{} done ({coverage})", cs.number));
         rows.push(Table1Row {
             case_study: cs,
             drv_ds1: best1.0,
@@ -186,6 +193,8 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
             paper_drv: cs.paper_drv_mv() / 1.0e3,
         });
     }
+    coverage.elapsed_s = run_start.elapsed().as_secs_f64();
+    publish_coverage(&coverage);
     Ok(Table1Report {
         rows,
         failures,

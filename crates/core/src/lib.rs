@@ -56,7 +56,10 @@ pub mod sram_target;
 pub mod taxonomy;
 pub mod test_flow;
 
-pub use campaign::{completeness_footer, Checkpoint, Coverage, PointFailure};
+pub use campaign::{
+    completeness_footer, publish_coverage, record_point, Checkpoint, Coverage, PointFailure,
+    PointTimer,
+};
 pub use case_study::{CaseStudy, WORST_CASE_DRV};
 pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
 pub use diagnosis::{diagnose_mlz, diagnose_mlz_with_prepass, FailureSignature, LostValue};

@@ -10,7 +10,7 @@ use process::{MonteCarlo, PvtCondition, Sigma};
 use sram::drv::{drv_ds_worst, DrvOptions};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
-use crate::campaign::{completeness_footer, Coverage, PointFailure};
+use crate::campaign::{completeness_footer, publish_coverage, Coverage, PointFailure, PointTimer};
 
 /// Options for the Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -118,17 +118,24 @@ impl std::fmt::Display for MonteCarloReport {
 /// Propagates non-retryable failures, and any failure on the symmetric
 /// baseline — without it the report has no reference point.
 pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, anasim::Error> {
+    let _span = obs::span("monte_carlo_drv");
+    let run_start = std::time::Instant::now();
     let mut mc = MonteCarlo::seeded(options.seed);
     let mut drvs = Vec::with_capacity(options.samples);
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
-    for _ in 0..options.samples {
+    for sample in 0..options.samples {
         let mut pattern = MismatchPattern::symmetric();
         for t in CellTransistor::ALL {
             pattern = pattern.with(t, mc.sample_sigma());
         }
         let inst = CellInstance::with_pattern(pattern, options.pvt);
-        match drv_ds_worst(&inst, &options.drv) {
+        let timer = PointTimer::start(format!("mc{sample} @ {}", options.pvt));
+        let outcome = drv_ds_worst(&inst, &options.drv);
+        if !matches!(&outcome, Err(e) if !e.is_retryable()) {
+            timer.finish();
+        }
+        match outcome {
             Ok(drv) => {
                 coverage.record_ok();
                 drvs.push(drv);
@@ -151,6 +158,9 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
         &CellInstance::with_pattern(MismatchPattern::symmetric(), options.pvt).clone(),
         &options.drv,
     )?;
+    coverage.elapsed_s = run_start.elapsed().as_secs_f64();
+    publish_coverage(&coverage);
+    obs::progress(&format!("monte-carlo done ({coverage})"));
     Ok(MonteCarloReport {
         drvs,
         symmetric_drv,

@@ -460,6 +460,7 @@ mod tests {
             coverage: Coverage {
                 attempted: 12,
                 completed: 12,
+                elapsed_s: 0.0,
             },
         }
     }

@@ -124,6 +124,7 @@ pub fn run_with_background(
             MarchElement::WakeUp => target.wake_up(),
         }
     }
+    obs::counter_add("march.ops", (reads + writes) as u64);
     TestOutcome {
         failures,
         reads,

@@ -1,0 +1,235 @@
+//! Log-scale histograms for latency- and count-shaped values.
+//!
+//! Buckets are powers of two: bucket `e` covers `[2^e, 2^(e+1))`, so
+//! the whole dynamic range from nanoseconds to hours (or from 1 to
+//! billions of Newton iterations) fits in a few dozen sparse buckets.
+//! Non-positive values (a retry count of zero, say) land in a dedicated
+//! `zeros` bucket instead of being dropped, so `count()` always equals
+//! the number of `record` calls.
+
+use std::collections::BTreeMap;
+
+/// Exponent clamp: buckets span `[2^MIN_EXP, 2^(MAX_EXP+1))`.
+const MIN_EXP: i32 = -64;
+const MAX_EXP: i32 = 64;
+
+/// A power-of-two-bucketed histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    buckets: BTreeMap<i32, u64>,
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// The bucket exponent for a positive value: `e` with
+/// `2^e <= v < 2^(e+1)`, computed so exact powers of two land in their
+/// own bucket despite floating-point `log2` noise.
+fn exponent(v: f64) -> i32 {
+    let mut e = v.log2().floor() as i32;
+    if 2f64.powi(e.saturating_add(1)) <= v {
+        e += 1;
+    } else if 2f64.powi(e) > v {
+        e -= 1;
+    }
+    e.clamp(MIN_EXP, MAX_EXP)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v > 0.0 {
+            *self.buckets.entry(exponent(v)).or_insert(0) += 1;
+        } else {
+            self.zeros += 1;
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        for (&e, &n) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += n;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Observations that were `<= 0` (the `zeros` bucket).
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Non-empty buckets as `(exponent, count)`, ascending; the bucket
+    /// covers `[2^exponent, 2^(exponent+1))`.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.buckets.iter().map(|(&e, &n)| (e, n))
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): walks the buckets and
+    /// returns the geometric midpoint of the one holding the target
+    /// rank, clamped to the observed `[min, max]`. Exact for the zeros
+    /// bucket. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        if rank + 1 >= self.count {
+            // The top rank is the maximum observation itself — exact.
+            return self.max;
+        }
+        if rank < self.zeros {
+            return self.min.min(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&e, &n) in &self.buckets {
+            seen += n;
+            if rank < seen {
+                let mid = 2f64.powi(e) * std::f64::consts::SQRT_2;
+                return mid.clamp(self.min.max(0.0), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fall_in_their_own_bucket() {
+        // 2^e must open bucket e, and the largest value below it must
+        // close bucket e-1 — for exponents across the whole range.
+        for e in [-30, -7, -1, 0, 1, 10, 40] {
+            let lo = 2f64.powi(e);
+            assert_eq!(exponent(lo), e, "2^{e}");
+            assert_eq!(exponent(lo * 1.999), e, "just under 2^{}", e + 1);
+            let below = f64::from_bits(lo.to_bits() - 1);
+            assert_eq!(exponent(below), e - 1, "next below 2^{e}");
+        }
+        // Out-of-range magnitudes clamp instead of overflowing.
+        assert_eq!(exponent(1.0e-300), MIN_EXP);
+        assert_eq!(exponent(1.0e300), MAX_EXP);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [1.0, 1.5, 3.0, 0.0, -2.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.zeros(), 2);
+        assert_eq!(h.min(), -2.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.sum() - 103.5).abs() < 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 2), (1, 1), (6, 1)]);
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn merge_is_additive_and_identity_on_empty() {
+        let mut a = Histogram::new();
+        a.record(2.0);
+        a.record(8.0);
+        let mut b = Histogram::new();
+        b.record(0.0);
+        b.record(2.5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.zeros(), 1);
+        assert_eq!(merged.max(), 8.0);
+        assert_eq!(merged.min(), 0.0);
+        // Empty is the identity on both sides.
+        let mut c = a.clone();
+        c.merge(&Histogram::new());
+        assert_eq!(c, a);
+        let mut d = Histogram::new();
+        d.merge(&a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record(f64::from(i));
+        }
+        let (q10, q50, q99) = (h.quantile(0.1), h.quantile(0.5), h.quantile(0.99));
+        assert!(q10 <= q50 && q50 <= q99, "{q10} {q50} {q99}");
+        assert!(q99 <= h.max());
+        assert_eq!(h.quantile(1.0), h.max());
+        // Median of 0..1000 is ~500; bucket resolution is a factor of 2.
+        assert!((250.0..1000.0).contains(&q50), "median estimate {q50}");
+    }
+}

@@ -1,0 +1,166 @@
+//! The JSONL event sink and the progress channel.
+//!
+//! Events are single-line JSON objects `{"ts": …, "kind": …, …}` where
+//! `ts` is seconds since the first observability call of the process
+//! (monotonic clock). No sink is installed by default — a flag-less
+//! run writes no files; the CLI installs one for `--trace`.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Seconds since the process's observability epoch (first call wins).
+pub fn epoch_seconds() -> f64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+fn sink_lock() -> std::sync::MutexGuard<'static, Option<Box<dyn Write + Send>>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs a JSONL sink writing to `path` (truncates an existing
+/// file), replacing any previous sink.
+///
+/// # Errors
+///
+/// Propagates file-creation failures.
+pub fn install_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    install_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an arbitrary writer as the event sink (tests use an
+/// in-memory buffer).
+pub fn install_writer(writer: Box<dyn Write + Send>) {
+    *sink_lock() = Some(writer);
+    SINK_INSTALLED.store(true, Ordering::Release);
+}
+
+/// Flushes and removes the sink. Safe to call when none is installed.
+pub fn close_sink() {
+    let mut guard = sink_lock();
+    if let Some(mut writer) = guard.take() {
+        let _ = writer.flush();
+    }
+    SINK_INSTALLED.store(false, Ordering::Release);
+}
+
+/// Whether a sink is currently installed (cheap; lets producers skip
+/// building event payloads).
+pub fn sink_installed() -> bool {
+    SINK_INSTALLED.load(Ordering::Acquire)
+}
+
+/// Emits one event line. A write failure silently uninstalls the sink
+/// — observability must never abort an experiment.
+pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
+    if !sink_installed() {
+        return;
+    }
+    let mut pairs = vec![
+        ("ts".to_string(), Json::Num(epoch_seconds())),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+    ];
+    pairs.extend(fields);
+    let line = Json::Obj(pairs).to_compact();
+    let mut guard = sink_lock();
+    if let Some(writer) = guard.as_mut() {
+        if writeln!(writer, "{line}").is_err() {
+            *guard = None;
+            SINK_INSTALLED.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Enables or disables human-readable progress lines on stderr.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Release);
+}
+
+/// Reports progress: a stderr line when `--progress` is on, and a
+/// `progress` event when a sink is installed. Free when both are off.
+pub fn progress(message: &str) {
+    if PROGRESS.load(Ordering::Acquire) {
+        eprintln!("[progress] {message}");
+    }
+    if sink_installed() {
+        emit(
+            "progress",
+            vec![("message".to_string(), Json::Str(message.to_string()))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write backed by a shared byte buffer.
+    #[derive(Clone)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The sink is process-global; tests touching it must not overlap.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: StdMutex<()> = StdMutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn emits_parseable_lines_and_escapes_payloads() {
+        let _guard = test_lock();
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install_writer(Box::new(Shared(buf.clone())));
+        emit(
+            "test_event",
+            vec![(
+                "msg".to_string(),
+                Json::Str("line1\nline2 \"quoted\" \\ tab\t".to_string()),
+            )],
+        );
+        close_sink();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        // Find our line (the sink is global; other tests may interleave).
+        let line = text
+            .lines()
+            .find(|l| l.contains("test_event"))
+            .expect("event written");
+        let doc = crate::json::parse(line).expect("line is valid JSON");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("test_event"));
+        assert_eq!(
+            doc.get("msg").and_then(Json::as_str),
+            Some("line1\nline2 \"quoted\" \\ tab\t")
+        );
+        assert!(doc.get("ts").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn no_sink_means_no_work_and_no_panic() {
+        let _guard = test_lock();
+        close_sink();
+        assert!(!sink_installed());
+        emit("ignored", vec![]);
+        progress("also ignored");
+    }
+}

@@ -1,0 +1,132 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is a scope guard: [`span("table2")`](span) starts the clock,
+//! dropping the guard records the elapsed monotonic time into the
+//! global registry under the span's *path* — the `/`-joined chain of
+//! enclosing spans on the same thread, so `drv_ds` timed inside
+//! `table2` aggregates under `table2/drv_ds` separately from the same
+//! helper timed inside `fig4`. Start and end are also emitted to the
+//! JSONL sink when one is installed.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::metrics;
+use crate::sink;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active span; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+/// Opens a span named `name` nested under the calling thread's current
+/// innermost span.
+pub fn span(name: &str) -> Span {
+    let (path, depth) = STACK
+        .try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            (path, stack.len())
+        })
+        .unwrap_or_else(|_| (name.to_string(), 0));
+    if sink::sink_installed() {
+        sink::emit(
+            "span_start",
+            vec![("path".to_string(), Json::Str(path.clone()))],
+        );
+    }
+    Span {
+        path,
+        depth,
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// The span's hierarchical path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Seconds elapsed since the span opened.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let seconds = self.elapsed_s();
+        if self.depth > 0 {
+            // Guards drop LIFO in normal control flow; truncating to
+            // our depth also heals the stack if an inner guard leaked.
+            let _ = STACK.try_with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.len() >= self.depth {
+                    stack.truncate(self.depth - 1);
+                }
+            });
+        }
+        metrics::record_span(&self.path, seconds);
+        if sink::sink_installed() {
+            sink::emit(
+                "span_end",
+                vec![
+                    ("path".to_string(), Json::Str(self.path.clone())),
+                    ("seconds".to_string(), Json::Num(seconds)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        // Run in a dedicated thread: the stack is thread-local, so this
+        // cannot interfere with (or be corrupted by) parallel tests.
+        std::thread::spawn(|| {
+            let outer = span("test.span.outer");
+            assert_eq!(outer.path(), "test.span.outer");
+            {
+                let inner = span("mid");
+                assert_eq!(inner.path(), "test.span.outer/mid");
+                let leaf = span("leaf");
+                assert_eq!(leaf.path(), "test.span.outer/mid/leaf");
+            }
+            // Siblings after a closed child nest under the outer again.
+            let sibling = span("sib");
+            assert_eq!(sibling.path(), "test.span.outer/sib");
+        })
+        .join()
+        .unwrap();
+        let snap = metrics::snapshot();
+        assert_eq!(snap.spans["test.span.outer/mid"].count, 1);
+        assert_eq!(snap.spans["test.span.outer/mid/leaf"].count, 1);
+        assert_eq!(snap.spans["test.span.outer/sib"].count, 1);
+        assert_eq!(snap.spans["test.span.outer"].count, 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let s = span("test.span.elapsed");
+        let a = s.elapsed_s();
+        let b = s.elapsed_s();
+        assert!(b >= a && a >= 0.0);
+    }
+}

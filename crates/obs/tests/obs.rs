@@ -1,0 +1,90 @@
+//! End-to-end exercise of the public obs API: spans, metrics and the
+//! sink feeding a manifest that survives a serialize → parse round
+//! trip. Runs everything in one test body because the registry and
+//! sink are process-global.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn full_run_produces_a_parseable_manifest_and_trace() {
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    obs::install_writer(Box::new(Shared(trace.clone())));
+
+    {
+        let _run = obs::span("e2e.table2");
+        for i in 0..5_u64 {
+            let _point = obs::span("point");
+            obs::counter_add("e2e.solve.count", 1);
+            obs::hist_record("e2e.solve.iterations", 4.0 + i as f64);
+            obs::record_point(&format!("e2e.p{i}"), 1.0e-3 * (i + 1) as f64, i % 2, 10 * i);
+        }
+        obs::emit(
+            "note",
+            vec![(
+                "msg".to_string(),
+                obs::Json::Str("weird \"payload\"\nwith newline".to_string()),
+            )],
+        );
+    }
+    obs::gauge_set(obs::GAUGE_COVERAGE_ATTEMPTED, 5.0);
+    obs::gauge_set(obs::GAUGE_COVERAGE_COMPLETED, 5.0);
+    obs::gauge_set(obs::GAUGE_COVERAGE_ELAPSED_S, 0.5);
+    obs::close_sink();
+
+    // Every trace line is one valid JSON object with ts + kind.
+    let text = String::from_utf8(trace.lock().unwrap().clone()).unwrap();
+    let mut kinds = Vec::new();
+    for line in text
+        .lines()
+        .filter(|l| l.contains("e2e") || l.contains("note"))
+    {
+        let doc = obs::parse_json(line).expect("valid JSONL line");
+        assert!(doc.get("ts").and_then(obs::Json::as_f64).is_some());
+        kinds.push(
+            doc.get("kind")
+                .and_then(obs::Json::as_str)
+                .expect("kind field")
+                .to_string(),
+        );
+        if doc.get("kind").and_then(obs::Json::as_str) == Some("note") {
+            assert_eq!(
+                doc.get("msg").and_then(obs::Json::as_str),
+                Some("weird \"payload\"\nwith newline")
+            );
+        }
+    }
+    assert!(kinds.iter().any(|k| k == "span_start"));
+    assert!(kinds.iter().any(|k| k == "span_end"));
+    assert!(kinds.iter().any(|k| k == "note"));
+
+    // The snapshot feeds a manifest that round-trips through JSON.
+    let snap = obs::snapshot();
+    assert_eq!(snap.counters["e2e.solve.count"], 5);
+    assert_eq!(snap.histograms["e2e.solve.iterations"].count(), 5);
+    assert_eq!(snap.spans["e2e.table2/point"].count, 5);
+
+    let config = BTreeMap::from([("mode".to_string(), "e2e".to_string())]);
+    let manifest = obs::RunManifest::from_snapshot("table2", config, &snap, 1.25);
+    let coverage = manifest.coverage.as_ref().expect("coverage from gauges");
+    assert_eq!(coverage.attempted, 5);
+    assert!((coverage.points_per_sec - 10.0).abs() < 1e-9);
+
+    let parsed = obs::RunManifest::parse(&manifest.to_json_string()).expect("round-trips");
+    assert_eq!(parsed, manifest);
+    assert!(parsed.render_summary(3).contains("e2e.table2/point"));
+}

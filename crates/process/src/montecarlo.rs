@@ -47,6 +47,7 @@ impl<R: RandomSource> MonteCarlo<R> {
 
     /// Draws a σ-valued mismatch for one transistor.
     pub fn sample_sigma(&mut self) -> Sigma {
+        obs::counter_add("process.mc.samples", 1);
         Sigma(self.sample_standard_normal())
     }
 

@@ -190,6 +190,7 @@ pub fn min_resistance(
     criterion: &DrfCriterion<'_>,
     opts: &CharacterizeOptions,
 ) -> Result<MinResistance, anasim::Error> {
+    let _span = obs::span("min_resistance");
     // DC defects sweep one reused circuit so every point warm-starts
     // from its neighbour (continuation in the defect parameter);
     // transient defects rebuild per point.
@@ -277,6 +278,7 @@ pub fn classify_at_tap(
 ) -> Result<DefectCategory, anasim::Error> {
     /// Rail moves smaller than this count as "no effect", volts.
     const MARGIN: f64 = 0.01;
+    let _span = obs::span("classify_at_tap");
     let healthy = {
         let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         c.set_retry(opts.retry);

@@ -108,6 +108,7 @@ pub fn drv_ds(
     bit: StoredBit,
     opts: &DrvOptions,
 ) -> Result<DrvResult, anasim::Error> {
+    let _span = obs::span("drv_ds");
     let hi_bound = opts.max_supply.unwrap_or(instance.pvt.vdd);
     let mut inv_s = InverterCircuit::new(instance, CellInverter::DrivesS)?;
     let mut inv_sb = InverterCircuit::new(instance, CellInverter::DrivesSb)?;
@@ -123,6 +124,7 @@ pub fn drv_ds(
 
     let snm_hi = snm_at(hi_bound, &mut evaluations)?;
     if snm_hi <= opts.snm_floor {
+        obs::hist_record("sram.drv.evaluations", evaluations as f64);
         return Ok(DrvResult {
             drv: hi_bound,
             snm_at_max: snm_hi,
@@ -139,6 +141,7 @@ pub fn drv_ds(
             lo = mid;
         }
     }
+    obs::hist_record("sram.drv.evaluations", evaluations as f64);
     Ok(DrvResult {
         drv: hi,
         snm_at_max: snm_hi,

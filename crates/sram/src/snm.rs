@@ -108,6 +108,7 @@ pub fn snm_ds(
     supply: f64,
     points: usize,
 ) -> Result<ButterflySnm, anasim::Error> {
+    let _span = obs::span("snm_ds");
     snm_in_mode(instance, supply, points, CellMode::Retention)
 }
 

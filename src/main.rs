@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]
+//!               [--trace <file.jsonl>] [--metrics <file.json>] [--progress]
+//! lp-sram-suite summary <manifest.json> [--top <k>]
 //!   artifacts: fig4, fig5, table1, table2, table3, march, power,
 //!              power-defects, ds-time, monte-carlo, all
 //! ```
@@ -10,8 +12,22 @@
 //! `--checkpoint` (table2 only) appends each completed table cell to
 //! the given tab-separated file; rerunning with the same path resumes,
 //! skipping cells already logged.
+//!
+//! The observability flags are all opt-in — a flag-less run writes no
+//! extra files and produces no extra output:
+//!
+//! * `--trace <file.jsonl>` streams span/point/progress events as one
+//!   JSON object per line;
+//! * `--metrics <file.json>` writes a [`obs::RunManifest`] at the end
+//!   of the run (version, config echo, per-phase timings, solver
+//!   histograms, coverage);
+//! * `--progress` prints human-readable progress lines on stderr;
+//! * `summary <manifest.json>` renders a previously written manifest:
+//!   top-k slowest points, retry hot spots, and histogram sketches.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use drftest::case_study::CaseStudy;
 use drftest::drv_analysis::Fig4Options;
@@ -27,6 +43,8 @@ use regulator::Defect;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]\n\
+         \x20                            [--trace <file.jsonl>] [--metrics <file.json>] [--progress]\n\
+         \x20      lp-sram-suite summary <manifest.json> [--top <k>]\n\
          artifacts:\n\
            fig4          DRV vs single-transistor Vth variation\n\
            fig5          defect classification (colour coding)\n\
@@ -38,7 +56,11 @@ fn usage() -> ExitCode {
            ds-time       deep-sleep dwell-time sweep\n\
            monte-carlo   random-mismatch DRV distribution\n\
            all           everything above with fast settings\n\
-         --checkpoint <file> (table2): log completed cells and resume"
+         --checkpoint <file> (table2): log completed cells and resume\n\
+         --trace <file.jsonl>:  stream span/point/progress events\n\
+         --metrics <file.json>: write the run manifest at exit\n\
+         --progress:            human-readable progress on stderr\n\
+         summary <manifest.json>: render a manifest written by --metrics"
     );
     ExitCode::FAILURE
 }
@@ -131,19 +153,98 @@ fn run(
     Ok(())
 }
 
+/// Renders a `--metrics` manifest back as a human-readable digest.
+fn summarize(path: &str, top_k: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest `{path}`: {e}"))?;
+    let manifest = obs::RunManifest::parse(&text)
+        .map_err(|e| format!("`{path}` is not a run manifest: {e}"))?;
+    print!("{}", manifest.render_summary(top_k));
+    Ok(())
+}
+
+/// The option value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Echo of the effective configuration into the manifest.
+fn config_echo(
+    artifact: &str,
+    paper: bool,
+    reduced: bool,
+    checkpoint: Option<&str>,
+) -> BTreeMap<String, String> {
+    let mut config = BTreeMap::new();
+    config.insert("artifact".to_string(), artifact.to_string());
+    let mode = if paper {
+        "paper"
+    } else if reduced {
+        "reduced"
+    } else {
+        "quick"
+    };
+    config.insert("mode".to_string(), mode.to_string());
+    if let Some(path) = checkpoint {
+        config.insert("checkpoint".to_string(), path.to_string());
+    }
+    config
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(artifact) = args.first() else {
+    let Some(artifact) = args.first().map(String::as_str) else {
         return usage();
     };
+    if artifact == "summary" {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("error: summary needs a manifest path");
+            return usage();
+        };
+        let top_k = flag_value(&args, "--top")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        return match summarize(path, top_k) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let paper = args.iter().any(|a| a == "--paper");
     let reduced = args.iter().any(|a| a == "--reduced");
-    let checkpoint = args
-        .iter()
-        .position(|a| a == "--checkpoint")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
-    match run(artifact, paper, reduced, checkpoint) {
+    let checkpoint = flag_value(&args, "--checkpoint");
+    let trace = flag_value(&args, "--trace");
+    let metrics = flag_value(&args, "--metrics");
+    if args.iter().any(|a| a == "--progress") {
+        obs::set_progress(true);
+    }
+    if let Some(path) = trace {
+        if let Err(e) = obs::install_jsonl(path) {
+            eprintln!("error: cannot open trace file `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let started = Instant::now();
+    let outcome = run(artifact, paper, reduced, checkpoint);
+    if let Some(path) = metrics {
+        obs::flush();
+        let manifest = obs::RunManifest::from_snapshot(
+            artifact,
+            config_echo(artifact, paper, reduced, checkpoint),
+            &obs::snapshot(),
+            started.elapsed().as_secs_f64(),
+        );
+        if let Err(e) = std::fs::write(path, manifest.to_json_string()) {
+            eprintln!("error: cannot write metrics file `{path}`: {e}");
+        }
+    }
+    obs::close_sink();
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
