@@ -183,7 +183,10 @@ impl ComplexMatrix {
                 }
             }
             if pv < 1e-18 {
-                return Err(crate::Error::SingularMatrix { pivot_row: k });
+                return Err(crate::Error::SingularMatrix {
+                    pivot_row: k,
+                    unknown: None,
+                });
             }
             if pr != k {
                 perm.swap(k, pr);

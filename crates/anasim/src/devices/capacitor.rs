@@ -1,6 +1,6 @@
 //! Capacitor with a backward-Euler transient companion model.
 
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::mna::{AnalysisMode, StampContext};
 use crate::netlist::NodeId;
 
@@ -53,6 +53,14 @@ impl Device for Capacitor {
 
     fn capacitance(&self) -> Option<(NodeId, NodeId, f64)> {
         Some((self.p, self.n, self.farads))
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Capacitor {
+            p: self.p,
+            n: self.n,
+            farads: self.farads,
+        }
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {

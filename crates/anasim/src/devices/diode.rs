@@ -1,6 +1,6 @@
 //! Junction diode with exponential I–V and Newton-safe limiting.
 
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::error::Error;
 use crate::mna::StampContext;
 use crate::netlist::NodeId;
@@ -93,6 +93,13 @@ impl Device for Diode {
 
     fn nodes(&self) -> Vec<NodeId> {
         vec![self.p, self.n]
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Diode {
+            p: self.p,
+            n: self.n,
+        }
     }
 
     fn is_nonlinear(&self) -> bool {

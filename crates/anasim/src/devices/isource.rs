@@ -1,6 +1,6 @@
 //! Ideal current source.
 
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::mna::StampContext;
 use crate::netlist::{NodeId, SourceId};
 
@@ -34,6 +34,14 @@ impl Device for CurrentSource {
 
     fn nodes(&self) -> Vec<NodeId> {
         vec![self.from, self.to]
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::CurrentSource {
+            from: self.from,
+            to: self.to,
+            source: self.source,
+        }
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {

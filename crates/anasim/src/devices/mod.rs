@@ -9,7 +9,7 @@
 use std::fmt;
 
 use crate::mna::StampContext;
-use crate::netlist::NodeId;
+use crate::netlist::{NodeId, ParamId, SourceId};
 
 pub mod capacitor;
 pub mod diode;
@@ -19,6 +19,82 @@ pub mod resistor;
 pub mod switch;
 pub mod vsource;
 
+/// Structural description of one device, exposed for static analysis
+/// (the `erc` crate) without giving rule code access to the stamping
+/// internals. Terminal roles are explicit because connectivity rules
+/// treat them differently: a MOSFET gate carries no DC current while
+/// its channel does; a current source never provides a DC path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ElementKind {
+    /// Linear resistor between `p` and `n`; resistance read from the
+    /// netlist parameter table.
+    Resistor {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Handle of the resistance value.
+        resistance: ParamId,
+    },
+    /// Ideal voltage source (`p` positive); value read from the source
+    /// table.
+    VoltageSource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Handle of the programmed voltage.
+        source: SourceId,
+    },
+    /// Ideal current source driving from `from` into `to`.
+    CurrentSource {
+        /// Terminal the current is pulled from.
+        from: NodeId,
+        /// Terminal the current is driven into.
+        to: NodeId,
+        /// Handle of the programmed current.
+        source: SourceId,
+    },
+    /// Capacitor (a tiny leak at DC, `C/dt` companion in transient).
+    Capacitor {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Capacitance, farads.
+        farads: f64,
+    },
+    /// Junction diode, anode `p`, cathode `n`.
+    Diode {
+        /// Anode.
+        p: NodeId,
+        /// Cathode.
+        n: NodeId,
+    },
+    /// MOSFET; the drain–source channel conducts at DC, the gate does
+    /// not.
+    Mosfet {
+        /// Drain.
+        d: NodeId,
+        /// Gate (no DC current).
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+    },
+    /// Voltage-controlled switch; `p`–`n` conducts, the control pair
+    /// only senses.
+    Switch {
+        /// Switched terminal.
+        p: NodeId,
+        /// Switched terminal.
+        n: NodeId,
+        /// Control sense terminal (positive).
+        ctrl_p: NodeId,
+        /// Control sense terminal (negative).
+        ctrl_n: NodeId,
+    },
+}
+
 /// A circuit element that can stamp itself into an MNA system.
 pub trait Device: fmt::Debug + Send + Sync {
     /// The unique device name within its netlist.
@@ -26,6 +102,9 @@ pub trait Device: fmt::Debug + Send + Sync {
 
     /// Nodes this device connects to (used for diagnostics).
     fn nodes(&self) -> Vec<NodeId>;
+
+    /// Structural kind and terminal roles, for static analysis.
+    fn kind(&self) -> ElementKind;
 
     /// Number of auxiliary branch-current unknowns this device adds to
     /// the system (voltage sources contribute one; most devices none).

@@ -16,7 +16,7 @@
 //! everywhere — exactly what the damped Newton solver needs near the
 //! metastable points of a 6T cell at a few tens of millivolts of supply.
 
-use crate::devices::{sigmoid, softplus, Device};
+use crate::devices::{sigmoid, softplus, Device, ElementKind};
 use crate::error::Error;
 use crate::mna::StampContext;
 use crate::netlist::NodeId;
@@ -223,6 +223,14 @@ impl Device for Mosfet {
 
     fn nodes(&self) -> Vec<NodeId> {
         vec![self.d, self.g, self.s]
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Mosfet {
+            d: self.d,
+            g: self.g,
+            s: self.s,
+        }
     }
 
     fn is_nonlinear(&self) -> bool {

@@ -1,6 +1,6 @@
 //! Linear resistor.
 
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::mna::StampContext;
 use crate::netlist::{NodeId, ParamId};
 
@@ -36,6 +36,14 @@ impl Device for Resistor {
 
     fn nodes(&self) -> Vec<NodeId> {
         vec![self.p, self.n]
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Resistor {
+            p: self.p,
+            n: self.n,
+            resistance: self.resistance,
+        }
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {

@@ -1,6 +1,6 @@
 //! Smooth voltage-controlled switch.
 
-use crate::devices::{sigmoid, Device};
+use crate::devices::{sigmoid, Device, ElementKind};
 use crate::mna::StampContext;
 use crate::netlist::NodeId;
 
@@ -69,6 +69,15 @@ impl Device for Switch {
 
     fn nodes(&self) -> Vec<NodeId> {
         vec![self.p, self.n, self.ctrl_p, self.ctrl_n]
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Switch {
+            p: self.p,
+            n: self.n,
+            ctrl_p: self.ctrl_p,
+            ctrl_n: self.ctrl_n,
+        }
     }
 
     fn is_nonlinear(&self) -> bool {

@@ -1,6 +1,6 @@
 //! Ideal voltage source with optional time-domain waveform.
 
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::mna::{AnalysisMode, StampContext};
 use crate::netlist::{NodeId, SourceId};
 
@@ -115,6 +115,14 @@ impl Device for VoltageSource {
 
     fn num_branches(&self) -> usize {
         1
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::VoltageSource {
+            p: self.p,
+            n: self.n,
+            source: self.source,
+        }
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {

@@ -22,6 +22,18 @@ pub enum Error {
     SingularMatrix {
         /// Row index at which elimination found no usable pivot.
         pivot_row: usize,
+        /// Name of the unknown at that row (a node name or a branch
+        /// current), when the failing netlist is available to resolve it.
+        unknown: Option<String>,
+    },
+    /// The netlist was rejected by pre-flight static analysis (ERC)
+    /// before any solve was attempted.
+    PreflightRejected {
+        /// Stable diagnostic code of the first error-severity finding
+        /// (e.g. `ERC001`).
+        code: String,
+        /// Human-readable description carried over from the diagnostic.
+        what: String,
     },
     /// The Newton iteration failed to converge even after gmin and source
     /// stepping.
@@ -55,6 +67,15 @@ impl Error {
             Error::NoConvergence { .. } | Error::SingularMatrix { .. }
         )
     }
+
+    /// Whether a campaign executor should record this failure as a
+    /// per-point casualty and keep going, rather than abort the whole
+    /// campaign. Every retryable error qualifies, and so does a
+    /// pre-flight ERC rejection: the netlist is broken at that one grid
+    /// point (e.g. an injected disconnect), not the campaign itself.
+    pub fn is_recordable(&self) -> bool {
+        self.is_retryable() || matches!(self, Error::PreflightRejected { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -67,8 +88,16 @@ impl fmt::Display for Error {
                 write!(f, "device name `{name}` is already in use")
             }
             Error::UnknownDevice(name) => write!(f, "no device named `{name}`"),
-            Error::SingularMatrix { pivot_row } => {
-                write!(f, "singular MNA matrix (no pivot at row {pivot_row})")
+            Error::SingularMatrix { pivot_row, unknown } => match unknown {
+                Some(name) => write!(
+                    f,
+                    "singular MNA matrix (no pivot at row {pivot_row}); \
+                     almost always a floating node; check {name}"
+                ),
+                None => write!(f, "singular MNA matrix (no pivot at row {pivot_row})"),
+            },
+            Error::PreflightRejected { code, what } => {
+                write!(f, "rejected by pre-flight ERC ({code}): {what}")
             }
             Error::NoConvergence {
                 iterations,
@@ -111,7 +140,11 @@ mod tests {
             residual: 1.0
         }
         .is_retryable());
-        assert!(Error::SingularMatrix { pivot_row: 3 }.is_retryable());
+        assert!(Error::SingularMatrix {
+            pivot_row: 3,
+            unknown: None
+        }
+        .is_retryable());
         for fatal in [
             Error::InvalidValue {
                 device: "R1".into(),
@@ -121,9 +154,46 @@ mod tests {
             Error::UnknownDevice("Y".into()),
             Error::InvalidTimeAxis("dt".into()),
             Error::EmptySweep,
+            Error::PreflightRejected {
+                code: "ERC001".into(),
+                what: "floating node".into(),
+            },
         ] {
             assert!(!fatal.is_retryable(), "{fatal} must be fatal");
         }
+    }
+
+    #[test]
+    fn recordable_includes_preflight_rejections() {
+        let preflight = Error::PreflightRejected {
+            code: "ERC001".into(),
+            what: "floating node `x`".into(),
+        };
+        assert!(!preflight.is_retryable());
+        assert!(preflight.is_recordable());
+        assert!(Error::NoConvergence {
+            iterations: 1,
+            residual: 1.0
+        }
+        .is_recordable());
+        assert!(!Error::EmptySweep.is_recordable());
+    }
+
+    #[test]
+    fn singular_matrix_names_the_unknown() {
+        let e = Error::SingularMatrix {
+            pivot_row: 4,
+            unknown: Some("node `vreg`".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("row 4"));
+        assert!(s.contains("vreg"));
+        assert!(s.contains("floating node"));
+        let bare = Error::SingularMatrix {
+            pivot_row: 4,
+            unknown: None,
+        };
+        assert!(!bare.to_string().contains("check"));
     }
 
     #[test]

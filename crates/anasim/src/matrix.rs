@@ -122,7 +122,10 @@ impl DenseMatrix {
                 }
             }
             if pivot_val < 1e-18 {
-                return Err(Error::SingularMatrix { pivot_row: k });
+                return Err(Error::SingularMatrix {
+                    pivot_row: k,
+                    unknown: None,
+                });
             }
             if pivot_row != k {
                 perm.swap(k, pivot_row);
@@ -248,7 +251,7 @@ mod tests {
         let a = DenseMatrix::zeros(3);
         assert!(matches!(
             solve_dense(a, &[0.0; 3]),
-            Err(Error::SingularMatrix { pivot_row: 0 })
+            Err(Error::SingularMatrix { pivot_row: 0, .. })
         ));
     }
 

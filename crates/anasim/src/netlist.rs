@@ -20,7 +20,7 @@ use crate::devices::mosfet::{MosParams, Mosfet};
 use crate::devices::resistor::Resistor;
 use crate::devices::switch::Switch;
 use crate::devices::vsource::{VoltageSource, Waveform};
-use crate::devices::Device;
+use crate::devices::{Device, ElementKind};
 use crate::error::Error;
 
 /// Identifies a circuit node. Node 0 is always ground.
@@ -31,6 +31,12 @@ impl NodeId {
     /// Returns `true` for the ground node.
     pub fn is_ground(self) -> bool {
         self.0 == 0
+    }
+
+    /// Dense index of this node (ground is 0). Stable for the lifetime
+    /// of the netlist; used by static analysis to index per-node tables.
+    pub fn index(self) -> usize {
+        self.0
     }
 
     /// Index of this node's voltage in a solution vector, or `None` for
@@ -54,9 +60,23 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SourceId(pub(crate) usize);
 
+impl SourceId {
+    /// Dense index into the source table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to an entry in the netlist's device-parameter table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Dense index into the parameter table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A complete circuit: nodes, devices, and their adjustable values.
 #[derive(Debug, Default)]
@@ -208,6 +228,50 @@ impl Netlist {
             return None;
         }
         Some(self.num_nodes() - 1 + self.branch_starts[idx])
+    }
+
+    // ------------------------------------------------------------------
+    // Structural introspection (static analysis)
+    // ------------------------------------------------------------------
+
+    /// Node names indexed by [`NodeId::index`]; entry 0 is ground
+    /// (`"0"`).
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Iterates over `(name, kind)` of every device in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = (&str, ElementKind)> + '_ {
+        self.devices.iter().map(|d| (d.name(), d.kind()))
+    }
+
+    /// Number of entries in the source-value table.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of entries in the device-parameter table.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Human-readable label of MNA unknown `i`: the node name for a
+    /// voltage unknown, or `branch current of \`<device>\`` for an
+    /// auxiliary branch. Falls back to `unknown #<i>` when `i` is out of
+    /// range (e.g. a label requested for a foreign system).
+    pub fn unknown_label(&self, i: usize) -> String {
+        let node_unknowns = self.num_nodes() - 1;
+        if i < node_unknowns {
+            return format!("node `{}`", self.node_names[i + 1]);
+        }
+        let branch = i - node_unknowns;
+        for (dev, &start) in self.devices.iter().zip(&self.branch_starts) {
+            let n = dev.num_branches();
+            if n > 0 && branch >= start && branch < start + n {
+                return format!("branch current of `{}`", dev.name());
+            }
+        }
+        format!("unknown #{i}")
     }
 
     // ------------------------------------------------------------------

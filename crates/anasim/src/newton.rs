@@ -212,11 +212,13 @@ impl Solution {
     }
 }
 
-/// Outcome of a single Newton ladder stage.
+/// Outcome of a single Newton ladder stage. `Singular` carries the
+/// pivot row at which elimination failed so the final error can name
+/// the offending unknown.
 enum StageOutcome {
     Converged(Vec<f64>, usize),
     Failed { residual: f64 },
-    Singular,
+    Singular(usize),
 }
 
 fn newton_stage(
@@ -247,7 +249,10 @@ fn newton_stage(
         assemble(netlist, &x, gmin, source_scale, mode, &mut matrix, &mut rhs);
         let lu = match matrix.clone().into_lu() {
             Ok(lu) => lu,
-            Err(_) => return StageOutcome::Singular,
+            Err(Error::SingularMatrix { pivot_row, .. }) => {
+                return StageOutcome::Singular(pivot_row)
+            }
+            Err(_) => return StageOutcome::Singular(0),
         };
         let x_new = lu.solve(&rhs);
         // Per-component convergence: each unknown must settle within
@@ -338,7 +343,7 @@ pub fn solve(
                 .rescued(RescueStage::Plain, stages_tried))
         }
         StageOutcome::Failed { .. } => {}
-        StageOutcome::Singular => {
+        StageOutcome::Singular(_) => {
             // Give continuation a chance: gmin regularizes singular
             // Jacobians caused by fully-off device stacks.
         }
@@ -490,7 +495,10 @@ pub fn solve(
 
     // Report failure with diagnostics from a final plain attempt.
     match newton_stage(netlist, opts, start, 0.0, 1.0, mode) {
-        StageOutcome::Singular => Err(Error::SingularMatrix { pivot_row: 0 }),
+        StageOutcome::Singular(row) => Err(Error::SingularMatrix {
+            pivot_row: row,
+            unknown: Some(netlist.unknown_label(row)),
+        }),
         StageOutcome::Failed { residual, .. } => Err(Error::NoConvergence {
             iterations: opts.max_iterations,
             residual,
@@ -643,8 +651,10 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.vsource("V", a, Netlist::GND, 1.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
-        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
+        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc)
+            .expect("linear divider always solves");
         assert!(sol.iterations <= 2, "iterations = {}", sol.iterations);
         assert!((sol.voltage(a) - 1.0).abs() < 1e-12);
     }
@@ -655,7 +665,8 @@ mod tests {
         let a = nl.node("a");
         let b = nl.node("b");
         nl.vsource("V", a, Netlist::GND, 1.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
         // b touches only one resistor terminal pair to itself: make it
         // genuinely floating by never connecting it.
         let _ = b;
@@ -676,7 +687,8 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.vsource("V", a, Netlist::GND, 1.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
         let bad = vec![0.0; 1]; // needs 2 unknowns
         let _ = solve(&nl, &NewtonOptions::default(), Some(&bad), AnalysisMode::Dc);
     }
@@ -690,7 +702,7 @@ mod tests {
         nl.vsource("VDD", vdd, Netlist::GND, 1.1);
         nl.vsource("VIN", input, Netlist::GND, 0.55);
         nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
-            .unwrap();
+            .expect("library PMOS card validates");
         nl.mosfet(
             "MN",
             out,
@@ -698,8 +710,9 @@ mod tests {
             Netlist::GND,
             MosParams::nmos(4.0e-4, 0.45),
         )
-        .unwrap();
-        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
+        .expect("library NMOS card validates");
+        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc)
+            .expect("default continuation solves the inverter");
         let v = sol.voltage(out);
         assert!((0.0..=1.1).contains(&v), "inverter mid output {v}");
     }
@@ -715,7 +728,7 @@ mod tests {
         nl.vsource("VDD", vdd, Netlist::GND, 1.1);
         nl.vsource("VIN", input, Netlist::GND, 0.55);
         nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
-            .unwrap();
+            .expect("library PMOS card validates");
         nl.mosfet(
             "MN",
             out,
@@ -723,7 +736,7 @@ mod tests {
             Netlist::GND,
             MosParams::nmos(4.0e-4, 0.45),
         )
-        .unwrap();
+        .expect("library NMOS card validates");
         (nl, out)
     }
 
@@ -741,7 +754,7 @@ mod tests {
             plain.is_err(),
             "expected the starved plain solve to fail, got {plain:?}"
         );
-        assert!(plain.unwrap_err().is_retryable());
+        assert!(plain.expect_err("checked is_err above").is_retryable());
 
         // The escalation ladder rescues the same point from the same
         // options: more iterations, then tighter damping, then forced
@@ -812,7 +825,8 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.vsource("V", a, Netlist::GND, 1.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
         let sol = solve_with_retry(
             &nl,
             &NewtonOptions::default(),
@@ -820,7 +834,7 @@ mod tests {
             AnalysisMode::Dc,
             &RetryPolicy::ladder(),
         )
-        .unwrap();
+        .expect("linear divider solves on the first attempt");
         assert_eq!(sol.stats.retries, 0);
         assert_eq!(sol.stats.rescued_by, RescueStage::Plain);
         assert_eq!(sol.stats.stages, 1);
@@ -832,10 +846,12 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.vsource("V", a, Netlist::GND, 2.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
-        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
+        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc)
+            .expect("linear divider always solves");
         assert_eq!(sol.try_voltage(Netlist::GND), Some(0.0));
-        assert!((sol.try_voltage(a).unwrap() - 2.0).abs() < 1e-9);
+        assert!((sol.try_voltage(a).expect("a belongs to this netlist") - 2.0).abs() < 1e-9);
         // A node index from a bigger, unrelated netlist.
         let mut big = Netlist::new();
         let _ = big.node("x");
@@ -905,8 +921,10 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.vsource("V", a, Netlist::GND, 2.0);
-        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
-        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc).unwrap();
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
+        let sol = solve(&nl, &NewtonOptions::default(), None, AnalysisMode::Dc)
+            .expect("linear divider always solves");
         assert_eq!(sol.raw().len(), 2);
         assert!(sol.branch_current(&nl, "V").is_some());
         assert!(sol.branch_current(&nl, "R").is_none());

@@ -15,10 +15,14 @@
 //!   rows (plain `std`, no dependencies) that lets an interrupted
 //!   campaign resume without recomputing finished cells.
 //!
-//! Only *retryable* solver errors ([`anasim::Error::is_retryable`])
-//! are downgraded to failures; structural errors (invalid netlists,
-//! bad time axes) still abort, because they mean the campaign itself
-//! is misconfigured.
+//! Only *recordable* errors ([`anasim::Error::is_recordable`]) are
+//! downgraded to failures: the retryable solver outcomes, plus
+//! [`anasim::Error::PreflightRejected`] from the static ERC gate
+//! ([`preflight_netlist`]), which turns a structurally broken grid
+//! point away with a named-node diagnostic *before* any Newton
+//! iteration is spent on it. Other structural errors (invalid
+//! netlists, bad time axes) still abort, because they mean the
+//! campaign itself is misconfigured.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -28,6 +32,37 @@ use std::path::{Path, PathBuf};
 
 use process::PvtCondition;
 use regulator::Defect;
+
+/// Static ERC pre-flight over a netlist a campaign is about to solve.
+///
+/// Runs the generic rule set ([`erc::check_netlist`]) and rejects on
+/// any error-severity finding, returning the total diagnostic count
+/// otherwise. Records the `erc.preflight.checked`,
+/// `erc.preflight.rejected`, and `erc.diagnostics` observability
+/// counters, so every run manifest shows how many points the gate
+/// examined and turned away.
+///
+/// The returned [`anasim::Error::PreflightRejected`] is *recordable*
+/// ([`anasim::Error::is_recordable`]) but not retryable: executors
+/// log it as a [`PointFailure`] with `attempts: 0` — no rescue rung
+/// can reconnect a floating node.
+///
+/// # Errors
+///
+/// [`anasim::Error::PreflightRejected`] carrying the first
+/// error-severity diagnostic's code and message.
+pub fn preflight_netlist(nl: &anasim::Netlist) -> Result<usize, anasim::Error> {
+    let report = erc::check_netlist(nl);
+    obs::counter_add("erc.preflight.checked", 1);
+    obs::counter_add("erc.diagnostics", report.len() as u64);
+    match report.reject_on_error() {
+        Ok(()) => Ok(report.len()),
+        Err(e) => {
+            obs::counter_add("erc.preflight.rejected", 1);
+            Err(e)
+        }
+    }
+}
 
 /// One grid point (or shared sub-computation) a campaign could not
 /// evaluate after exhausting the solver's rescue ladder.
@@ -43,7 +78,8 @@ pub struct PointFailure {
     /// The terminal solver error.
     pub error: anasim::Error,
     /// Solve attempts spent before giving up (the retry ladder's
-    /// budget).
+    /// budget); 0 when the point was rejected by the ERC pre-flight
+    /// gate before any solve was tried.
     pub attempts: usize,
 }
 
@@ -358,7 +394,10 @@ mod tests {
             defect: Some(Defect::new(8)),
             case_study: Some(2),
             pvt: None,
-            error: anasim::Error::SingularMatrix { pivot_row: 3 },
+            error: anasim::Error::SingularMatrix {
+                pivot_row: 3,
+                unknown: None,
+            },
             attempts: 5,
         }];
         let footer = completeness_footer(&c, &failures);

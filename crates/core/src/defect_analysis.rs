@@ -52,6 +52,11 @@ pub struct Table2Options {
     /// case-study number)` cells whose every grid point is forced to
     /// report a synthetic non-convergence instead of being solved.
     pub inject_failures: Vec<(u8, u8)>,
+    /// Fault-injection hook for the ERC pre-flight gate: `(defect
+    /// number, case-study number)` cells whose grid points get a
+    /// deliberately severed (orphan-node) regulator netlist, so the
+    /// static checks must reject them before any Newton iteration.
+    pub inject_disconnects: Vec<(u8, u8)>,
     /// When set, completed `(defect, case study)` cells are appended to
     /// this tab-separated file and a rerun pointed at the same path
     /// resumes, skipping cells already logged.
@@ -73,6 +78,7 @@ impl Table2Options {
             drv: DrvOptions::default(),
             load_points: 9,
             inject_failures: Vec::new(),
+            inject_disconnects: Vec::new(),
             checkpoint: None,
         }
     }
@@ -286,6 +292,9 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             let injected = options
                 .inject_failures
                 .contains(&(defect.number(), cs.number));
+            let disconnected = options
+                .inject_disconnects
+                .contains(&(defect.number(), cs.number));
             for &corner in &options.corners {
                 for &temp in &options.temperatures {
                     for &vdd in &options.supplies {
@@ -306,6 +315,36 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                             });
                             continue;
                         }
+                        if disconnected {
+                            // Build the circuit this point would solve,
+                            // sever a node, and let the pre-flight gate
+                            // reject it — no solve is ever attempted.
+                            let mut circuit = regulator::RegulatorCircuit::new(
+                                &options.design,
+                                pvt,
+                                tap,
+                                regulator::FeedMode::Static,
+                            )?;
+                            circuit.add_orphan_node("injected_disconnect");
+                            let error =
+                                circuit
+                                    .preflight()
+                                    .err()
+                                    .unwrap_or(anasim::Error::InvalidValue {
+                                        device: "inject_disconnects".into(),
+                                        what: "pre-flight accepted a severed netlist".into(),
+                                    });
+                            best.failed_points += 1;
+                            coverage.record_failure();
+                            failures.push(PointFailure {
+                                defect: Some(defect),
+                                case_study: Some(cs.number),
+                                pvt: Some(pvt),
+                                error,
+                                attempts: 0,
+                            });
+                            continue;
+                        }
                         let ctx_key = (
                             cs.number,
                             corner.abbreviation(),
@@ -320,7 +359,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                                 build_context(cs, pvt, options)
                             };
                             if let Err(e) = &built {
-                                if !e.is_retryable() {
+                                if !e.is_recordable() {
                                     return Err(e.clone());
                                 }
                                 // Charged once, at first encounter; the
@@ -369,16 +408,23 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                                     }
                                 }
                             }
-                            Err(e) if e.is_retryable() => {
+                            Err(e) if e.is_recordable() => {
                                 timer.finish();
                                 best.failed_points += 1;
                                 coverage.record_failure();
+                                // Pre-flight rejections never reach the
+                                // solver, so no attempts were spent.
+                                let attempts = if e.is_retryable() {
+                                    options.characterize.retry.max_attempts
+                                } else {
+                                    0
+                                };
                                 failures.push(PointFailure {
                                     defect: Some(defect),
                                     case_study: Some(cs.number),
                                     pvt: Some(pvt),
                                     error: e,
-                                    attempts: options.characterize.retry.max_attempts,
+                                    attempts,
                                 });
                             }
                             Err(e) => return Err(e),
@@ -522,6 +568,46 @@ mod tests {
         assert_eq!(table.coverage.attempted, 4);
         assert_eq!(table.coverage.completed, 3);
         assert!(!table.coverage.is_complete());
+    }
+
+    #[test]
+    fn injected_disconnect_is_rejected_by_preflight() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16)];
+        opts.case_studies = vec![
+            CaseStudy::new(1, StoredBit::One),
+            CaseStudy::new(2, StoredBit::One),
+        ];
+        // Every grid point of (Df16, CS2) gets a severed netlist.
+        opts.inject_disconnects = vec![(16, 2)];
+        let table = table2(&opts).expect("campaign must survive a rejected point");
+
+        let hurt = cell_at(&table, 16, 2);
+        assert_eq!(hurt.failed_points, 1);
+        assert_eq!(hurt.min_ohms, None);
+        assert!(
+            cell_at(&table, 16, 1).min_ohms.is_some(),
+            "the untouched cell still characterizes"
+        );
+        assert_eq!(table.failures.len(), 1);
+        let f = &table.failures[0];
+        assert_eq!(f.attempts, 0, "no Newton iteration may be spent");
+        match &f.error {
+            anasim::Error::PreflightRejected { code, what } => {
+                assert_eq!(code, "ERC001");
+                assert!(
+                    what.contains("injected_disconnect"),
+                    "diagnostic must name the severed node: {what}"
+                );
+            }
+            other => panic!("expected a pre-flight rejection, got {other}"),
+        }
+        assert!(!f.error.is_retryable(), "rescue ladder cannot help");
+        // The gate's work shows up in the observability counters (and
+        // therefore in every run manifest).
+        let counters = obs::snapshot().counters;
+        assert!(*counters.get("erc.preflight.checked").unwrap_or(&0) >= 1);
+        assert!(*counters.get("erc.preflight.rejected").unwrap_or(&0) >= 1);
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! maximizes DRV").
 
 use process::{ProcessCorner, PvtCondition, Sigma};
+use sram::cell::build_retention_netlist;
 use sram::drv::{drv_ds, DrvOptions, StoredBit};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
-use crate::campaign::{publish_coverage, Coverage, PointFailure, PointTimer};
+use crate::campaign::{preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer};
 
 /// Options for the Fig. 4 sweep.
 #[derive(Debug, Clone)]
@@ -178,10 +179,15 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                     let pvt = PvtCondition::new(corner, options.vdd, temp);
                     let inst = CellInstance::with_pattern(pattern, pvt);
                     let timer = PointTimer::start(format!("{transistor}/{sigma:+.0}σ @ {pvt}"));
-                    let point = drv_ds(&inst, StoredBit::One, &options.drv).and_then(|d1| {
-                        Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv))
-                    });
-                    if !matches!(&point, Err(e) if !e.is_retryable()) {
+                    // ERC pre-flight on the cell netlist this point
+                    // would solve, then the two DRV searches.
+                    let point = build_retention_netlist(&inst, options.vdd)
+                        .and_then(|(nl, _)| preflight_netlist(&nl))
+                        .and_then(|_| drv_ds(&inst, StoredBit::One, &options.drv))
+                        .and_then(|d1| {
+                            Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv))
+                        });
+                    if !matches!(&point, Err(e) if !e.is_recordable()) {
                         timer.finish();
                     }
                     match point {
@@ -194,14 +200,19 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                                 best0 = (d0, pvt);
                             }
                         }
-                        Err(e) if e.is_retryable() => {
+                        Err(e) if e.is_recordable() => {
                             coverage.record_failure();
+                            let attempts = if e.is_retryable() {
+                                options.drv.retry.max_attempts
+                            } else {
+                                0
+                            };
                             failures.push(PointFailure {
                                 defect: None,
                                 case_study: None,
                                 pvt: Some(pvt),
                                 error: e,
-                                attempts: options.drv.retry.max_attempts,
+                                attempts,
                             });
                         }
                         Err(e) => return Err(e),

@@ -14,6 +14,8 @@
 //! * test flows and the end-to-end flow-vs-defect runner
 //!   ([`test_flow`]), the adapter that lets March m-LZ drive the
 //!   electrically-backed SRAM ([`sram_target`]),
+//! * the static ERC lint driver over the suite's canonical netlists
+//!   ([`lint`]),
 //! * the flow optimizer behind Table III ([`optimize`]), and
 //! * displayable experiment reports pairing measured values with the
 //!   published ones ([`experiments`]), and
@@ -48,6 +50,7 @@ pub mod drv_analysis;
 pub mod ds_time;
 pub mod experiments;
 pub mod fault_model;
+pub mod lint;
 pub mod montecarlo_drv;
 pub mod optimize;
 pub mod power_defect_analysis;
@@ -57,8 +60,8 @@ pub mod taxonomy;
 pub mod test_flow;
 
 pub use campaign::{
-    completeness_footer, publish_coverage, record_point, Checkpoint, Coverage, PointFailure,
-    PointTimer,
+    completeness_footer, preflight_netlist, publish_coverage, record_point, Checkpoint, Coverage,
+    PointFailure, PointTimer,
 };
 pub use case_study::{CaseStudy, WORST_CASE_DRV};
 pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
@@ -66,6 +69,7 @@ pub use diagnosis::{diagnose_mlz, diagnose_mlz_with_prepass, FailureSignature, L
 pub use drv_analysis::{fig4, Fig4Data, Fig4Options};
 pub use ds_time::{ds_time_sweep, DsTimeOptions, DsTimeReport};
 pub use fault_model::DrfDs;
+pub use lint::{lint_all, rule_catalogue, LintRun, LintTarget};
 pub use montecarlo_drv::{monte_carlo_drv, MonteCarloOptions, MonteCarloReport};
 pub use optimize::{
     build_coverage, escape_analysis, greedy_cover, CoverageMatrix, CoverageOptions, EscapeReport,

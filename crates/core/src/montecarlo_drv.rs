@@ -7,10 +7,13 @@
 //! studies sit relative to it.
 
 use process::{MonteCarlo, PvtCondition, Sigma};
+use sram::cell::build_retention_netlist;
 use sram::drv::{drv_ds_worst, DrvOptions};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
-use crate::campaign::{completeness_footer, publish_coverage, Coverage, PointFailure, PointTimer};
+use crate::campaign::{
+    completeness_footer, preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer,
+};
 
 /// Options for the Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -131,8 +134,10 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
         }
         let inst = CellInstance::with_pattern(pattern, options.pvt);
         let timer = PointTimer::start(format!("mc{sample} @ {}", options.pvt));
-        let outcome = drv_ds_worst(&inst, &options.drv);
-        if !matches!(&outcome, Err(e) if !e.is_retryable()) {
+        let outcome = build_retention_netlist(&inst, options.pvt.vdd)
+            .and_then(|(nl, _)| preflight_netlist(&nl))
+            .and_then(|_| drv_ds_worst(&inst, &options.drv));
+        if !matches!(&outcome, Err(e) if !e.is_recordable()) {
             timer.finish();
         }
         match outcome {
@@ -140,14 +145,19 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
                 coverage.record_ok();
                 drvs.push(drv);
             }
-            Err(e) if e.is_retryable() => {
+            Err(e) if e.is_recordable() => {
                 coverage.record_failure();
+                let attempts = if e.is_retryable() {
+                    options.drv.retry.max_attempts
+                } else {
+                    0
+                };
                 failures.push(PointFailure {
                     defect: None,
                     case_study: None,
                     pvt: Some(options.pvt),
                     error: e,
-                    attempts: options.drv.retry.max_attempts,
+                    attempts,
                 });
             }
             Err(e) => return Err(e),

@@ -159,7 +159,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
             Ok((stressed, drv, load))
         })();
         if let Err(e) = &built {
-            if !e.is_retryable() {
+            if !e.is_recordable() {
                 return Err(e.clone());
             }
             failures.push(PointFailure {
@@ -210,14 +210,19 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                     coverage.record_ok();
                     min_r[d][c] = found.ohms;
                 }
-                Err(e) if e.is_retryable() => {
+                Err(e) if e.is_recordable() => {
                     coverage.record_failure();
+                    let attempts = if e.is_retryable() {
+                        options.characterize.retry.max_attempts
+                    } else {
+                        0
+                    };
                     failures.push(PointFailure {
                         defect: Some(defect),
                         case_study: Some(cs.number),
                         pvt: Some(pvt),
                         error: e,
-                        attempts: options.characterize.retry.max_attempts,
+                        attempts,
                     });
                 }
                 Err(e) => return Err(e),

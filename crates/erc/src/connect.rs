@@ -1,0 +1,151 @@
+//! Connectivity primitives: union-find and ground reachability.
+
+use crate::model::{CircuitModel, EdgeStrength};
+
+/// Union-find with path halving and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `false` when they were
+    /// already in the same set — which, when edges are added one by
+    /// one, means the new edge closes a cycle.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Per-node ground reachability over the model's conduction graph.
+///
+/// Only edges at least as strong as `min_strength` participate
+/// (`Weak` = resistive paths *and* capacitor leaks, `Strong` =
+/// resistive paths only). `skip_element`, when set, removes that one
+/// device from the graph — the primitive behind "what disconnects if
+/// this defect site opens completely".
+///
+/// Out-of-range terminal indices are ignored (ERC007 reports them).
+pub fn ground_reachable(
+    model: &CircuitModel,
+    min_strength: EdgeStrength,
+    skip_element: Option<&str>,
+) -> Vec<bool> {
+    let n = model.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for e in &model.elements {
+        if skip_element == Some(e.name.as_str()) {
+            continue;
+        }
+        for (a, b, strength) in e.conduction_edges() {
+            if strength >= min_strength && a < n && b < n {
+                uf.union(a, b);
+            }
+        }
+    }
+    (0..n).map(|i| uf.connected(i, 0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Element, ElementClass};
+
+    fn resistor(name: &str, a: usize, b: usize) -> Element {
+        Element {
+            name: name.into(),
+            class: ElementClass::Resistor,
+            nodes: vec![a, b],
+            value: Some(1.0e3),
+            bad_ref: None,
+        }
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 3));
+        assert!(!uf.union(0, 3), "re-union reports the cycle");
+    }
+
+    #[test]
+    fn reachability_follows_resistor_chain() {
+        let model = CircuitModel {
+            nodes: vec!["0".into(), "a".into(), "b".into(), "c".into()],
+            elements: vec![resistor("R1", 0, 1), resistor("R2", 1, 2)],
+        };
+        let reach = ground_reachable(&model, EdgeStrength::Weak, None);
+        assert_eq!(reach, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn weak_edges_count_only_at_weak_threshold() {
+        let model = CircuitModel {
+            nodes: vec!["0".into(), "a".into()],
+            elements: vec![Element {
+                name: "C".into(),
+                class: ElementClass::Capacitor,
+                nodes: vec![1, 0],
+                value: Some(1e-12),
+                bad_ref: None,
+            }],
+        };
+        assert_eq!(
+            ground_reachable(&model, EdgeStrength::Weak, None),
+            vec![true, true]
+        );
+        assert_eq!(
+            ground_reachable(&model, EdgeStrength::Strong, None),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn skip_element_opens_the_path() {
+        let model = CircuitModel {
+            nodes: vec!["0".into(), "a".into(), "b".into()],
+            elements: vec![resistor("R1", 0, 1), resistor("R2", 1, 2)],
+        };
+        let reach = ground_reachable(&model, EdgeStrength::Weak, Some("R2"));
+        assert_eq!(reach, vec![true, true, false]);
+    }
+}

@@ -32,6 +32,11 @@ pub struct CharacterizeOptions {
     /// Solver escalation on non-converged points (the full ladder by
     /// default; [`anasim::RetryPolicy::none`] for ablations).
     pub retry: anasim::RetryPolicy,
+    /// Run the static ERC pre-flight gate before the first solve of a
+    /// search ([`RegulatorCircuit::preflight`]). On by default: a
+    /// structurally broken netlist is then rejected with a named-node
+    /// diagnostic instead of burning the whole rescue ladder.
+    pub preflight: bool,
 }
 
 impl Default for CharacterizeOptions {
@@ -45,6 +50,7 @@ impl Default for CharacterizeOptions {
             transient_dt: 4.0e-6,
             transient_window: 1.0e-3,
             retry: anasim::RetryPolicy::ladder(),
+            preflight: true,
         }
     }
 }
@@ -119,12 +125,36 @@ pub fn drf_at(
     opts: &CharacterizeOptions,
 ) -> Result<(bool, f64), anasim::Error> {
     if defect.is_transient_mechanism() {
+        if opts.preflight {
+            preflight_transient_build(design, pvt, tap, defect)?;
+        }
         drf_at_transient(design, pvt, tap, defect, ohms, load, criterion, opts)
     } else {
         let mut circuit = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         circuit.set_retry(opts.retry);
+        if opts.preflight {
+            circuit.preflight()?;
+        }
         drf_at_dc(&mut circuit, defect, ohms, load, criterion, opts)
     }
+}
+
+/// ERC-checks the netlist an activation transient for `defect` would
+/// build. The transient drivers rebuild their circuit per point, so
+/// the gate runs once up front on a representative build.
+fn preflight_transient_build(
+    design: &RegulatorDesign,
+    pvt: PvtCondition,
+    tap: VrefTap,
+    defect: Defect,
+) -> Result<(), anasim::Error> {
+    let feed = if defect.number() == 8 {
+        FeedMode::BiasActivation
+    } else {
+        FeedMode::VrefActivation
+    };
+    RegulatorCircuit::new(design, pvt, tap, feed)?.preflight()?;
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -201,6 +231,14 @@ pub fn min_resistance(
         c.set_retry(opts.retry);
         Some(c)
     };
+    if opts.preflight {
+        match dc_circuit.as_ref() {
+            Some(c) => {
+                c.preflight()?;
+            }
+            None => preflight_transient_build(design, pvt, tap, defect)?,
+        }
+    }
     let mut eval = |ohms: f64| -> Result<(bool, f64), anasim::Error> {
         match dc_circuit.as_mut() {
             Some(circuit) => drf_at_dc(circuit, defect, ohms, load, criterion, opts),

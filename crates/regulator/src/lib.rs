@@ -5,7 +5,9 @@
 //! five-transistor OTA regulator ([`topology`]), its 32 resistive-open
 //! defect sites ([`defect`]), the activation transients that make Df8
 //! and Df11 dangerous ([`solve`]), and the minimum-resistance /
-//! category characterization driving Table II ([`characterize`]).
+//! category characterization driving Table II ([`characterize`]), plus
+//! the regulator-family electrical rules and pre-flight gate
+//! ([`preflight`]).
 //!
 //! # Example: how far can Df16 drift before data is lost?
 //!
@@ -32,6 +34,7 @@
 
 pub mod characterize;
 pub mod defect;
+pub mod preflight;
 pub mod solve;
 pub mod topology;
 
@@ -39,6 +42,7 @@ pub use characterize::{
     classify_at_tap, drf_at, min_resistance, CharacterizeOptions, DrfCriterion, MinResistance,
 };
 pub use defect::{Defect, DefectCategory};
+pub use preflight::{domain_rules, regulator_rules};
 pub use solve::{activation_transient, ActivationResult};
 pub use topology::{
     static_circuit, FeedMode, RegulatorCircuit, RegulatorDesign, RegulatorOp, VrefTap,

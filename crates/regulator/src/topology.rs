@@ -507,6 +507,16 @@ impl RegulatorCircuit {
         self.dc = self.dc.clone().with_retry(retry);
     }
 
+    /// Declares a node that no device touches. The MNA system then
+    /// carries an all-zero row — exactly the floating-node singularity
+    /// the pre-flight gate exists to catch before the solver does.
+    /// This is a fault-injection hook for testing that gate; it has no
+    /// modelling use.
+    pub fn add_orphan_node(&mut self, name: &str) {
+        self.nl.node(name);
+        self.warm = None;
+    }
+
     /// Removes every injected defect.
     pub fn clear_defects(&mut self) {
         for id in self.defects {
@@ -674,7 +684,7 @@ mod tests {
 
     fn tiny_load(pvt: PvtCondition) -> ArrayLoad {
         let base = CellInstance::symmetric(pvt);
-        ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).unwrap()
+        ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).expect("valid load build")
     }
 
     #[test]
@@ -697,8 +707,8 @@ mod tests {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
         for tap in VrefTap::ALL {
-            let mut c = static_circuit(pvt, tap).unwrap();
-            let op = c.solve(&load).unwrap();
+            let mut c = static_circuit(pvt, tap).expect("healthy build succeeds");
+            let op = c.solve(&load).expect("healthy circuit solves");
             let expected = tap.fraction() * 1.1;
             assert!(
                 (op.vreg - expected).abs() < 0.02,
@@ -713,8 +723,8 @@ mod tests {
     fn divider_taps_sit_at_design_fractions() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let op = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let op = c.solve(&load).expect("healthy circuit solves");
         let fracs = [0.78, 0.74, 0.70, 0.64, 0.52];
         for (tap_v, frac) in op.taps.iter().zip(fracs) {
             assert!(
@@ -729,8 +739,8 @@ mod tests {
     fn bias_current_is_microamp_scale() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let op = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let op = c.solve(&load).expect("healthy circuit solves");
         assert!(
             (0.1e-6..20.0e-6).contains(&op.bias_current),
             "bias current {} A",
@@ -748,8 +758,8 @@ mod tests {
         );
         for pvt in grid {
             let load = tiny_load(pvt);
-            let mut c = static_circuit(pvt, VrefTap::V70).unwrap();
-            let op = c.solve(&load).unwrap();
+            let mut c = static_circuit(pvt, VrefTap::V70).expect("healthy build succeeds");
+            let op = c.solve(&load).expect("healthy circuit solves");
             let expected = 0.70 * pvt.vdd;
             assert!(
                 (op.vreg - expected).abs() < 0.03,
@@ -763,10 +773,10 @@ mod tests {
     fn open_df1_starves_every_tap() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         c.inject(Defect::new(1), 1.0e6); // 2x the divider total
-        let faulty = c.solve(&load).unwrap();
+        let faulty = c.solve(&load).expect("ladder solves the defective point");
         for (h, f) in healthy.taps.iter().zip(faulty.taps) {
             assert!(f < h * 0.6, "tap {f} vs healthy {h}");
         }
@@ -777,10 +787,10 @@ mod tests {
     fn df2_raises_vref78_lowers_the_rest() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         c.inject(Defect::new(2), 200.0e3);
-        let faulty = c.solve(&load).unwrap();
+        let faulty = c.solve(&load).expect("ladder solves the defective point");
         assert!(
             faulty.taps[0] > healthy.taps[0] + 0.01,
             "Vref78 should rise"
@@ -798,11 +808,11 @@ mod tests {
         // A 10 kΩ open in the output stage drops Vreg by I_load · R.
         let pvt = PvtCondition::new(process::ProcessCorner::Typical, 1.1, 125.0);
         let base = CellInstance::symmetric(pvt);
-        let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).unwrap();
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).expect("valid load build");
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         c.inject(Defect::new(16), 20.0e3);
-        let faulty = c.solve(&load).unwrap();
+        let faulty = c.solve(&load).expect("ladder solves the defective point");
         // The drop tracks I·R with the (voltage-dependent) faulty load
         // current.
         let expected_drop = faulty.load_current * 20.0e3;
@@ -823,12 +833,12 @@ mod tests {
     fn negligible_gate_defects_do_not_move_vreg() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         for n in [14u8, 17, 18, 21, 24] {
             c.clear_defects();
             c.inject(Defect::new(n), 100.0e6);
-            let faulty = c.solve(&load).unwrap();
+            let faulty = c.solve(&load).expect("ladder solves the defective point");
             assert!(
                 (faulty.vreg - healthy.vreg).abs() < 5.0e-3,
                 "Df{n} moved vreg by {}",
@@ -841,12 +851,12 @@ mod tests {
     fn power_category_defects_raise_vreg() {
         let pvt = PvtCondition::nominal();
         let load = tiny_load(pvt);
-        let mut c = static_circuit(pvt, VrefTap::V70).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let mut c = static_circuit(pvt, VrefTap::V70).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         for n in [13u8, 15, 20, 28, 30] {
             c.clear_defects();
             c.inject(Defect::new(n), 100.0e6);
-            let faulty = c.solve(&load).unwrap();
+            let faulty = c.solve(&load).expect("ladder solves the defective point");
             assert!(
                 faulty.vreg > healthy.vreg + 5.0e-3,
                 "Df{n} should raise vreg: {} vs {}",
@@ -860,13 +870,13 @@ mod tests {
     fn drf_category_defects_lower_vreg() {
         let pvt = PvtCondition::new(process::ProcessCorner::Typical, 1.1, 125.0);
         let base = CellInstance::symmetric(pvt);
-        let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).unwrap();
-        let mut c = static_circuit(pvt, VrefTap::V74).unwrap();
-        let healthy = c.solve(&load).unwrap();
+        let load = ArrayLoad::build(&base, &[], 256 * 1024, 1.3, 7).expect("valid load build");
+        let mut c = static_circuit(pvt, VrefTap::V74).expect("healthy build succeeds");
+        let healthy = c.solve(&load).expect("healthy circuit solves");
         for n in [7u8, 9, 10, 12, 16, 19, 23, 26, 29, 32] {
             c.clear_defects();
             c.inject(Defect::new(n), 100.0e6);
-            let faulty = c.solve(&load).unwrap();
+            let faulty = c.solve(&load).expect("ladder solves the defective point");
             assert!(
                 faulty.vreg < healthy.vreg - 5.0e-3 || faulty.vddcc < healthy.vddcc - 5.0e-3,
                 "Df{n} should lower vreg/vddcc: {} / {} vs healthy {} / {}",

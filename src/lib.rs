@@ -6,6 +6,8 @@
 //! member so examples and downstream users need a single dependency:
 //!
 //! * [`anasim`] — analog circuit simulator (MNA, Newton, DC/transient);
+//! * [`erc`] — static netlist analysis (electrical rule checks) with
+//!   the campaign pre-flight gate and the `lint` CLI behind it;
 //! * [`process`] — PVT corners, temperature, σ-valued mismatch;
 //! * [`sram`] — 6T cell, SNM/DRV analysis, array, power modes,
 //!   leakage, retention dynamics, behavioural memory;
@@ -44,6 +46,7 @@
 
 pub use anasim;
 pub use drftest;
+pub use erc;
 pub use march;
 pub use process;
 pub use regulator;

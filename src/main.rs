@@ -5,9 +5,16 @@
 //! lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]
 //!               [--trace <file.jsonl>] [--metrics <file.json>] [--progress]
 //! lp-sram-suite summary <manifest.json> [--top <k>]
+//! lp-sram-suite lint [--deny-warnings] [--json] [--rules]
 //!   artifacts: fig4, fig5, table1, table2, table3, march, power,
 //!              power-defects, ds-time, monte-carlo, all
 //! ```
+//!
+//! `lint` runs the static electrical rule checks (`ERC001`… plus the
+//! regulator-family `ERC1xx` rules) over every netlist the campaigns
+//! solve, without solving anything. Exit code 0 = clean, 1 = errors,
+//! 2 = warnings under `--deny-warnings`; `--rules` prints the rule
+//! catalogue instead.
 //!
 //! `--checkpoint` (table2 only) appends each completed table cell to
 //! the given tab-separated file; rerunning with the same path resumes,
@@ -60,7 +67,11 @@ fn usage() -> ExitCode {
          --trace <file.jsonl>:  stream span/point/progress events\n\
          --metrics <file.json>: write the run manifest at exit\n\
          --progress:            human-readable progress on stderr\n\
-         summary <manifest.json>: render a manifest written by --metrics"
+         summary <manifest.json>: render a manifest written by --metrics\n\
+         lint [--deny-warnings] [--json] [--rules]:\n\
+         \x20    static ERC over the suite's netlists (exit 1 on errors,\n\
+         \x20    2 on warnings with --deny-warnings); --rules lists the\n\
+         \x20    rule catalogue"
     );
     ExitCode::FAILURE
 }
@@ -153,6 +164,31 @@ fn run(
     Ok(())
 }
 
+/// Runs the static ERC lint sweep; returns the process exit code.
+fn lint(deny_warnings: bool, json: bool, rules: bool) -> ExitCode {
+    if rules {
+        for (code, name, summary) in drftest::rule_catalogue() {
+            println!("{code}  {name:<28} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    match drftest::lint_all(process::PvtCondition::nominal()) {
+        Ok(run) => {
+            if json {
+                println!("{}", run.render_json());
+            } else {
+                print!("{}", run.render_text());
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            ExitCode::from(run.exit_code(deny_warnings) as u8)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Renders a `--metrics` manifest back as a human-readable digest.
 fn summarize(path: &str, top_k: usize) -> Result<(), Box<dyn std::error::Error>> {
     let text =
@@ -199,6 +235,13 @@ fn main() -> ExitCode {
     let Some(artifact) = args.first().map(String::as_str) else {
         return usage();
     };
+    if artifact == "lint" {
+        return lint(
+            args.iter().any(|a| a == "--deny-warnings"),
+            args.iter().any(|a| a == "--json"),
+            args.iter().any(|a| a == "--rules"),
+        );
+    }
     if artifact == "summary" {
         let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
             eprintln!("error: summary needs a manifest path");

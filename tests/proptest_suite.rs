@@ -304,3 +304,61 @@ proptest! {
         prop_assert!(i_vds >= i * 0.999);
     }
 }
+
+// ---------------------------------------------------------------------
+// Static analysis (ERC): every netlist the Table II generator can
+// produce passes the full rule set, at any admissible tap / feed mode /
+// injected defect resistance — the pre-flight gate must never reject a
+// healthy campaign grid point.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table2_generator_netlists_pass_erc(
+        tap_idx in 0usize..4,
+        feed_idx in 0usize..3,
+        defect_num in 1u8..=32,
+        log_ohms in -3.0f64..8.7, // 1 mΩ (absent) … 500 MΩ (full open)
+    ) {
+        use lp_sram_suite::process::PvtCondition;
+        use lp_sram_suite::regulator::{
+            Defect, FeedMode, RegulatorCircuit, RegulatorDesign, VrefTap,
+        };
+        let feed = [
+            FeedMode::Static,
+            FeedMode::BiasActivation,
+            FeedMode::VrefActivation,
+        ][feed_idx];
+        let mut circuit = RegulatorCircuit::new(
+            &RegulatorDesign::lp40nm(),
+            PvtCondition::nominal(),
+            VrefTap::ALL[tap_idx],
+            feed,
+        ).expect("healthy build succeeds");
+        circuit.inject(Defect::new(defect_num), 10f64.powf(log_ohms));
+        let report = circuit.erc_report();
+        prop_assert!(
+            report.is_empty(),
+            "Df{defect_num} at 1e{log_ohms:.1} Ω:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn retention_netlists_pass_erc(
+        sigmas in proptest::array::uniform6(-6.0f64..6.0),
+        vddc in 0.3f64..1.3,
+    ) {
+        use lp_sram_suite::erc;
+        use lp_sram_suite::process::{PvtCondition, Sigma};
+        use lp_sram_suite::sram::cell::build_retention_netlist;
+        use lp_sram_suite::sram::{CellInstance, MismatchPattern};
+        let pattern = MismatchPattern::from_sigmas(sigmas.map(Sigma));
+        let inst = CellInstance::with_pattern(pattern, PvtCondition::nominal());
+        let (nl, _) = build_retention_netlist(&inst, vddc).expect("valid build");
+        let report = erc::check_netlist(&nl);
+        prop_assert!(report.is_empty(), "{}", report.render_text());
+    }
+}
