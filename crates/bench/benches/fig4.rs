@@ -15,6 +15,7 @@ fn options() -> Fig4Options {
         temperatures: vec![125.0],
         vdd: 1.1,
         drv: DrvOptions::coarse(),
+        jobs: 1,
     }
 }
 

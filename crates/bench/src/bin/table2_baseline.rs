@@ -5,22 +5,42 @@
 //! cargo run --release -p bench --bin table2_baseline [out.json]
 //! ```
 //!
-//! The file records points/sec and the solver iteration totals so a
-//! future change that regresses the campaign (more Newton iterations,
-//! deeper rescue-ladder use, lower throughput) shows up as a diff
-//! against the committed numbers. Timing-derived fields vary by host;
-//! the iteration/retry totals are deterministic.
+//! Three variants of the same campaign are timed back to back:
+//!
+//! * `sequential_cold` — one worker, every Newton solve starts from the
+//!   cold DC guess (`jobs: 1`, `warm_start: false`); this is the
+//!   pre-executor behaviour and the reference point;
+//! * `sequential_warm` — one worker, each grid cell's solves seeded
+//!   from the healthy converged state of its (case-study, PVT)
+//!   condition (`jobs: 1`, `warm_start: true`);
+//! * `parallel_warm` — warm starts fanned across every available core
+//!   (`jobs: 0`).
+//!
+//! The file records per-variant points/sec and solver iteration totals
+//! so a future change that regresses the campaign (more Newton
+//! iterations, deeper rescue-ladder use, lower throughput) shows up as
+//! a diff against the committed numbers. Timing-derived fields vary by
+//! host — `host_cores` records how many cores the committed numbers
+//! had to work with (on a single-core runner `parallel_warm` cannot
+//! beat `sequential_warm`); the iteration/retry totals are
+//! deterministic for a given variant.
 
 use drftest::experiments::table2;
 use drftest::Table2Options;
 use obs::Json;
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_table2.json".to_string());
+struct Variant {
+    name: &'static str,
+    jobs: usize,
+    warm_start: bool,
+}
+
+fn run_variant(v: &Variant) -> Json {
     obs::reset();
-    let report = table2::run(&Table2Options::quick()).expect("quick campaign solves");
+    let mut opts = Table2Options::quick();
+    opts.jobs = v.jobs;
+    opts.warm_start = v.warm_start;
+    let report = table2::run(&opts).expect("quick campaign solves");
     obs::flush();
     let snapshot = obs::snapshot();
     let counter = |name: &str| *snapshot.counters.get(name).unwrap_or(&0);
@@ -32,14 +52,17 @@ fn main() {
             .unwrap_or(0.0)
     };
     let coverage = report.table.coverage;
-    let doc = Json::obj([
-        (
-            "schema".to_string(),
-            Json::Str("lp-sram-suite/bench-baseline/v1".to_string()),
-        ),
-        ("artifact".to_string(), Json::Str("table2".to_string())),
-        ("mode".to_string(), Json::Str("quick".to_string())),
-        ("version".to_string(), Json::Str(obs::describe_version())),
+    eprintln!(
+        "{}: {} points at {:.2} points/s ({} solves, {} iterations)",
+        v.name,
+        coverage.completed,
+        coverage.points_per_sec(),
+        counter("anasim.solve.count"),
+        hist_sum("anasim.solve.iterations"),
+    );
+    Json::obj([
+        ("jobs".to_string(), Json::Num(v.jobs as f64)),
+        ("warm_start".to_string(), Json::Bool(v.warm_start)),
         (
             "points_attempted".to_string(),
             Json::Num(coverage.attempted as f64),
@@ -73,6 +96,14 @@ fn main() {
                     Json::Num(hist_sum("anasim.solve.retries")),
                 ),
                 (
+                    "warm_seeds_applied".to_string(),
+                    Json::Num(counter("characterize.warm_seed.applied") as f64),
+                ),
+                (
+                    "warm_seeds_rejected".to_string(),
+                    Json::Num(counter("characterize.warm_seed.rejected") as f64),
+                ),
+                (
                     "rescue_plain".to_string(),
                     Json::Num(counter("anasim.rescue.plain") as f64),
                 ),
@@ -90,11 +121,48 @@ fn main() {
                 ),
             ]),
         ),
+    ])
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_table2.json".to_string());
+    let variants = [
+        Variant {
+            name: "sequential_cold",
+            jobs: 1,
+            warm_start: false,
+        },
+        Variant {
+            name: "sequential_warm",
+            jobs: 1,
+            warm_start: true,
+        },
+        Variant {
+            name: "parallel_warm",
+            jobs: 0,
+            warm_start: true,
+        },
+    ];
+    let results: Vec<(String, Json)> = variants
+        .iter()
+        .map(|v| (v.name.to_string(), run_variant(v)))
+        .collect();
+    let doc = Json::obj([
+        (
+            "schema".to_string(),
+            Json::Str("lp-sram-suite/bench-baseline/v2".to_string()),
+        ),
+        ("artifact".to_string(), Json::Str("table2".to_string())),
+        ("mode".to_string(), Json::Str("quick".to_string())),
+        ("version".to_string(), Json::Str(obs::describe_version())),
+        (
+            "host_cores".to_string(),
+            Json::Num(drftest::available_jobs() as f64),
+        ),
+        ("variants".to_string(), Json::obj(results)),
     ]);
     std::fs::write(&out, doc.to_pretty()).expect("baseline written");
-    eprintln!(
-        "wrote {out}: {} points at {:.2} points/s",
-        coverage.completed,
-        coverage.points_per_sec()
-    );
+    eprintln!("wrote {out}");
 }

@@ -122,12 +122,17 @@ impl Coverage {
         self.attempted += 1;
     }
 
-    /// Folds a sub-campaign's accounting into this one. Elapsed times
-    /// add up: sub-campaigns run sequentially.
+    /// Folds a sub-campaign's accounting into this one. Point counts
+    /// add; wall-clock takes the *max*, because sub-results may have
+    /// been computed concurrently by the parallel executor — summing
+    /// would overstate elapsed time and understate throughput. The
+    /// true campaign wall-clock is stamped once, at the executor top
+    /// level, after every sub-result has merged (a merged-in resumed
+    /// cell carries `elapsed_s: 0` and never perturbs it).
     pub fn merge(&mut self, other: Coverage) {
         self.attempted += other.attempted;
         self.completed += other.completed;
-        self.elapsed_s += other.elapsed_s;
+        self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
     }
 
     /// Completed points per wall-clock second (0 until the elapsed
@@ -287,6 +292,13 @@ impl Checkpoint {
     /// repeats (the map form; here duplicates are all returned in file
     /// order).
     ///
+    /// A file that does not end in a newline has a *torn* final row —
+    /// a crash interrupted [`append`](Checkpoint::append) mid-write.
+    /// A torn row is silently dropped rather than parsed: a truncated
+    /// numeric field like `976.5` (cut from `976.56`) parses cleanly
+    /// but is *wrong*, so the only safe reading is "this cell was
+    /// never logged" — the resuming campaign recomputes it.
+    ///
     /// # Errors
     ///
     /// I/O errors other than "file not found".
@@ -296,8 +308,12 @@ impl Checkpoint {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        Ok(text
-            .lines()
+        let mut lines: Vec<&str> = text.lines().collect();
+        if !text.is_empty() && !text.ends_with('\n') {
+            lines.pop(); // torn final row: crash mid-append, recompute it
+        }
+        Ok(lines
+            .into_iter()
             .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
             .map(|l| l.split('\t').map(str::to_string).collect())
             .collect())
@@ -324,6 +340,15 @@ impl Checkpoint {
     /// Appends one row (fields joined by tabs), creating the file and
     /// its parent directories on first use.
     ///
+    /// If a previous run crashed mid-append and left a torn final row
+    /// (no trailing newline), the torn fragment is first truncated
+    /// away: sealing it with a newline instead would turn a truncated
+    /// numeric field into a parseable-but-wrong complete row on the
+    /// next read. The row itself goes out as a single `write_all` of
+    /// one newline-terminated buffer, flushed before returning, so
+    /// each append is crash-atomic at line granularity on any POSIX
+    /// filesystem that honors `O_APPEND`.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures.
@@ -335,9 +360,29 @@ impl Checkpoint {
         }
         let mut file = fs::OpenOptions::new()
             .create(true)
+            .read(true)
             .append(true)
             .open(&self.path)?;
-        writeln!(file, "{}", fields.join("\t"))
+        let len = file.metadata()?.len();
+        if len > 0 {
+            use std::io::{Read as _, Seek as _, SeekFrom};
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                // Torn final row from a crashed run: discard the
+                // fragment so the new row starts on a clean line.
+                let mut bytes = Vec::new();
+                file.seek(SeekFrom::Start(0))?;
+                file.read_to_end(&mut bytes)?;
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                file.set_len(keep as u64)?;
+            }
+        }
+        let mut line = fields.join("\t");
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()
     }
 }
 
@@ -420,12 +465,42 @@ mod tests {
             footer.contains("12.0 s wall-clock") && footer.contains("0.50 points/s"),
             "{footer}"
         );
-        // Merging sums elapsed time (sequential sub-campaigns).
+        // Merging takes the max of elapsed times: sub-results may have
+        // been computed concurrently, and the executor stamps the real
+        // wall-clock at the top level.
         let mut total = Coverage::default();
         total.merge(c);
         total.merge(c);
-        assert!((total.elapsed_s - 24.0).abs() < 1e-12);
+        assert!((total.elapsed_s - 12.0).abs() < 1e-12);
         assert_eq!(total.completed, 12);
+    }
+
+    #[test]
+    fn merge_does_not_sum_concurrent_wall_clock() {
+        // Regression: merge used to sum elapsed_s ("sub-campaigns run
+        // sequentially"), which under the parallel executor overstated
+        // wall-clock N-fold and understated points_per_sec by the same
+        // factor. Two 12 s sub-campaigns of 6 points each that ran
+        // concurrently are 12 points in 12 s — 1.0 points/s, not 0.5.
+        let mut sub = Coverage::default();
+        for _ in 0..6 {
+            sub.record_ok();
+        }
+        sub.elapsed_s = 12.0;
+        let mut total = Coverage::default();
+        total.merge(sub);
+        total.merge(sub);
+        assert_eq!(total.completed, 12);
+        assert!((total.elapsed_s - 12.0).abs() < 1e-12);
+        assert!((total.points_per_sec() - 1.0).abs() < 1e-12);
+        // A resumed cell merged with elapsed_s: 0 never perturbs the
+        // stamped wall-clock.
+        total.merge(Coverage {
+            attempted: 3,
+            completed: 3,
+            elapsed_s: 0.0,
+        });
+        assert!((total.elapsed_s - 12.0).abs() < 1e-12);
     }
 
     #[test]
@@ -450,6 +525,56 @@ mod tests {
         assert_eq!(by_key["df16/cs1"][0], "980.00");
         assert_eq!(by_key["df19/cs1"][0], "-");
         assert_eq!(cp.rows().unwrap().len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_row_is_skipped_and_repaired() {
+        // Crash simulation: a run dies mid-append, leaving a partial
+        // final line with no trailing newline. The torn row must read
+        // as "never logged" (its truncated numeric field would parse
+        // cleanly but wrong), and a subsequent append must not
+        // concatenate onto the fragment.
+        let dir = std::env::temp_dir().join("drftest-campaign-torn-test");
+        let path = dir.join("table2.tsv");
+        let _ = fs::remove_dir_all(&dir);
+        let cp = Checkpoint::new(&path);
+        cp.append(&["df16/cs1".into(), "976.56".into(), "fs".into()])
+            .unwrap();
+        cp.append(&["df19/cs1".into(), "1234.5".into(), "sf".into()])
+            .unwrap();
+
+        // Truncate the file mid-row: "1234.5" loses its tail and the
+        // line its newline — exactly what a crash mid-write leaves.
+        let full = fs::read_to_string(&path).unwrap();
+        let cut = full.len() - 5; // strips "5\tsf\n"
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+        let torn = fs::read_to_string(&path).unwrap();
+        assert!(!torn.ends_with('\n'), "setup must leave a torn row");
+
+        // The torn row is invisible to readers: df19/cs1 gets
+        // recomputed on resume instead of resuming from a truncated
+        // (and silently wrong) value.
+        let keys = cp.completed_keys().unwrap();
+        assert!(keys.contains("df16/cs1"));
+        assert!(!keys.contains("df19/cs1"), "torn row must not count");
+        assert_eq!(cp.rows().unwrap().len(), 1);
+
+        // The resumed run re-appends the recomputed row; the torn
+        // fragment must not corrupt it.
+        cp.append(&["df19/cs1".into(), "1234.5".into(), "sf".into()])
+            .unwrap();
+        let by_key = cp.rows_by_key().unwrap();
+        assert_eq!(by_key.len(), 2);
+        assert_eq!(by_key["df19/cs1"], vec!["1234.5", "sf"]);
+        let healed = fs::read_to_string(&path).unwrap();
+        assert!(healed.ends_with('\n'));
+        assert!(
+            !healed.contains("1234.df19"),
+            "torn fragment concatenated with the recomputed row: {healed:?}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,6 +13,7 @@ use sram::drv::{drv_ds, DrvOptions, StoredBit};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
 use crate::campaign::{preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer};
+use crate::executor::parallel_map_ordered;
 
 /// Options for the Fig. 4 sweep.
 #[derive(Debug, Clone)]
@@ -27,6 +28,10 @@ pub struct Fig4Options {
     pub vdd: f64,
     /// DRV search tuning.
     pub drv: DrvOptions,
+    /// Worker threads the (transistor × σ × corner × temp) grid fans
+    /// across (`0` = available parallelism, `1` = sequential); the
+    /// dataset is identical for every value.
+    pub jobs: usize,
 }
 
 impl Fig4Options {
@@ -39,6 +44,7 @@ impl Fig4Options {
             temperatures: vec![-30.0, 25.0, 125.0],
             vdd: 1.1,
             drv: DrvOptions::default(),
+            jobs: 0,
         }
     }
 
@@ -51,6 +57,7 @@ impl Fig4Options {
             temperatures: vec![25.0, 125.0],
             vdd: 1.1,
             drv: DrvOptions::coarse(),
+            jobs: 0,
         }
     }
 }
@@ -165,58 +172,84 @@ impl Fig4Data {
 pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
     let _span = obs::span("fig4");
     let sweep_start = std::time::Instant::now();
+    // Flatten the four-level (transistor × σ × corner × temp) grid;
+    // the per-(transistor, σ) maxima fold below walks results in grid
+    // order, so first-wins tie-breaking is identical for any job count.
+    let mut grid: Vec<(CellTransistor, f64, PvtCondition)> = Vec::new();
+    for transistor in CellTransistor::ALL {
+        for &sigma in &options.sigmas {
+            for &corner in &options.corners {
+                for &temp in &options.temperatures {
+                    grid.push((
+                        transistor,
+                        sigma,
+                        PvtCondition::new(corner, options.vdd, temp),
+                    ));
+                }
+            }
+        }
+    }
+    let solved = parallel_map_ordered(
+        options.jobs,
+        &grid,
+        |_, &(transistor, sigma, pvt)| {
+            let pattern = MismatchPattern::symmetric().with(transistor, Sigma(sigma));
+            let inst = CellInstance::with_pattern(pattern, pvt);
+            let timer = PointTimer::start(format!("{transistor}/{sigma:+.0}σ @ {pvt}"));
+            // ERC pre-flight on the cell netlist this point would
+            // solve, then the two DRV searches.
+            let point = build_retention_netlist(&inst, options.vdd)
+                .and_then(|(nl, _)| preflight_netlist(&nl))
+                .and_then(|_| drv_ds(&inst, StoredBit::One, &options.drv))
+                .and_then(|d1| Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv)));
+            if !matches!(&point, Err(e) if !e.is_recordable()) {
+                timer.finish();
+            }
+            point
+        },
+        |_, _| {},
+    );
+
+    let per_point = options.corners.len() * options.temperatures.len();
     let mut series = Vec::with_capacity(6);
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
+    let mut results = grid.iter().zip(solved);
     for transistor in CellTransistor::ALL {
         let mut points = Vec::with_capacity(options.sigmas.len());
         for &sigma in &options.sigmas {
-            let pattern = MismatchPattern::symmetric().with(transistor, Sigma(sigma));
             let mut best1 = (0.0f64, PvtCondition::nominal());
             let mut best0 = (0.0f64, PvtCondition::nominal());
-            for &corner in &options.corners {
-                for &temp in &options.temperatures {
-                    let pvt = PvtCondition::new(corner, options.vdd, temp);
-                    let inst = CellInstance::with_pattern(pattern, pvt);
-                    let timer = PointTimer::start(format!("{transistor}/{sigma:+.0}σ @ {pvt}"));
-                    // ERC pre-flight on the cell netlist this point
-                    // would solve, then the two DRV searches.
-                    let point = build_retention_netlist(&inst, options.vdd)
-                        .and_then(|(nl, _)| preflight_netlist(&nl))
-                        .and_then(|_| drv_ds(&inst, StoredBit::One, &options.drv))
-                        .and_then(|d1| {
-                            Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv))
+            for _ in 0..per_point {
+                let (&(_, _, pvt), point) = results
+                    .next()
+                    .expect("the executor returns one result per grid point");
+                match point {
+                    Ok((d1, d0)) => {
+                        coverage.record_ok();
+                        if d1 > best1.0 {
+                            best1 = (d1, pvt);
+                        }
+                        if d0 > best0.0 {
+                            best0 = (d0, pvt);
+                        }
+                    }
+                    Err(e) if e.is_recordable() => {
+                        coverage.record_failure();
+                        let attempts = if e.is_retryable() {
+                            options.drv.retry.max_attempts
+                        } else {
+                            0
+                        };
+                        failures.push(PointFailure {
+                            defect: None,
+                            case_study: None,
+                            pvt: Some(pvt),
+                            error: e,
+                            attempts,
                         });
-                    if !matches!(&point, Err(e) if !e.is_recordable()) {
-                        timer.finish();
                     }
-                    match point {
-                        Ok((d1, d0)) => {
-                            coverage.record_ok();
-                            if d1 > best1.0 {
-                                best1 = (d1, pvt);
-                            }
-                            if d0 > best0.0 {
-                                best0 = (d0, pvt);
-                            }
-                        }
-                        Err(e) if e.is_recordable() => {
-                            coverage.record_failure();
-                            let attempts = if e.is_retryable() {
-                                options.drv.retry.max_attempts
-                            } else {
-                                0
-                            };
-                            failures.push(PointFailure {
-                                defect: None,
-                                case_study: None,
-                                pvt: Some(pvt),
-                                error: e,
-                                attempts,
-                            });
-                        }
-                        Err(e) => return Err(e),
-                    }
+                    Err(e) => return Err(e),
                 }
             }
             points.push(Fig4Point {

@@ -1,0 +1,262 @@
+//! Work-stealing parallel executor for campaign grids.
+//!
+//! Every paper table is an embarrassingly-parallel grid — Table II
+//! alone is defects × case-studies, each hiding a resistance bisection
+//! of full Newton solves — so the campaign drivers fan their grid
+//! points across cores through [`parallel_map_ordered`]. The design
+//! constraints, in order of importance:
+//!
+//! 1. **Determinism.** The table a campaign prints, the rows it
+//!    checkpoints, and its coverage footer must be byte-identical
+//!    regardless of `--jobs`. Every result carries its grid index;
+//!    the caller's `on_ready` callback fires in strict index order
+//!    (out-of-order completions are parked until the prefix is
+//!    contiguous), and the returned `Vec` is in grid order. Workers
+//!    never touch shared mutable campaign state.
+//! 2. **No new dependencies.** The build is offline: plain
+//!    `std::thread::scope`, a shared atomic work index for stealing,
+//!    and an `mpsc` channel for completions. `--jobs 1` (or a
+//!    single-item grid) takes a purely sequential inline path that
+//!    reproduces the pre-parallel executors bit-for-bit.
+//! 3. **Observability survives the join.** Worker threads flush their
+//!    thread-local obs buffers ([`obs::flush`]) before exiting the
+//!    scope, so counters and histograms recorded on workers are
+//!    visible in the registry snapshot the moment
+//!    [`parallel_map_ordered`] returns — run manifests and JSONL
+//!    sinks don't silently drop tail events.
+//!
+//! Wall-clock accounting: the executor is why [`crate::Coverage`]
+//! merges `elapsed_s` by `max` rather than `+` — sub-results computed
+//! concurrently must not inflate the campaign's throughput figure.
+//! Campaign drivers stamp wall-clock once, at the top level, around
+//! the whole `parallel_map_ordered` call.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolves a requested `--jobs` value: `0` means "auto" (available
+/// parallelism); anything else is taken literally.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        available_jobs()
+    } else {
+        requested
+    }
+}
+
+/// Maps `work` over `items` on up to `jobs` worker threads, delivering
+/// results in grid order.
+///
+/// * `jobs == 0` resolves to the machine's available parallelism;
+///   `jobs == 1` (or fewer items than 2) runs inline on the calling
+///   thread with no thread machinery at all — bit-for-bit the
+///   sequential behavior.
+/// * `work(index, &items[index])` runs on a worker thread; items are
+///   claimed from a shared atomic index (idle workers steal the next
+///   unclaimed item, so an expensive point never serializes the rest
+///   behind it).
+/// * `on_ready(index, &result)` runs on the *calling* thread, in
+///   strict index order, as soon as the contiguous prefix up to
+///   `index` has completed — this is the single-writer hook for
+///   checkpoint appends and progress lines. Out-of-order completions
+///   are parked until their turn.
+/// * The returned `Vec` holds every result in item order.
+///
+/// Worker threads flush their thread-local obs buffers before the
+/// scope joins, so metrics recorded inside `work` are globally visible
+/// when this function returns. A panic inside `work` propagates to the
+/// caller after the scope unwinds (no result is lost silently).
+pub fn parallel_map_ordered<T, R>(
+    jobs: usize,
+    items: &[T],
+    work: impl Fn(usize, &T) -> R + Sync,
+    mut on_ready: impl FnMut(usize, &R),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = work(i, item);
+                on_ready(i, &r);
+                r
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = work(i, &items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break; // receiver gone: the scope is unwinding
+                    }
+                }
+                // Drain this worker's thread-local metric buffers into
+                // the global registry before the scope joins — without
+                // this, counters recorded on workers below the flush
+                // threshold would sit invisible until thread teardown
+                // raced the caller's snapshot.
+                obs::flush();
+            });
+        }
+        drop(tx); // the receive loop ends when the last worker exits
+
+        let mut emit_next = 0usize;
+        for (i, r) in rx {
+            slots[i] = Some(r);
+            while let Some(Some(ready)) = slots.get(emit_next) {
+                on_ready(emit_next, ready);
+                emit_next += 1;
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("scope joined without panicking, so every item sent a result"))
+        .collect()
+}
+
+/// A deterministic single-writer queue used by tests to observe
+/// `on_ready` ordering; kept here so campaign drivers can share it if
+/// they need to stage ordered side effects.
+#[derive(Debug, Default)]
+pub struct OrderedLog<R> {
+    entries: VecDeque<(usize, R)>,
+}
+
+impl<R> OrderedLog<R> {
+    /// Appends one `(index, value)` pair.
+    pub fn push(&mut self, index: usize, value: R) {
+        self.entries.push_back((index, value));
+    }
+
+    /// The recorded indices, in arrival order.
+    pub fn indices(&self) -> Vec<usize> {
+        self.entries.iter().map(|(i, _)| *i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert_eq!(effective_jobs(1), 1);
+        assert_eq!(effective_jobs(7), 7);
+        assert!(effective_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn sequential_path_preserves_order_and_results() {
+        let items: Vec<u64> = (0..10).collect();
+        let mut log = OrderedLog::default();
+        let out = parallel_map_ordered(1, &items, |i, x| x * x + i as u64, |i, r| log.push(i, *r));
+        assert_eq!(
+            out,
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x * x + i as u64)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(log.indices(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_results_are_in_item_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map_ordered(4, &items, |_, x| x * 3, |_, _| {});
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn on_ready_fires_in_strict_index_order_under_parallelism() {
+        // Stagger the work so later indices routinely finish first;
+        // the callback order must stay 0,1,2,... regardless.
+        let items: Vec<u64> = (0..64).collect();
+        let mut log = OrderedLog::default();
+        let out = parallel_map_ordered(
+            8,
+            &items,
+            |i, x| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                x + 1
+            },
+            |i, r| log.push(i, *r),
+        );
+        assert_eq!(log.indices(), (0..64).collect::<Vec<_>>());
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        let out = parallel_map_ordered(8, &Vec::<u32>::new(), |_, x| *x, |_, _| {});
+        assert!(out.is_empty());
+        let out = parallel_map_ordered(8, &[41u32], |_, x| x + 1, |_, _| {});
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn every_item_is_claimed_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        parallel_map_ordered(
+            6,
+            &items,
+            |_, _| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _| {},
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_thread_obs_buffers_drain_at_join() {
+        // Thread-local counter buffers only reach the global registry
+        // on flush; the executor guarantees workers flush before the
+        // scope joins, so a snapshot taken right after the call sees
+        // every worker-side increment. Delta-based so it never races
+        // other tests sharing the process-global registry.
+        let key = "executor.test.worker_events";
+        let before = obs::snapshot().counters.get(key).copied().unwrap_or(0);
+        let items: Vec<u64> = (0..32).collect();
+        parallel_map_ordered(4, &items, |_, _| obs::counter_add(key, 1), |_, _| {});
+        let after = obs::snapshot().counters.get(key).copied().unwrap_or(0);
+        assert_eq!(
+            after - before,
+            32,
+            "worker-thread obs buffers must be visible immediately after the join"
+        );
+    }
+}

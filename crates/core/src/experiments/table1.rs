@@ -9,6 +9,7 @@ use sram::{CellInstance, StoredBit};
 
 use crate::campaign::{completeness_footer, publish_coverage, Coverage, PointFailure, PointTimer};
 use crate::case_study::CaseStudy;
+use crate::executor::parallel_map_ordered;
 use crate::report::{format_mv, TextTable};
 
 /// Options for the Table I experiment.
@@ -22,6 +23,10 @@ pub struct Table1Options {
     pub vdd: f64,
     /// DRV search tuning.
     pub drv: DrvOptions,
+    /// Worker threads the (case-study × corner × temp) grid fans
+    /// across (`0` = available parallelism, `1` = sequential); the
+    /// report is byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Table1Options {
@@ -32,6 +37,7 @@ impl Table1Options {
             temperatures: vec![-30.0, 25.0, 125.0],
             vdd: 1.1,
             drv: DrvOptions::default(),
+            jobs: 0,
         }
     }
 
@@ -146,42 +152,66 @@ impl fmt::Display for Table1Report {
 pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
     let _span = obs::span("table1");
     let run_start = std::time::Instant::now();
+    // Flatten the (cs × corner × temp) grid so every point is one
+    // independently stealable work item; the per-row maxima fold below
+    // walks the results in grid order, so first-wins tie-breaking (and
+    // hence `worst_pvt`) is identical for any job count.
+    let cases = CaseStudy::ones();
+    let mut points: Vec<(CaseStudy, PvtCondition)> = Vec::new();
+    for &cs in &cases {
+        for &corner in &options.corners {
+            for &temp in &options.temperatures {
+                points.push((cs, PvtCondition::new(corner, options.vdd, temp)));
+            }
+        }
+    }
+    let solved = parallel_map_ordered(
+        options.jobs,
+        &points,
+        |_, &(cs, pvt)| {
+            let inst = CellInstance::with_pattern(cs.pattern(), pvt);
+            let timer = PointTimer::start(format!("cs{} @ {pvt}", cs.number));
+            let point = drv_ds(&inst, StoredBit::One, &options.drv)
+                .and_then(|d1| Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv)));
+            if !matches!(&point, Err(e) if !e.is_retryable()) {
+                timer.finish();
+            }
+            point
+        },
+        |_, _| {},
+    );
+
+    let per_row = options.corners.len() * options.temperatures.len();
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
-    for cs in CaseStudy::ones() {
+    let mut results = points.iter().zip(solved);
+    for &cs in &cases {
         let mut best1 = (0.0f64, PvtCondition::nominal());
         let mut best0 = 0.0f64;
-        for &corner in &options.corners {
-            for &temp in &options.temperatures {
-                let pvt = PvtCondition::new(corner, options.vdd, temp);
-                let inst = CellInstance::with_pattern(cs.pattern(), pvt);
-                let timer = PointTimer::start(format!("cs{} @ {pvt}", cs.number));
-                let point = drv_ds(&inst, StoredBit::One, &options.drv)
-                    .and_then(|d1| Ok((d1.drv, drv_ds(&inst, StoredBit::Zero, &options.drv)?.drv)));
-                if !matches!(&point, Err(e) if !e.is_retryable()) {
-                    timer.finish();
-                }
-                match point {
-                    Ok((d1, d0)) => {
-                        coverage.record_ok();
-                        if d1 > best1.0 {
-                            best1 = (d1, pvt);
-                        }
-                        best0 = best0.max(d0);
+        for _ in 0..per_row {
+            let (&(_, pvt), point) = results
+                .next()
+                .expect("the executor returns one result per grid point");
+            match point {
+                Ok((d1, d0)) => {
+                    coverage.record_ok();
+                    if d1 > best1.0 {
+                        best1 = (d1, pvt);
                     }
-                    Err(e) if e.is_retryable() => {
-                        coverage.record_failure();
-                        failures.push(PointFailure {
-                            defect: None,
-                            case_study: Some(cs.number),
-                            pvt: Some(pvt),
-                            error: e,
-                            attempts: options.drv.retry.max_attempts,
-                        });
-                    }
-                    Err(e) => return Err(e),
+                    best0 = best0.max(d0);
                 }
+                Err(e) if e.is_retryable() => {
+                    coverage.record_failure();
+                    failures.push(PointFailure {
+                        defect: None,
+                        case_study: Some(cs.number),
+                        pvt: Some(pvt),
+                        error: e,
+                        attempts: options.drv.retry.max_attempts,
+                    });
+                }
+                Err(e) => return Err(e),
             }
         }
         obs::progress(&format!("table1 row CS{} done ({coverage})", cs.number));

@@ -20,7 +20,9 @@
 //! * displayable experiment reports pairing measured values with the
 //!   published ones ([`experiments`]), and
 //! * the resilient-campaign machinery — per-point failure records,
-//!   coverage accounting, and checkpoint/resume ([`campaign`]).
+//!   coverage accounting, and checkpoint/resume ([`campaign`]) — and
+//!   the deterministic work-stealing parallel executor the campaign
+//!   drivers fan grid points across cores with ([`executor`]).
 //!
 //! # Example: is a defective regulator caught by the optimized flow?
 //!
@@ -48,6 +50,7 @@ pub mod defect_analysis;
 pub mod diagnosis;
 pub mod drv_analysis;
 pub mod ds_time;
+pub mod executor;
 pub mod experiments;
 pub mod fault_model;
 pub mod lint;
@@ -68,6 +71,7 @@ pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
 pub use diagnosis::{diagnose_mlz, diagnose_mlz_with_prepass, FailureSignature, LostValue};
 pub use drv_analysis::{fig4, Fig4Data, Fig4Options};
 pub use ds_time::{ds_time_sweep, DsTimeOptions, DsTimeReport};
+pub use executor::{available_jobs, effective_jobs, parallel_map_ordered};
 pub use fault_model::DrfDs;
 pub use lint::{lint_all, rule_catalogue, LintRun, LintTarget};
 pub use montecarlo_drv::{monte_carlo_drv, MonteCarloOptions, MonteCarloReport};

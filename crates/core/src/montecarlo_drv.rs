@@ -14,6 +14,7 @@ use sram::{CellInstance, CellTransistor, MismatchPattern};
 use crate::campaign::{
     completeness_footer, preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer,
 };
+use crate::executor::parallel_map_ordered;
 
 /// Options for the Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -26,6 +27,11 @@ pub struct MonteCarloOptions {
     pub pvt: PvtCondition,
     /// DRV search tuning.
     pub drv: DrvOptions,
+    /// Worker threads the samples fan across (`0` = available
+    /// parallelism, `1` = sequential). Patterns are drawn from the
+    /// seeded RNG *before* the fan-out, in sample order, so the drawn
+    /// set — and hence the report — is identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for MonteCarloOptions {
@@ -35,6 +41,7 @@ impl Default for MonteCarloOptions {
             seed: 20130318, // DATE 2013 session date
             pvt: PvtCondition::nominal(),
             drv: DrvOptions::coarse(),
+            jobs: 0,
         }
     }
 }
@@ -123,23 +130,40 @@ impl std::fmt::Display for MonteCarloReport {
 pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, anasim::Error> {
     let _span = obs::span("monte_carlo_drv");
     let run_start = std::time::Instant::now();
+    // The RNG is a sequential stream: draw every sample's pattern up
+    // front, in sample order, so the drawn set does not depend on how
+    // the solves are scheduled across workers.
     let mut mc = MonteCarlo::seeded(options.seed);
+    let patterns: Vec<MismatchPattern> = (0..options.samples)
+        .map(|_| {
+            let mut pattern = MismatchPattern::symmetric();
+            for t in CellTransistor::ALL {
+                pattern = pattern.with(t, mc.sample_sigma());
+            }
+            pattern
+        })
+        .collect();
+    let outcomes = parallel_map_ordered(
+        options.jobs,
+        &patterns,
+        |sample, &pattern| {
+            let inst = CellInstance::with_pattern(pattern, options.pvt);
+            let timer = PointTimer::start(format!("mc{sample} @ {}", options.pvt));
+            let outcome = build_retention_netlist(&inst, options.pvt.vdd)
+                .and_then(|(nl, _)| preflight_netlist(&nl))
+                .and_then(|_| drv_ds_worst(&inst, &options.drv));
+            if !matches!(&outcome, Err(e) if !e.is_recordable()) {
+                timer.finish();
+            }
+            outcome
+        },
+        |_, _| {},
+    );
+
     let mut drvs = Vec::with_capacity(options.samples);
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
-    for sample in 0..options.samples {
-        let mut pattern = MismatchPattern::symmetric();
-        for t in CellTransistor::ALL {
-            pattern = pattern.with(t, mc.sample_sigma());
-        }
-        let inst = CellInstance::with_pattern(pattern, options.pvt);
-        let timer = PointTimer::start(format!("mc{sample} @ {}", options.pvt));
-        let outcome = build_retention_netlist(&inst, options.pvt.vdd)
-            .and_then(|(nl, _)| preflight_netlist(&nl))
-            .and_then(|_| drv_ds_worst(&inst, &options.drv));
-        if !matches!(&outcome, Err(e) if !e.is_recordable()) {
-            timer.finish();
-        }
+    for outcome in outcomes {
         match outcome {
             Ok(drv) => {
                 coverage.record_ok();

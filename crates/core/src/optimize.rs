@@ -3,13 +3,16 @@
 //! the reasoning behind the paper's Table III.
 
 use process::{ProcessCorner, PvtCondition};
-use regulator::characterize::{min_resistance, CharacterizeOptions, DrfCriterion};
+use regulator::characterize::{
+    healthy_seed, min_resistance_seeded, CharacterizeOptions, DrfCriterion,
+};
 use regulator::{Defect, RegulatorDesign, VrefTap};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
 use crate::campaign::{Coverage, PointFailure};
 use crate::case_study::{CaseStudy, WORST_CASE_DRV};
+use crate::executor::parallel_map_ordered;
 use crate::test_flow::{FlowIteration, TestFlow};
 
 /// Options for building the coverage matrix.
@@ -40,6 +43,14 @@ pub struct CoverageOptions {
     pub drv: DrvOptions,
     /// Array-load samples.
     pub load_points: usize,
+    /// Worker threads the (defect × combination) matrix fans across
+    /// (`0` = available parallelism, `1` = sequential); the matrix is
+    /// identical for every value.
+    pub jobs: usize,
+    /// Seed each entry's resistance search from the healthy operating
+    /// point pre-solved at its combination (see
+    /// [`regulator::characterize::healthy_seed`]).
+    pub warm_start: bool,
 }
 
 impl CoverageOptions {
@@ -56,6 +67,8 @@ impl CoverageOptions {
             characterize: CharacterizeOptions::default(),
             drv: DrvOptions::default(),
             load_points: 7,
+            jobs: 0,
+            warm_start: true,
         }
     }
 
@@ -137,11 +150,15 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
     let mut coverage = Coverage::default();
     // Per-supply context (corner/temp fixed, vdd varies); a failed
     // build poisons that supply's column instead of the whole matrix.
+    // The three supplies build concurrently; failures fold in supply
+    // order afterwards, so the record is deterministic.
     type SupplyContext = (CellInstance, f64, ArrayLoad);
-    let mut contexts: Vec<(f64, Result<SupplyContext, anasim::Error>)> = Vec::new();
-    for &vdd in &[1.0, 1.1, 1.2] {
-        let pvt = PvtCondition::new(options.corner, vdd, options.temp_c);
-        let built: Result<SupplyContext, anasim::Error> = (|| {
+    let supplies = [1.0, 1.1, 1.2];
+    let built_contexts = parallel_map_ordered(
+        options.jobs,
+        &supplies,
+        |_, &vdd| -> Result<SupplyContext, anasim::Error> {
+            let pvt = PvtCondition::new(options.corner, vdd, options.temp_c);
             let stressed = CellInstance::with_pattern(cs.pattern(), pvt);
             let drv = drv_ds(&stressed, StoredBit::One, &options.drv)?.drv;
             let base = CellInstance::symmetric(pvt);
@@ -157,7 +174,11 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 options.load_points,
             )?;
             Ok((stressed, drv, load))
-        })();
+        },
+        |_, _| {},
+    );
+    let mut contexts: Vec<(f64, Result<SupplyContext, anasim::Error>)> = Vec::new();
+    for (&vdd, built) in supplies.iter().zip(built_contexts) {
         if let Err(e) = &built {
             if !e.is_recordable() {
                 return Err(e.clone());
@@ -165,7 +186,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
             failures.push(PointFailure {
                 defect: None,
                 case_study: Some(cs.number),
-                pvt: Some(pvt),
+                pvt: Some(PvtCondition::new(options.corner, vdd, options.temp_c)),
                 error: e.clone(),
                 attempts: options.drv.retry.max_attempts,
             });
@@ -173,23 +194,60 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
         contexts.push((vdd, built));
     }
 
-    let mut min_r = vec![vec![None; combos.len()]; options.defects.len()];
-    for (d, &defect) in options.defects.iter().enumerate() {
-        for (c, combo) in combos.iter().enumerate() {
+    // Per-combination warm-start seeds: the healthy operating point at
+    // each (vdd, tap), shared by every defect search at that column.
+    let seeds: Vec<Option<Vec<f64>>> = if options.warm_start {
+        parallel_map_ordered(
+            options.jobs,
+            &combos,
+            |_, combo| {
+                let (_, built) = contexts
+                    .iter()
+                    .find(|(v, _)| (*v - combo.vdd).abs() < 1e-9)
+                    .expect("context exists for every supply");
+                let Ok((_, _, load)) = built else {
+                    return None;
+                };
+                let pvt = PvtCondition::new(options.corner, combo.vdd, options.temp_c);
+                healthy_seed(&options.design, pvt, combo.tap, load, &options.characterize).ok()
+            },
+            |_, _| {},
+        )
+    } else {
+        vec![None; combos.len()]
+    };
+
+    // One work item per (defect × combination) entry, in matrix order.
+    enum Entry {
+        /// The supply context is poisoned; charged in the fold.
+        Poisoned,
+        /// Completed: the minimum failing resistance (`None` both for
+        /// "not detectable" and for unusable combinations).
+        Done(Option<f64>),
+        /// The search stayed unsolved after the rescue ladder.
+        Failed(Box<PointFailure>),
+    }
+    let entries: Vec<(usize, usize)> = (0..options.defects.len())
+        .flat_map(|d| (0..combos.len()).map(move |c| (d, c)))
+        .collect();
+    let solved = parallel_map_ordered(
+        options.jobs,
+        &entries,
+        |_, &(d, c)| -> Result<Entry, anasim::Error> {
+            let defect = options.defects[d];
+            let combo = &combos[c];
             let (_, built) = contexts
                 .iter()
                 .find(|(v, _)| (*v - combo.vdd).abs() < 1e-9)
                 .expect("context exists for every supply");
             let Ok((stressed, drv, load)) = built else {
-                coverage.record_failure();
-                continue;
+                return Ok(Entry::Poisoned);
             };
             // A combination whose healthy Vreg already sits below the
             // stressed cell's DRV would fail fault-free parts: it is
             // not usable for this criterion.
             if combo.expected_vreg() < *drv {
-                coverage.record_ok();
-                continue;
+                return Ok(Entry::Done(None));
             }
             let pvt = PvtCondition::new(options.corner, combo.vdd, options.temp_c);
             let criterion = DrfCriterion {
@@ -197,7 +255,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 stored: StoredBit::One,
                 drv: *drv,
             };
-            match min_resistance(
+            match min_resistance_seeded(
                 &options.design,
                 pvt,
                 combo.tap,
@@ -205,27 +263,40 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 load,
                 &criterion,
                 &options.characterize,
+                seeds[c].as_deref(),
             ) {
-                Ok(found) => {
-                    coverage.record_ok();
-                    min_r[d][c] = found.ohms;
-                }
+                Ok(found) => Ok(Entry::Done(found.ohms)),
                 Err(e) if e.is_recordable() => {
-                    coverage.record_failure();
                     let attempts = if e.is_retryable() {
                         options.characterize.retry.max_attempts
                     } else {
                         0
                     };
-                    failures.push(PointFailure {
+                    Ok(Entry::Failed(Box::new(PointFailure {
                         defect: Some(defect),
                         case_study: Some(cs.number),
                         pvt: Some(pvt),
                         error: e,
                         attempts,
-                    });
+                    })))
                 }
-                Err(e) => return Err(e),
+                Err(e) => Err(e),
+            }
+        },
+        |_, _| {},
+    );
+
+    let mut min_r = vec![vec![None; combos.len()]; options.defects.len()];
+    for (&(d, c), entry) in entries.iter().zip(solved) {
+        match entry? {
+            Entry::Poisoned => coverage.record_failure(),
+            Entry::Done(r) => {
+                coverage.record_ok();
+                min_r[d][c] = r;
+            }
+            Entry::Failed(f) => {
+                coverage.record_failure();
+                failures.push(*f);
             }
         }
     }

@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn parses_march_mlz() {
-        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).unwrap();
+        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).expect("m-LZ notation is valid");
         assert_eq!(t.elements().len(), 7);
         assert_eq!(t.length_formula(), (5, 4));
         assert_eq!(t.complexity(4096), 5 * 4096 + 4);
@@ -308,20 +308,24 @@ mod tests {
 
     #[test]
     fn ascii_aliases() {
-        let t = MarchTest::parse("mats+", "{any(w0); up(r0,w1); dn(r1,w0)}", 1e-3).unwrap();
+        let t = MarchTest::parse("mats+", "{any(w0); up(r0,w1); dn(r1,w0)}", 1e-3)
+            .expect("the ASCII aliases parse");
         assert_eq!(t.length_formula(), (5, 0));
         assert!(!t.exercises_retention());
     }
 
     #[test]
     fn display_roundtrip() {
-        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).unwrap();
+        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).expect("m-LZ notation is valid");
         let shown = t.to_string();
         assert!(shown.contains("⇕(w1)"), "{shown}");
         assert!(shown.contains("DSM; WUP"), "{shown}");
         // Reparse what we printed (strip the name prefix).
-        let notation = shown.split(" = ").nth(1).unwrap();
-        let t2 = MarchTest::parse("again", notation, 1e-3).unwrap();
+        let notation = shown
+            .split(" = ")
+            .nth(1)
+            .expect("Display always prints `name = notation`");
+        let t2 = MarchTest::parse("again", notation, 1e-3).expect("Display output reparses");
         assert_eq!(t.elements(), t2.elements());
     }
 
@@ -332,20 +336,23 @@ mod tests {
             assert!(t.validate().is_ok(), "{} invalid", t.name());
         }
         // Read before write.
-        let t = MarchTest::parse("x", "{⇑(r0)}", 1e-3).unwrap();
+        let t = MarchTest::parse("x", "{⇑(r0)}", 1e-3).expect("well-formed notation");
         assert!(t.validate().is_err());
         // Wrong expected background.
-        let t = MarchTest::parse("x", "{⇕(w1); ⇑(r0)}", 1e-3).unwrap();
-        let e = t.validate().unwrap_err();
+        let t = MarchTest::parse("x", "{⇕(w1); ⇑(r0)}", 1e-3).expect("well-formed notation");
+        let e = t
+            .validate()
+            .expect_err("wrong expected background must be rejected");
         assert!(e.to_string().contains("background"), "{e}");
         // WUP without DSM.
-        let t = MarchTest::parse("x", "{⇕(w1); WUP}", 1e-3).unwrap();
+        let t = MarchTest::parse("x", "{⇕(w1); WUP}", 1e-3).expect("well-formed notation");
         assert!(t.validate().is_err());
         // Ends in deep-sleep.
-        let t = MarchTest::parse("x", "{⇕(w1); DSM}", 1e-3).unwrap();
+        let t = MarchTest::parse("x", "{⇕(w1); DSM}", 1e-3).expect("well-formed notation");
         assert!(t.validate().is_err());
         // Nested DSM.
-        let t = MarchTest::parse("x", "{⇕(w1); DSM; DSM; WUP}", 1e-3).unwrap();
+        let t =
+            MarchTest::parse("x", "{⇕(w1); DSM; DSM; WUP}", 1e-3).expect("well-formed notation");
         assert!(t.validate().is_err());
     }
 
@@ -356,14 +363,14 @@ mod tests {
         assert!(MarchTest::parse("x", "{⇑(wx)}", 1e-3).is_err());
         assert!(MarchTest::parse("x", "{⇑()}", 1e-3).is_err());
         assert!(MarchTest::parse("x", "{}", 1e-3).is_err());
-        let e = MarchTest::parse("x", "{⇑ w0}", 1e-3).unwrap_err();
+        let e = MarchTest::parse("x", "{⇑ w0}", 1e-3).expect_err("missing parens must not parse");
         assert!(e.to_string().contains("invalid march notation"));
     }
 
     #[test]
     fn retention_detection_requires_read_after_dsm() {
         // DSM at the very end: no read follows, retention not observed.
-        let t = MarchTest::parse("x", "{⇕(w1); DSM; WUP}", 1e-3).unwrap();
+        let t = MarchTest::parse("x", "{⇕(w1); DSM; WUP}", 1e-3).expect("well-formed notation");
         assert!(!t.exercises_retention());
     }
 }

@@ -204,9 +204,38 @@ fn drf_at_dc(
     Ok((criterion.fails_at(op.vddcc, opts.ds_time), op.vddcc))
 }
 
+/// Solves the healthy (defect-free) DC operating point at one grid
+/// condition and returns the converged raw state vector — the
+/// campaign-level warm-start seed [`min_resistance_seeded`] accepts.
+/// Computed once per (design, corner, temperature, VDD, tap) and
+/// shared across every defect search at that condition, it replaces
+/// the cold DC guess each search would otherwise start from.
+///
+/// # Errors
+///
+/// Propagates solver failures (the caller treats a failed seed as
+/// "run cold", not as a campaign failure).
+pub fn healthy_seed(
+    design: &RegulatorDesign,
+    pvt: PvtCondition,
+    tap: VrefTap,
+    load: &ArrayLoad,
+    opts: &CharacterizeOptions,
+) -> Result<Vec<f64>, anasim::Error> {
+    let _span = obs::span("healthy_seed");
+    let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
+    c.set_retry(opts.retry);
+    c.solve(load)?;
+    Ok(c.warm_state()
+        .expect("a successful solve always stores its converged state")
+        .to_vec())
+}
+
 /// Finds the minimum resistance at which `defect` causes a DRF_DS under
 /// the criterion: coarse log-scale scan for the first failing point,
-/// then log-scale bisection against the last passing point.
+/// then log-scale bisection against the last passing point. Every
+/// solve starts from the cold DC guess; see [`min_resistance_seeded`]
+/// for the warm-started variant the campaigns use.
 ///
 /// # Errors
 ///
@@ -220,6 +249,36 @@ pub fn min_resistance(
     criterion: &DrfCriterion<'_>,
     opts: &CharacterizeOptions,
 ) -> Result<MinResistance, anasim::Error> {
+    min_resistance_seeded(design, pvt, tap, defect, load, criterion, opts, None)
+}
+
+/// As [`min_resistance`], but the first DC solve of the search seeds
+/// Newton from `seed` — a converged state of the *healthy* circuit at
+/// the same grid condition (see [`healthy_seed`]) — instead of the
+/// cold DC guess. Subsequent bisection steps then continue
+/// warm-starting from their neighbour as before. A `None` or
+/// wrong-length seed (different topology) degrades silently to the
+/// cold start, and a stale seed is rescued by the solver's
+/// cold-restart fallback, so seeding is purely an accelerator: it can
+/// never turn a solvable search into a failure.
+///
+/// Transient-mechanism defects (Df8/Df11) ignore the seed: their
+/// drivers rebuild a different feed-mode circuit per point.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+#[allow(clippy::too_many_arguments)]
+pub fn min_resistance_seeded(
+    design: &RegulatorDesign,
+    pvt: PvtCondition,
+    tap: VrefTap,
+    defect: Defect,
+    load: &ArrayLoad,
+    criterion: &DrfCriterion<'_>,
+    opts: &CharacterizeOptions,
+    seed: Option<&[f64]>,
+) -> Result<MinResistance, anasim::Error> {
     let _span = obs::span("min_resistance");
     // DC defects sweep one reused circuit so every point warm-starts
     // from its neighbour (continuation in the defect parameter);
@@ -229,6 +288,13 @@ pub fn min_resistance(
     } else {
         let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         c.set_retry(opts.retry);
+        if let Some(state) = seed {
+            if c.seed_warm(state) {
+                obs::counter_add("characterize.warm_seed.applied", 1);
+            } else {
+                obs::counter_add("characterize.warm_seed.rejected", 1);
+            }
+        }
         Some(c)
     };
     if opts.preflight {

@@ -39,7 +39,8 @@ pub mod solve;
 pub mod topology;
 
 pub use characterize::{
-    classify_at_tap, drf_at, min_resistance, CharacterizeOptions, DrfCriterion, MinResistance,
+    classify_at_tap, drf_at, healthy_seed, min_resistance, min_resistance_seeded,
+    CharacterizeOptions, DrfCriterion, MinResistance,
 };
 pub use defect::{Defect, DefectCategory};
 pub use preflight::{domain_rules, regulator_rules};

@@ -507,6 +507,34 @@ impl RegulatorCircuit {
         self.dc = self.dc.clone().with_retry(retry);
     }
 
+    /// The raw converged state vector of the last successful
+    /// [`solve`](RegulatorCircuit::solve) — the warm-start format
+    /// [`seed_warm`](RegulatorCircuit::seed_warm) accepts. Node build
+    /// order is deterministic for a given design/feed/tap, so the
+    /// vector transfers between structurally identical circuit
+    /// instances (the campaign-level warm-start cache relies on this).
+    pub fn warm_state(&self) -> Option<&[f64]> {
+        self.warm.as_deref()
+    }
+
+    /// Seeds the next solve from a previously converged state of a
+    /// structurally identical circuit, e.g. the healthy operating
+    /// point at the same (design, corner, VDD, tap) shared across all
+    /// defect searches at one grid condition. Returns `false` (and
+    /// leaves the cold start in place) when the vector length does not
+    /// match this circuit's unknown count — a seed from a different
+    /// topology. A stale-but-plausible seed is safe either way:
+    /// [`solve`](RegulatorCircuit::solve) falls back to a cold start
+    /// whenever the warm iteration fails.
+    pub fn seed_warm(&mut self, state: &[f64]) -> bool {
+        if state.len() == self.nl.num_unknowns() {
+            self.warm = Some(state.to_vec());
+            true
+        } else {
+            false
+        }
+    }
+
     /// Declares a node that no device touches. The MNA system then
     /// carries an all-zero row — exactly the floating-node singularity
     /// the pre-flight gate exists to catch before the solver does.

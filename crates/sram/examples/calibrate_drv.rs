@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for temp in temps {
                 let pvt = PvtCondition::new(corner, 1.1, temp);
                 let mut inst = CellInstance::with_pattern(p, pvt);
-                if let Ok(sat) = std::env::var("V_SAT").map(|v| v.parse::<f64>().unwrap()) {
+                if let Some(sat) = std::env::var("V_SAT")
+                    .ok()
+                    .map(|v| v.parse::<f64>().expect("V_SAT must be a number, e.g. 0.35"))
+                {
                     inst.variation = process::VariationModel::new(sigma).with_saturation(sat);
                 }
                 let r = drv_ds(&inst, StoredBit::One, &opts)?;

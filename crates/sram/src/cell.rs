@@ -370,20 +370,25 @@ mod tests {
     #[test]
     fn retention_netlist_is_bistable() {
         let inst = CellInstance::symmetric(PvtCondition::nominal());
-        let (nl, nodes) = build_retention_netlist(&inst, 1.1).unwrap();
+        let (nl, nodes) =
+            build_retention_netlist(&inst, 1.1).expect("the symmetric cell netlist builds");
         let dc = DcAnalysis::new();
         // Warm-start near state 1 (S high).
         let mut x1 = nl.zero_state();
         nl.set_guess(&mut x1, nodes.s, 1.1);
         nl.set_guess(&mut x1, nodes.vddc, 1.1);
-        let sol1 = dc.operating_point_from(&nl, &x1).unwrap();
+        let sol1 = dc
+            .operating_point_from(&nl, &x1)
+            .expect("the '1' state is stable at full supply");
         assert!(sol1.voltage(nodes.s) > 0.9, "S = {}", sol1.voltage(nodes.s));
         assert!(sol1.voltage(nodes.sb) < 0.2);
         // Warm-start near state 0 (SB high).
         let mut x0 = nl.zero_state();
         nl.set_guess(&mut x0, nodes.sb, 1.1);
         nl.set_guess(&mut x0, nodes.vddc, 1.1);
-        let sol0 = dc.operating_point_from(&nl, &x0).unwrap();
+        let sol0 = dc
+            .operating_point_from(&nl, &x0)
+            .expect("the '0' state is stable at full supply");
         assert!(sol0.voltage(nodes.sb) > 0.9);
         assert!(sol0.voltage(nodes.s) < 0.2);
     }

@@ -25,14 +25,19 @@ fn drv_agrees_with_full_cell_bistability() {
         .with(CellTransistor::MPcc1, Sigma(-3.0))
         .with(CellTransistor::MNcc1, Sigma(-3.0));
     let inst = CellInstance::with_pattern(pattern, pvt);
-    let drv = drv_ds(&inst, StoredBit::One, &opts()).unwrap().drv;
+    let drv = drv_ds(&inst, StoredBit::One, &opts())
+        .expect("a -3\u{3c3} cell is well inside the solvable range")
+        .drv;
 
     let holds_one_at = |supply: f64| {
-        let (nl, nodes) = build_retention_netlist(&inst, supply).unwrap();
+        let (nl, nodes) =
+            build_retention_netlist(&inst, supply).expect("the cell netlist always builds");
         let mut guess = nl.zero_state();
         nl.set_guess(&mut guess, nodes.vddc, supply);
         nl.set_guess(&mut guess, nodes.s, supply);
-        let sol = DcAnalysis::new().operating_point_from(&nl, &guess).unwrap();
+        let sol = DcAnalysis::new()
+            .operating_point_from(&nl, &guess)
+            .expect("a biased retention cell has an operating point");
         // Did the '1' (S high) survive as an operating point?
         sol.voltage(nodes.s) > sol.voltage(nodes.sb)
     };
@@ -52,9 +57,14 @@ fn snm_zero_crossing_matches_drv() {
         .with(CellTransistor::MPcc2, Sigma(3.0))
         .with(CellTransistor::MNcc2, Sigma(3.0));
     let inst = CellInstance::with_pattern(pattern, pvt);
-    let r = drv_ds(&inst, StoredBit::One, &opts()).unwrap();
-    let above = snm_ds(&inst, r.drv + 0.03, 41).unwrap().snm1;
-    let below = snm_ds(&inst, (r.drv - 0.03).max(0.02), 41).unwrap().snm1;
+    let r = drv_ds(&inst, StoredBit::One, &opts())
+        .expect("a +3\u{3c3} cell is well inside the solvable range");
+    let above = snm_ds(&inst, r.drv + 0.03, 41)
+        .expect("SNM sweep solves above the DRV")
+        .snm1;
+    let below = snm_ds(&inst, (r.drv - 0.03).max(0.02), 41)
+        .expect("SNM sweep solves below the DRV")
+        .snm1;
     assert!(above > 0.0, "SNM1 above DRV: {above}");
     assert!(below < above, "SNM1 shrinks below DRV");
     assert!(
@@ -70,7 +80,8 @@ fn leakage_is_arrhenius_like() {
     let mut points = Vec::new();
     for temp in [-30.0, 25.0, 85.0, 125.0] {
         let inst = CellInstance::symmetric(PvtCondition::new(ProcessCorner::Typical, 1.1, temp));
-        let i = cell_supply_current(&inst, 0.77, StoredBit::One).unwrap();
+        let i = cell_supply_current(&inst, 0.77, StoredBit::One)
+            .expect("leakage solves at the paper's retention voltage");
         points.push((1.0 / (temp + 273.15), i.ln()));
     }
     // Successive slopes within 2x of each other (subthreshold slope has
@@ -87,7 +98,8 @@ fn leakage_is_arrhenius_like() {
         );
     }
     // And the overall magnitude: decades between cold and hot.
-    assert!(points.last().unwrap().1 - points[0].1 > std::f64::consts::LN_10 * 2.0);
+    let hottest = points.last().expect("four temperatures were swept");
+    assert!(hottest.1 - points[0].1 > std::f64::consts::LN_10 * 2.0);
 }
 
 /// Corner symmetry: a cell's DRV on the `fs` corner equals its mirror
@@ -105,8 +117,12 @@ fn corner_mirror_symmetry() {
         pattern.mirrored(),
         PvtCondition::new(ProcessCorner::FastNSlowP, 1.1, 25.0),
     );
-    let d1 = drv_ds(&fs, StoredBit::One, &opts()).unwrap().drv;
-    let d0 = drv_ds(&sf_mirror, StoredBit::Zero, &opts()).unwrap().drv;
+    let d1 = drv_ds(&fs, StoredBit::One, &opts())
+        .expect("mild -2\u{3c3} skew stays solvable")
+        .drv;
+    let d0 = drv_ds(&sf_mirror, StoredBit::Zero, &opts())
+        .expect("the mirrored pattern is equally solvable")
+        .drv;
     assert!((d1 - d0).abs() < 0.01, "mirror symmetry: {d1} vs {d0}");
 }
 
@@ -118,9 +134,13 @@ fn worst_drv_is_max_of_sides() {
     for sig in [0.0, 1.0, 3.0] {
         let pattern = MismatchPattern::symmetric().with(CellTransistor::MNcc1, Sigma(-sig));
         let inst = CellInstance::with_pattern(pattern, pvt);
-        let worst = drv_ds_worst(&inst, &opts()).unwrap();
-        let one = drv_ds(&inst, StoredBit::One, &opts()).unwrap().drv;
-        let zero = drv_ds(&inst, StoredBit::Zero, &opts()).unwrap().drv;
+        let worst = drv_ds_worst(&inst, &opts()).expect("mild skew stays solvable");
+        let one = drv_ds(&inst, StoredBit::One, &opts())
+            .expect("the '1' side search solves wherever worst did")
+            .drv;
+        let zero = drv_ds(&inst, StoredBit::Zero, &opts())
+            .expect("the '0' side search solves wherever worst did")
+            .drv;
         assert!((worst - one.max(zero)).abs() < 1e-12, "sigma {sig}");
     }
 }
@@ -153,7 +173,8 @@ fn supply_current_monotone_in_voltage() {
     let mut last = 0.0;
     for k in 1..=12 {
         let v = k as f64 * 0.1;
-        let i = cell_supply_current(&inst, v, StoredBit::One).unwrap();
+        let i = cell_supply_current(&inst, v, StoredBit::One)
+            .expect("leakage solves across the supply sweep");
         assert!(i >= last * 0.5, "no collapse at {v}: {i} vs {last}");
         last = i;
     }

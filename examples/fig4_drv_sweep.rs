@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             temperatures: vec![-30.0, 125.0],
             vdd: 1.1,
             drv: DrvOptions::coarse(),
+            jobs: 0,
         }
     };
     eprintln!(

@@ -2,7 +2,7 @@
 //! artifacts by name.
 //!
 //! ```text
-//! lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]
+//! lp-sram-suite <artifact> [--paper|--reduced] [--jobs <n>] [--checkpoint <file>]
 //!               [--trace <file.jsonl>] [--metrics <file.json>] [--progress]
 //! lp-sram-suite summary <manifest.json> [--top <k>]
 //! lp-sram-suite lint [--deny-warnings] [--json] [--rules]
@@ -15,6 +15,11 @@
 //! solve, without solving anything. Exit code 0 = clean, 1 = errors,
 //! 2 = warnings under `--deny-warnings`; `--rules` prints the rule
 //! catalogue instead.
+//!
+//! `--jobs <n>` fans the campaign grids across `n` worker threads
+//! (`0` or omitted = all available cores, `1` = sequential). Every
+//! artifact's output is byte-identical for any value — see the
+//! executor's determinism contract.
 //!
 //! `--checkpoint` (table2 only) appends each completed table cell to
 //! the given tab-separated file; rerunning with the same path resumes,
@@ -49,7 +54,7 @@ use regulator::Defect;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lp-sram-suite <artifact> [--paper|--reduced] [--checkpoint <file>]\n\
+        "usage: lp-sram-suite <artifact> [--paper|--reduced] [--jobs <n>] [--checkpoint <file>]\n\
          \x20                            [--trace <file.jsonl>] [--metrics <file.json>] [--progress]\n\
          \x20      lp-sram-suite summary <manifest.json> [--top <k>]\n\
          artifacts:\n\
@@ -63,6 +68,8 @@ fn usage() -> ExitCode {
            ds-time       deep-sleep dwell-time sweep\n\
            monte-carlo   random-mismatch DRV distribution\n\
            all           everything above with fast settings\n\
+         --jobs <n>: worker threads (0/omitted = all cores, 1 = sequential);\n\
+         \x20    output is byte-identical for any value\n\
          --checkpoint <file> (table2): log completed cells and resume\n\
          --trace <file.jsonl>:  stream span/point/progress events\n\
          --metrics <file.json>: write the run manifest at exit\n\
@@ -80,26 +87,29 @@ fn run(
     artifact: &str,
     paper: bool,
     reduced: bool,
+    jobs: usize,
     checkpoint: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     match artifact {
         "fig4" => {
-            let opts = if paper {
+            let mut opts = if paper {
                 Fig4Options::paper()
             } else {
                 Fig4Options::quick()
             };
+            opts.jobs = jobs;
             println!("{}", fig4::run(&opts)?);
         }
         "fig5" => {
             println!("{}", taxonomy(&TaxonomyOptions::default())?);
         }
         "table1" => {
-            let opts = if paper {
+            let mut opts = if paper {
                 Table1Options::paper()
             } else {
                 Table1Options::quick()
             };
+            opts.jobs = jobs;
             println!("{}", table1::run(&opts)?);
         }
         "table2" => {
@@ -110,11 +120,13 @@ fn run(
             } else {
                 Table2Options::quick()
             };
+            opts.jobs = jobs;
             opts.checkpoint = checkpoint.map(std::path::PathBuf::from);
             println!("{}", table2::run(&opts)?);
         }
         "table3" => {
             let mut opts = CoverageOptions::paper();
+            opts.jobs = jobs;
             if !paper {
                 opts.defects = Defect::table2_rows()
                     .into_iter()
@@ -136,7 +148,11 @@ fn run(
             println!("{}", ds_time_sweep(&DsTimeOptions::marginal_df16())?);
         }
         "monte-carlo" => {
-            println!("{}", monte_carlo_drv(&MonteCarloOptions::default())?);
+            let opts = MonteCarloOptions {
+                jobs,
+                ..MonteCarloOptions::default()
+            };
+            println!("{}", monte_carlo_drv(&opts)?);
             for n in [1u8, 2, 4] {
                 let cs = CaseStudy::new(n, sram::StoredBit::One);
                 println!("{cs}: paper DRV {:.0} mV", cs.paper_drv_mv());
@@ -155,7 +171,7 @@ fn run(
                 "monte-carlo",
             ] {
                 println!("==== {artifact} ====");
-                run(artifact, false, false, None)?;
+                run(artifact, false, false, jobs, None)?;
                 println!();
             }
         }
@@ -212,6 +228,7 @@ fn config_echo(
     artifact: &str,
     paper: bool,
     reduced: bool,
+    jobs: usize,
     checkpoint: Option<&str>,
 ) -> BTreeMap<String, String> {
     let mut config = BTreeMap::new();
@@ -224,6 +241,10 @@ fn config_echo(
         "quick"
     };
     config.insert("mode".to_string(), mode.to_string());
+    config.insert(
+        "jobs".to_string(),
+        drftest::effective_jobs(jobs).to_string(),
+    );
     if let Some(path) = checkpoint {
         config.insert("checkpoint".to_string(), path.to_string());
     }
@@ -260,6 +281,16 @@ fn main() -> ExitCode {
     }
     let paper = args.iter().any(|a| a == "--paper");
     let reduced = args.iter().any(|a| a == "--reduced");
+    let jobs = match flag_value(&args, "--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --jobs expects a non-negative integer, got `{v}`");
+                return usage();
+            }
+        },
+        None => 0,
+    };
     let checkpoint = flag_value(&args, "--checkpoint");
     let trace = flag_value(&args, "--trace");
     let metrics = flag_value(&args, "--metrics");
@@ -273,12 +304,12 @@ fn main() -> ExitCode {
         }
     }
     let started = Instant::now();
-    let outcome = run(artifact, paper, reduced, checkpoint);
+    let outcome = run(artifact, paper, reduced, jobs, checkpoint);
     if let Some(path) = metrics {
         obs::flush();
         let manifest = obs::RunManifest::from_snapshot(
             artifact,
-            config_echo(artifact, paper, reduced, checkpoint),
+            config_echo(artifact, paper, reduced, jobs, checkpoint),
             &obs::snapshot(),
             started.elapsed().as_secs_f64(),
         );
