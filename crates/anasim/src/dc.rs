@@ -3,7 +3,8 @@
 use crate::error::Error;
 use crate::mna::AnalysisMode;
 use crate::netlist::{Netlist, SourceId};
-use crate::newton::{solve_with_retry, NewtonOptions, RetryPolicy, Solution};
+use crate::newton::{solve_with_retry_in, NewtonOptions, RetryPolicy, Solution};
+use crate::scratch::SolveScratch;
 
 /// DC analysis driver.
 ///
@@ -68,7 +69,8 @@ impl DcAnalysis {
     /// Propagates solver failures ([`Error::NoConvergence`],
     /// [`Error::SingularMatrix`]) after the retry ladder is exhausted.
     pub fn operating_point(&self, netlist: &Netlist) -> Result<Solution, Error> {
-        solve_with_retry(netlist, &self.options, None, AnalysisMode::Dc, &self.retry)
+        let mut scratch = SolveScratch::new();
+        self.operating_point_in(netlist, None, &mut scratch)
     }
 
     /// Solves the DC operating point starting from a previous solution
@@ -78,12 +80,35 @@ impl DcAnalysis {
     ///
     /// Propagates solver failures.
     pub fn operating_point_from(&self, netlist: &Netlist, x0: &[f64]) -> Result<Solution, Error> {
-        solve_with_retry(
+        let mut scratch = SolveScratch::new();
+        self.operating_point_in(netlist, Some(x0), &mut scratch)
+    }
+
+    /// Solves the DC operating point in caller-provided scratch
+    /// buffers, optionally warm-started from `x0`. The hot path for
+    /// repeated solves: one scratch threaded through a whole campaign
+    /// keeps the inner Newton loop allocation-free. Results are
+    /// bit-identical to [`operating_point`] / [`operating_point_from`].
+    ///
+    /// [`operating_point`]: DcAnalysis::operating_point
+    /// [`operating_point_from`]: DcAnalysis::operating_point_from
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn operating_point_in(
+        &self,
+        netlist: &Netlist,
+        x0: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<Solution, Error> {
+        solve_with_retry_in(
             netlist,
             &self.options,
-            Some(x0),
+            x0,
             AnalysisMode::Dc,
             &self.retry,
+            scratch,
         )
     }
 
@@ -106,19 +131,29 @@ impl DcAnalysis {
         }
         let original = netlist.source(source);
         let mut out = Vec::with_capacity(values.len());
-        let mut warm: Option<Vec<f64>> = None;
+        // One scratch and one warm-start buffer across the whole sweep;
+        // neither reallocates after the first point.
+        let mut scratch = SolveScratch::new();
+        let mut warm: Vec<f64> = Vec::new();
         for &v in values {
             netlist.set_source(source, v);
-            let result = solve_with_retry(
+            let x0 = if warm.is_empty() {
+                None
+            } else {
+                Some(warm.as_slice())
+            };
+            let result = solve_with_retry_in(
                 netlist,
                 &self.options,
-                warm.as_deref(),
+                x0,
                 AnalysisMode::Dc,
                 &self.retry,
+                &mut scratch,
             );
             match result {
                 Ok(sol) => {
-                    warm = Some(sol.raw().to_vec());
+                    warm.clear();
+                    warm.extend_from_slice(sol.raw());
                     out.push(sol);
                 }
                 Err(e) => {

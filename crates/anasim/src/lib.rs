@@ -46,12 +46,14 @@ pub mod matrix;
 pub mod mna;
 pub mod netlist;
 pub mod newton;
+pub mod scratch;
 pub mod transient;
 pub mod units;
 
 pub use error::Error;
 pub use netlist::{Netlist, NodeId, SourceId};
 pub use newton::{NewtonOptions, RescueStage, RetryPolicy, Solution, SolverStats};
+pub use scratch::SolveScratch;
 
 /// Boltzmann constant over elementary charge, in volts per kelvin.
 ///

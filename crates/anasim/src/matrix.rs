@@ -7,7 +7,7 @@
 use crate::error::Error;
 
 /// A dense, row-major, square matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseMatrix {
     n: usize,
     data: Vec<f64>,
@@ -83,6 +83,31 @@ impl DenseMatrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Resizes to `n × n` and zeroes every entry, reusing the existing
+    /// allocation when it is large enough.
+    pub fn resize_clear(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
+    }
+
+    /// Zeroes only the entries at the given flat (row-major) offsets —
+    /// the stamp-plan fast path for matrices whose other entries are
+    /// already zero.
+    #[inline]
+    pub(crate) fn clear_offsets(&mut self, offsets: &[usize]) {
+        for &k in offsets {
+            self.data[k] = 0.0;
+        }
+    }
+
+    /// Adds `value` at a precomputed flat (row-major) offset.
+    #[inline]
+    pub(crate) fn add_at_offset(&mut self, offset: usize, value: f64) {
+        debug_assert!(offset < self.data.len());
+        self.data[offset] += value;
+    }
+
     /// Computes `self * x`.
     ///
     /// # Panics
@@ -107,48 +132,145 @@ impl DenseMatrix {
     /// threshold `1e-18` can be found in some column, which for MNA
     /// systems almost always means a floating node.
     pub fn into_lu(mut self) -> Result<LuFactors, Error> {
-        let n = self.n;
-        let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivoting: bring the largest remaining entry of
-            // column k to the diagonal.
-            let mut pivot_row = k;
-            let mut pivot_val = self.get(k, k).abs();
-            for r in (k + 1)..n {
-                let v = self.get(r, k).abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        factor_in_place(&mut self, &mut perm)?;
+        Ok(LuFactors { lu: self, perm })
+    }
+}
+
+/// The factorization core shared by [`DenseMatrix::into_lu`] and
+/// [`LuWorkspace::factor_from`]: Doolittle LU with partial pivoting,
+/// overwriting `lu` with the packed factors and `perm` with the row
+/// permutation. `perm` must enter as the identity permutation.
+fn factor_in_place(lu: &mut DenseMatrix, perm: &mut [usize]) -> Result<(), Error> {
+    let n = lu.n;
+    debug_assert_eq!(perm.len(), n);
+    for k in 0..n {
+        // Partial pivoting: bring the largest remaining entry of
+        // column k to the diagonal.
+        let mut pivot_row = k;
+        let mut pivot_val = lu.get(k, k).abs();
+        for r in (k + 1)..n {
+            let v = lu.get(r, k).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
             }
-            if pivot_val < 1e-18 {
-                return Err(Error::SingularMatrix {
-                    pivot_row: k,
-                    unknown: None,
-                });
+        }
+        if pivot_val < 1e-18 {
+            return Err(Error::SingularMatrix {
+                pivot_row: k,
+                unknown: None,
+            });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            for c in 0..n {
+                let a = lu.get(k, c);
+                let b = lu.get(pivot_row, c);
+                lu.set(k, c, b);
+                lu.set(pivot_row, c, a);
             }
-            if pivot_row != k {
-                perm.swap(k, pivot_row);
-                for c in 0..n {
-                    let a = self.get(k, c);
-                    let b = self.get(pivot_row, c);
-                    self.set(k, c, b);
-                    self.set(pivot_row, c, a);
-                }
-            }
-            let inv_pivot = 1.0 / self.get(k, k);
-            for r in (k + 1)..n {
-                let factor = self.get(r, k) * inv_pivot;
-                self.set(r, k, factor);
-                if factor != 0.0 {
-                    for c in (k + 1)..n {
-                        let v = self.get(r, c) - factor * self.get(k, c);
-                        self.set(r, c, v);
-                    }
+        }
+        let inv_pivot = 1.0 / lu.get(k, k);
+        for r in (k + 1)..n {
+            let factor = lu.get(r, k) * inv_pivot;
+            lu.set(r, k, factor);
+            if factor != 0.0 {
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
                 }
             }
         }
-        Ok(LuFactors { lu: self, perm })
+    }
+    Ok(())
+}
+
+/// The substitution core shared by [`LuFactors::solve`] and
+/// [`LuWorkspace::solve_into`]: permute `b` into `x`, then forward
+/// substitution with unit-diagonal L and back substitution with U.
+fn solve_permuted(lu: &DenseMatrix, perm: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = lu.n;
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    for (xi, &p) in x.iter_mut().zip(perm) {
+        *xi = b[p];
+    }
+    // Forward substitution with unit-diagonal L.
+    for i in 1..n {
+        let mut sum = x[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            sum -= lu.get(i, j) * xj;
+        }
+        x[i] = sum;
+    }
+    // Back substitution with U.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            sum -= lu.get(i, j) * xj;
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+}
+
+/// A reusable in-place LU factorization buffer.
+///
+/// [`DenseMatrix::into_lu`] consumes its matrix and allocates a fresh
+/// permutation per call — fine for one-shot solves, ruinous inside a
+/// Newton loop that factors the same-order Jacobian thousands of times.
+/// `LuWorkspace` keeps one factor buffer and one permutation alive and
+/// refactors into them with zero heap traffic once warmed to an order.
+/// The arithmetic is the shared [`factor_in_place`]/[`solve_permuted`]
+/// core, so results are bit-identical to the consuming path.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+}
+
+impl LuWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LuWorkspace {
+            lu: DenseMatrix {
+                n: 0,
+                data: Vec::new(),
+            },
+            perm: Vec::new(),
+        }
+    }
+
+    /// Copies `a` into the workspace and factors it in place.
+    ///
+    /// Allocation-free once the workspace has reached `a.order()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] exactly when
+    /// [`DenseMatrix::into_lu`] would, with the same `pivot_row`.
+    pub fn factor_from(&mut self, a: &DenseMatrix) -> Result<(), Error> {
+        self.lu.n = a.n;
+        self.lu.data.clear();
+        self.lu.data.extend_from_slice(&a.data);
+        self.perm.clear();
+        self.perm.extend(0..a.n);
+        factor_in_place(&mut self.lu, &mut self.perm)
+    }
+
+    /// Solves `A x = b` into `x` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differ from the factored order.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        solve_permuted(&self.lu, &self.perm, b, x);
+    }
+
+    /// Order of the last factored matrix (0 before first use).
+    pub fn order(&self) -> usize {
+        self.lu.n
     }
 }
 
@@ -167,26 +289,8 @@ impl LuFactors {
     ///
     /// Panics if `b.len()` differs from the factored matrix order.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.lu.n;
-        assert_eq!(b.len(), n);
-        // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit-diagonal L.
-        for i in 1..n {
-            let mut sum = x[i];
-            for (j, xj) in x.iter().enumerate().take(i) {
-                sum -= self.lu.get(i, j) * xj;
-            }
-            x[i] = sum;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut sum = x[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                sum -= self.lu.get(i, j) * xj;
-            }
-            x[i] = sum / self.lu.get(i, i);
-        }
+        let mut x = vec![0.0; self.lu.n];
+        solve_permuted(&self.lu, &self.perm, b, &mut x);
         x
     }
 }
@@ -269,6 +373,66 @@ mod tests {
     fn mul_vec_matches_manual() {
         let a = DenseMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn workspace_matches_consuming_path_bitwise() {
+        // One workspace reused across orders must reproduce the
+        // consuming into_lu path bit for bit — the contract the
+        // Newton scratch relies on.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut ws = LuWorkspace::new();
+        for n in [3usize, 8, 25, 5, 40, 1] {
+            let mut a = DenseMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, next());
+                }
+                a.add(i, i, n as f64);
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let reference = a.clone().into_lu().unwrap().solve(&b);
+            ws.factor_from(&a).unwrap();
+            assert_eq!(ws.order(), n);
+            let mut x = vec![0.0; n];
+            ws.solve_into(&b, &mut x);
+            assert_eq!(x, reference, "order {n} diverged from into_lu");
+        }
+    }
+
+    #[test]
+    fn workspace_singular_error_matches_consuming_path() {
+        // Row 2 is a duplicate of row 0: elimination dies at the same
+        // pivot row on both paths.
+        let a = DenseMatrix::from_rows(3, &[1.0, 2.0, 3.0, 0.0, 1.0, 1.0, 1.0, 2.0, 3.0]);
+        let consuming = a.clone().into_lu().expect_err("singular");
+        let mut ws = LuWorkspace::new();
+        let in_place = ws.factor_from(&a).expect_err("singular");
+        match (consuming, in_place) {
+            (
+                Error::SingularMatrix { pivot_row: p1, .. },
+                Error::SingularMatrix { pivot_row: p2, .. },
+            ) => assert_eq!(p1, p2),
+            other => panic!("expected matching singular errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resize_clear_reuses_allocation() {
+        let mut m = DenseMatrix::zeros(4);
+        m.set(2, 2, 7.0);
+        m.resize_clear(3);
+        assert_eq!(m.order(), 3);
+        assert_eq!(m.get(2, 2), 0.0);
+        m.resize_clear(5);
+        assert_eq!(m.order(), 5);
+        assert!(m.data.iter().all(|&v| v == 0.0));
     }
 
     #[test]

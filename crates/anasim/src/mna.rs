@@ -6,6 +6,7 @@
 //! scaling for continuation, previous time point for transient companion
 //! models).
 
+use crate::devices::ElementKind;
 use crate::matrix::DenseMatrix;
 use crate::netlist::{Netlist, NodeId, ParamId, SourceId};
 
@@ -163,6 +164,145 @@ impl<'a> StampContext<'a> {
     }
 }
 
+/// A precomputed assembly plan for one netlist structure.
+///
+/// Every device stamps only at the cross product of its own unknowns
+/// (terminal nodes plus branch rows), and the gmin regularization only
+/// at node diagonals — so for a fixed netlist structure the set of
+/// matrix entries an assembly can touch is known before the first
+/// Newton iteration. The plan records that touched set as sorted flat
+/// (row-major) offsets plus the node-diagonal offsets, letting
+/// [`assemble_planned`] clear only the entries the previous iteration
+/// wrote instead of the whole n² matrix, and stamp gmin through
+/// precomputed offsets.
+///
+/// Building the plan walks the device list once; validity against a
+/// netlist is re-checked cheaply (and allocation-free) through a
+/// structural fingerprint over device kinds, terminals, and branch
+/// offsets. Netlist structure only grows, so a plan never silently
+/// outlives its netlist shape.
+#[derive(Debug, Clone)]
+pub struct StampPlan {
+    num_nodes: usize,
+    num_devices: usize,
+    num_branches: usize,
+    fingerprint: u64,
+    /// Sorted, deduplicated flat offsets of every matrix entry any
+    /// device stamp or the gmin regularization can write.
+    touched: Vec<usize>,
+    /// Flat offsets of the node diagonals receiving gmin.
+    gmin_diags: Vec<usize>,
+}
+
+/// FNV-1a fold step used by the structural fingerprint.
+#[inline]
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// The terminal nodes of an element, by value (no allocation).
+fn kind_terminals(kind: &ElementKind) -> ([NodeId; 4], usize) {
+    match *kind {
+        ElementKind::Resistor { p, n, .. }
+        | ElementKind::VoltageSource { p, n, .. }
+        | ElementKind::Capacitor { p, n, .. }
+        | ElementKind::Diode { p, n } => ([p, n, Netlist::GND, Netlist::GND], 2),
+        ElementKind::CurrentSource { from, to, .. } => ([from, to, Netlist::GND, Netlist::GND], 2),
+        ElementKind::Mosfet { d, g, s } => ([d, g, s, Netlist::GND], 3),
+        ElementKind::Switch {
+            p,
+            n,
+            ctrl_p,
+            ctrl_n,
+        } => ([p, n, ctrl_p, ctrl_n], 4),
+    }
+}
+
+/// A small discriminant code per element kind for the fingerprint.
+fn kind_code(kind: &ElementKind) -> u64 {
+    match kind {
+        ElementKind::Resistor { .. } => 1,
+        ElementKind::VoltageSource { .. } => 2,
+        ElementKind::CurrentSource { .. } => 3,
+        ElementKind::Capacitor { .. } => 4,
+        ElementKind::Diode { .. } => 5,
+        ElementKind::Mosfet { .. } => 6,
+        ElementKind::Switch { .. } => 7,
+    }
+}
+
+fn structural_fingerprint(netlist: &Netlist) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (device, branch_offset) in netlist.devices_with_offsets() {
+        let kind = device.kind();
+        let (terminals, count) = kind_terminals(&kind);
+        h = fnv(h, kind_code(&kind));
+        for t in terminals.iter().take(count) {
+            h = fnv(h, t.index() as u64 + 1);
+        }
+        h = fnv(h, branch_offset as u64);
+        h = fnv(h, device.num_branches() as u64);
+    }
+    h
+}
+
+impl StampPlan {
+    /// Builds the plan for the netlist's current structure.
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.num_unknowns();
+        let node_unknowns = netlist.num_nodes() - 1;
+        let mut touched: Vec<usize> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(8);
+        for (device, branch_offset) in netlist.devices_with_offsets() {
+            slots.clear();
+            let (terminals, count) = kind_terminals(&device.kind());
+            for t in terminals.iter().take(count) {
+                if let Some(i) = t.unknown_index() {
+                    slots.push(i);
+                }
+            }
+            for k in 0..device.num_branches() {
+                slots.push(branch_offset + k);
+            }
+            for &r in &slots {
+                for &c in &slots {
+                    touched.push(r * n + c);
+                }
+            }
+        }
+        // gmin regularization writes every node diagonal, including
+        // device-free (orphan) nodes.
+        let gmin_diags: Vec<usize> = (0..node_unknowns).map(|i| i * n + i).collect();
+        touched.extend_from_slice(&gmin_diags);
+        touched.sort_unstable();
+        touched.dedup();
+        StampPlan {
+            num_nodes: netlist.num_nodes(),
+            num_devices: netlist.num_devices(),
+            num_branches: netlist.num_branches(),
+            fingerprint: structural_fingerprint(netlist),
+            touched,
+            gmin_diags,
+        }
+    }
+
+    /// Whether the plan still describes this netlist's structure.
+    /// Allocation-free; intended as a cheap per-solve guard.
+    pub fn matches(&self, netlist: &Netlist) -> bool {
+        self.num_nodes == netlist.num_nodes()
+            && self.num_devices == netlist.num_devices()
+            && self.num_branches == netlist.num_branches()
+            && self.fingerprint == structural_fingerprint(netlist)
+    }
+
+    /// Number of matrix entries assembly can touch (diagnostic: the
+    /// planned clear is `touched_entries()` stores vs n² for the full
+    /// clear).
+    pub fn touched_entries(&self) -> usize {
+        self.touched.len()
+    }
+}
+
 /// Assembles the full linearized MNA system `A x_next = b` at the
 /// estimate `x`.
 #[allow(clippy::too_many_arguments)]
@@ -197,6 +337,49 @@ pub fn assemble(
         let node_unknowns = netlist.num_nodes() - 1;
         for i in 0..node_unknowns {
             matrix.add(i, i, gmin);
+        }
+    }
+}
+
+/// As [`assemble`], but clears only the matrix entries the plan marks
+/// as touchable and stamps gmin through precomputed diagonal offsets.
+///
+/// Requires every entry of `matrix` outside the plan's touched set to
+/// already be zero (a freshly zeroed matrix satisfies this, and the
+/// planned assembly preserves it), and `plan` to describe `netlist`'s
+/// current structure. Produces a system bit-identical to [`assemble`].
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_planned(
+    netlist: &Netlist,
+    plan: &StampPlan,
+    x: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    mode: AnalysisMode<'_>,
+    matrix: &mut DenseMatrix,
+    rhs: &mut [f64],
+) {
+    debug_assert!(plan.matches(netlist), "stamp plan is stale");
+    debug_assert_eq!(matrix.order(), netlist.num_unknowns());
+    matrix.clear_offsets(&plan.touched);
+    rhs.iter_mut().for_each(|v| *v = 0.0);
+    for (device, branch_offset) in netlist.devices_with_offsets() {
+        let mut ctx = StampContext {
+            matrix,
+            rhs,
+            x,
+            sources: netlist.sources_slice(),
+            params: netlist.params_slice(),
+            source_scale,
+            gmin,
+            branch_offset,
+            mode,
+        };
+        device.stamp(&mut ctx);
+    }
+    if gmin > 0.0 {
+        for &k in &plan.gmin_diags {
+            matrix.add_at_offset(k, gmin);
         }
     }
 }
@@ -247,6 +430,94 @@ mod tests {
         assemble(&nl, &x, 1e-3, 1.0, AnalysisMode::Dc, &mut m, &mut rhs);
         assert_eq!(m.get(0, 0), 1e-3); // node diagonal gets gmin
         assert_eq!(m.get(1, 1), 0.0); // branch diagonal does not
+    }
+
+    #[test]
+    fn planned_assembly_matches_full_assembly_bitwise() {
+        use crate::devices::mosfet::MosParams;
+        // A netlist exercising every stamp shape: sources (branch
+        // rows), resistors, MOSFETs, a capacitor, a diode.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let input = nl.node("in");
+        let out = nl.node("out");
+        let mid = nl.node("mid");
+        nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+        nl.vsource("VIN", input, Netlist::GND, 0.55);
+        nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+            .unwrap();
+        nl.mosfet(
+            "MN",
+            out,
+            input,
+            Netlist::GND,
+            MosParams::nmos(4.0e-4, 0.45),
+        )
+        .unwrap();
+        nl.resistor("R", out, mid, 10.0e3).unwrap();
+        nl.capacitor("C", mid, Netlist::GND, 1.0e-12).unwrap();
+        nl.diode(
+            "D",
+            mid,
+            Netlist::GND,
+            crate::devices::diode::DiodeParams::default(),
+        )
+        .unwrap();
+
+        let n = nl.num_unknowns();
+        let plan = StampPlan::build(&nl);
+        assert!(plan.matches(&nl));
+        assert!(plan.touched_entries() < n * n, "plan must beat full clear");
+
+        // Pseudo-random iterate; both paths assembled twice in a row so
+        // the planned clear must erase its own previous stamps.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut full = DenseMatrix::zeros(n);
+        let mut full_rhs = vec![0.0; n];
+        let mut planned = DenseMatrix::zeros(n);
+        let mut planned_rhs = vec![0.0; n];
+        for gmin in [0.0, 1.0e-3] {
+            for _ in 0..2 {
+                assemble(
+                    &nl,
+                    &x,
+                    gmin,
+                    0.8,
+                    AnalysisMode::Dc,
+                    &mut full,
+                    &mut full_rhs,
+                );
+                assemble_planned(
+                    &nl,
+                    &plan,
+                    &x,
+                    gmin,
+                    0.8,
+                    AnalysisMode::Dc,
+                    &mut planned,
+                    &mut planned_rhs,
+                );
+                assert_eq!(planned, full, "matrix diverged at gmin={gmin}");
+                assert_eq!(planned_rhs, full_rhs, "rhs diverged at gmin={gmin}");
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_plan_detects_structural_growth() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let v = nl.vsource("V1", a, Netlist::GND, 1.0);
+        nl.resistor("R1", a, Netlist::GND, 1.0e3).unwrap();
+        let plan = StampPlan::build(&nl);
+        assert!(plan.matches(&nl));
+        // Value changes keep the plan valid…
+        nl.set_source(v, 2.0);
+        assert!(plan.matches(&nl));
+        // …structural growth invalidates it.
+        let b = nl.node("b");
+        nl.resistor("R2", a, b, 1.0e3).unwrap();
+        assert!(!plan.matches(&nl));
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Damped Newton–Raphson with gmin and source stepping continuation.
 
 use crate::error::Error;
-use crate::matrix::DenseMatrix;
-use crate::mna::{assemble, AnalysisMode};
+use crate::mna::{assemble_planned, AnalysisMode};
 use crate::netlist::{Netlist, NodeId};
+use crate::scratch::SolveScratch;
 
 /// Tuning knobs for the nonlinear solver.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NewtonOptions {
     /// Iteration cap per continuation stage.
     pub max_iterations: usize,
@@ -68,6 +68,21 @@ pub enum RescueStage {
     DampedGmin,
     /// Accepted with a permanent 1 nS regularizing shunt.
     GminRegularized,
+}
+
+impl RescueStage {
+    /// The obs counter name for this stage, as a static string so the
+    /// hot solve-accounting path never formats (and never allocates).
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            RescueStage::Plain => "anasim.rescue.plain",
+            RescueStage::GminStepping => "anasim.rescue.gmin-stepping",
+            RescueStage::SourceStepping => "anasim.rescue.source-stepping",
+            RescueStage::DampedWarmStart => "anasim.rescue.damped-warm-start",
+            RescueStage::DampedGmin => "anasim.rescue.damped-gmin",
+            RescueStage::GminRegularized => "anasim.rescue.gmin-regularized",
+        }
+    }
 }
 
 impl std::fmt::Display for RescueStage {
@@ -212,26 +227,43 @@ impl Solution {
     }
 }
 
-/// Outcome of a single Newton ladder stage. `Singular` carries the
-/// pivot row at which elimination failed so the final error can name
-/// the offending unknown.
+/// Outcome of a single Newton ladder stage. `Converged` leaves the
+/// accepted iterate in the scratch's `x` buffer and carries the
+/// iteration count. `Singular` carries the pivot row at which
+/// elimination failed so the final error can name the offending
+/// unknown.
 enum StageOutcome {
-    Converged(Vec<f64>, usize),
+    Converged(usize),
     Failed { residual: f64 },
     Singular(usize),
 }
 
+/// One continuation stage of damped Newton iteration, running entirely
+/// in the scratch buffers: planned assembly into the reused matrix,
+/// in-place LU refactorization, and solve into the reused proposal
+/// vector — zero heap allocations per iteration. The starting iterate
+/// is read from (and the converged one left in) `scratch.x`.
 fn newton_stage(
     netlist: &Netlist,
     opts: &NewtonOptions,
-    mut x: Vec<f64>,
+    scratch: &mut SolveScratch,
     gmin: f64,
     source_scale: f64,
     mode: AnalysisMode<'_>,
 ) -> StageOutcome {
-    let n = netlist.num_unknowns();
-    let mut matrix = DenseMatrix::zeros(n);
-    let mut rhs = vec![0.0; n];
+    // Field-level destructuring gives the loop disjoint borrows of
+    // every buffer without moving anything out of the scratch.
+    let SolveScratch {
+        matrix,
+        rhs,
+        x,
+        x_new,
+        prev_update,
+        lu,
+        plan,
+        ..
+    } = scratch;
+    let plan = plan.as_ref().expect("scratch ensured before stage");
     let mut last_delta = f64::INFINITY;
     // Damping exists to tame the exponential regions of nonlinear
     // devices; a linear system solves exactly in one step, so clamping
@@ -244,24 +276,23 @@ fn newton_stage(
     // map becomes contractive; recover geometrically while updates stay
     // aligned.
     let mut alpha = 1.0f64;
-    let mut prev_update: Vec<f64> = vec![0.0; n];
+    prev_update.iter_mut().for_each(|v| *v = 0.0);
     for iter in 0..opts.max_iterations {
-        assemble(netlist, &x, gmin, source_scale, mode, &mut matrix, &mut rhs);
-        let lu = match matrix.clone().into_lu() {
-            Ok(lu) => lu,
-            Err(Error::SingularMatrix { pivot_row, .. }) => {
-                return StageOutcome::Singular(pivot_row)
-            }
-            Err(_) => return StageOutcome::Singular(0),
-        };
-        let x_new = lu.solve(&rhs);
+        assemble_planned(netlist, plan, x, gmin, source_scale, mode, matrix, rhs);
+        if let Err(e) = lu.factor_from(matrix) {
+            return match e {
+                Error::SingularMatrix { pivot_row, .. } => StageOutcome::Singular(pivot_row),
+                _ => StageOutcome::Singular(0),
+            };
+        }
+        lu.solve_into(rhs, x_new);
         // Per-component convergence: each unknown must settle within
         // vntol + reltol·|value|. (Node voltages and branch currents
         // live on very different scales; a global norm would let
         // microamp currents ride on volt-scale tolerances.)
         let mut max_delta = 0.0f64;
         let mut converged = true;
-        for (xi, &xn) in x.iter().zip(&x_new) {
+        for (xi, &xn) in x.iter().zip(x_new.iter()) {
             let delta = (xn - xi).abs();
             max_delta = max_delta.max(delta);
             if delta > opts.vntol + opts.reltol * xn.abs() {
@@ -269,7 +300,10 @@ fn newton_stage(
             }
         }
         if converged {
-            return StageOutcome::Converged(x_new, iter + 1);
+            // The accepted answer is the undamped proposal; swap it
+            // into the iterate slot for the caller.
+            std::mem::swap(x, x_new);
+            return StageOutcome::Converged(iter + 1);
         }
         if damp {
             // Oscillation detection: cosine of the angle between the
@@ -277,7 +311,7 @@ fn newton_stage(
             let mut dot = 0.0;
             let mut norm_prev = 0.0;
             let mut norm_new = 0.0;
-            for ((&xp, xi), &xn) in prev_update.iter().zip(&x).zip(&x_new) {
+            for ((&xp, xi), &xn) in prev_update.iter().zip(x.iter()).zip(x_new.iter()) {
                 let d = xn - xi;
                 dot += xp * d;
                 norm_prev += xp * xp;
@@ -291,7 +325,7 @@ fn newton_stage(
             }
         }
         // Damped update.
-        for ((xi, &xn), slot) in x.iter_mut().zip(&x_new).zip(prev_update.iter_mut()) {
+        for ((xi, &xn), slot) in x.iter_mut().zip(x_new.iter()).zip(prev_update.iter_mut()) {
             let delta = if damp {
                 alpha * (xn - *xi).clamp(-opts.max_step, opts.max_step)
             } else {
@@ -302,7 +336,6 @@ fn newton_stage(
         }
         last_delta = max_delta;
     }
-    let _ = x;
     StageOutcome::Failed {
         residual: last_delta,
     }
@@ -323,24 +356,51 @@ pub fn solve(
     x0: Option<&[f64]>,
     mode: AnalysisMode<'_>,
 ) -> Result<Solution, Error> {
+    let mut scratch = SolveScratch::new();
+    solve_with_scratch(netlist, opts, x0, mode, &mut scratch)
+}
+
+/// As [`solve`], but running in caller-provided scratch buffers.
+///
+/// The first solve sizes the scratch to the netlist (building its
+/// [stamp plan](crate::mna::StampPlan)); every subsequent solve against
+/// the same structure reuses matrix, right-hand side, iterate, and LU
+/// buffers across all iterations, continuation stages, and rescue
+/// rungs — zero per-iteration heap allocations. Results are
+/// bit-identical to [`solve`] with a fresh scratch.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with_scratch(
+    netlist: &Netlist,
+    opts: &NewtonOptions,
+    x0: Option<&[f64]>,
+    mode: AnalysisMode<'_>,
+    scratch: &mut SolveScratch,
+) -> Result<Solution, Error> {
     let n = netlist.num_unknowns();
     let node_unknowns = netlist.num_nodes() - 1;
-    let start = match x0 {
+    scratch.ensure(netlist);
+    match x0 {
         Some(x) => {
             assert_eq!(x.len(), n, "warm start has wrong dimension");
-            x.to_vec()
+            scratch.start.copy_from_slice(x);
         }
-        None => vec![0.0; n],
-    };
+        None => scratch.start.iter_mut().for_each(|v| *v = 0.0),
+    }
 
     let mut total_iters = 0usize;
     let mut stages_tried = 1usize;
 
     // Stage 1: plain Newton from the provided start.
-    match newton_stage(netlist, opts, start.clone(), 0.0, 1.0, mode) {
-        StageOutcome::Converged(x, it) => {
-            return Ok(Solution::new(x, node_unknowns, total_iters + it)
-                .rescued(RescueStage::Plain, stages_tried))
+    scratch.load_start();
+    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
+        StageOutcome::Converged(it) => {
+            return Ok(
+                Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
+                    .rescued(RescueStage::Plain, stages_tried),
+            )
         }
         StageOutcome::Failed { .. } => {}
         StageOutcome::Singular(_) => {
@@ -349,18 +409,16 @@ pub fn solve(
         }
     }
 
-    // Stage 2: gmin stepping.
+    // Stage 2: gmin stepping. Each rung continues from the previous
+    // rung's converged iterate, already sitting in the scratch.
     if opts.gmin_stepping {
         stages_tried += 1;
-        let mut x = vec![0.0; n];
+        scratch.x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         let mut gmin = 1.0e-2;
         while gmin > 1.0e-13 {
-            match newton_stage(netlist, opts, x.clone(), gmin, 1.0, mode) {
-                StageOutcome::Converged(next, it) => {
-                    total_iters += it;
-                    x = next;
-                }
+            match newton_stage(netlist, opts, scratch, gmin, 1.0, mode) {
+                StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
                     break;
@@ -369,11 +427,13 @@ pub fn solve(
             gmin /= 10.0;
         }
         if ok {
-            if let StageOutcome::Converged(final_x, it) =
-                newton_stage(netlist, opts, x, 0.0, 1.0, mode)
+            if let StageOutcome::Converged(it) =
+                newton_stage(netlist, opts, scratch, 0.0, 1.0, mode)
             {
-                return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
-                    .rescued(RescueStage::GminStepping, stages_tried));
+                return Ok(
+                    Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
+                        .rescued(RescueStage::GminStepping, stages_tried),
+                );
             }
         }
     }
@@ -381,15 +441,12 @@ pub fn solve(
     // Stage 3: source stepping.
     if opts.source_stepping {
         stages_tried += 1;
-        let mut x = vec![0.0; n];
+        scratch.x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         for step in 1..=20 {
             let scale = step as f64 / 20.0;
-            match newton_stage(netlist, opts, x.clone(), 0.0, scale, mode) {
-                StageOutcome::Converged(next, it) => {
-                    total_iters += it;
-                    x = next;
-                }
+            match newton_stage(netlist, opts, scratch, 0.0, scale, mode) {
+                StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
                     break;
@@ -397,7 +454,7 @@ pub fn solve(
             }
         }
         if ok {
-            return Ok(Solution::new(x, node_unknowns, total_iters)
+            return Ok(Solution::new(scratch.x.clone(), node_unknowns, total_iters)
                 .rescued(RescueStage::SourceStepping, stages_tried));
         }
     }
@@ -410,13 +467,15 @@ pub fn solve(
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
-            ..opts.clone()
+            ..*opts
         };
-        if let StageOutcome::Converged(x, it) =
-            newton_stage(netlist, &damped, start.clone(), 0.0, 1.0, mode)
+        scratch.load_start();
+        if let StageOutcome::Converged(it) = newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode)
         {
-            return Ok(Solution::new(x, node_unknowns, total_iters + it)
-                .rescued(RescueStage::DampedWarmStart, stages_tried));
+            return Ok(
+                Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
+                    .rescued(RescueStage::DampedWarmStart, stages_tried),
+            );
         }
     }
 
@@ -428,17 +487,14 @@ pub fn solve(
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
-            ..opts.clone()
+            ..*opts
         };
-        let mut x = vec![0.0; n];
+        scratch.x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         let mut gmin = 1.0e-2;
         while gmin > 1.0e-13 {
-            match newton_stage(netlist, &damped, x.clone(), gmin, 1.0, mode) {
-                StageOutcome::Converged(next, it) => {
-                    total_iters += it;
-                    x = next;
-                }
+            match newton_stage(netlist, &damped, scratch, gmin, 1.0, mode) {
+                StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
                     break;
@@ -447,11 +503,13 @@ pub fn solve(
             gmin /= 10.0;
         }
         if ok {
-            if let StageOutcome::Converged(final_x, it) =
-                newton_stage(netlist, &damped, x, 0.0, 1.0, mode)
+            if let StageOutcome::Converged(it) =
+                newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode)
             {
-                return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
-                    .rescued(RescueStage::DampedGmin, stages_tried));
+                return Ok(
+                    Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
+                        .rescued(RescueStage::DampedGmin, stages_tried),
+                );
             }
         }
     }
@@ -465,36 +523,41 @@ pub fn solve(
         let damped = NewtonOptions {
             max_step: 0.05,
             max_iterations: 1000,
-            ..opts.clone()
+            ..*opts
         };
-        let mut x = vec![0.0; n];
+        scratch.best.iter_mut().for_each(|v| *v = 0.0);
         let mut gmin = 1.0e-2;
         while gmin > 1.5e-9 {
             // A failed rung is not fatal: keep the best iterate so far
             // and let the next rung (or the final accept) retry.
-            if let StageOutcome::Converged(next, it) =
-                newton_stage(netlist, &damped, x.clone(), gmin, 1.0, mode)
+            scratch.x.copy_from_slice(&scratch.best);
+            if let StageOutcome::Converged(it) =
+                newton_stage(netlist, &damped, scratch, gmin, 1.0, mode)
             {
                 total_iters += it;
-                x = next;
+                scratch.best.copy_from_slice(&scratch.x);
             }
             gmin /= 10.0;
         }
         let final_damped = NewtonOptions {
             max_step: 0.005,
             max_iterations: 4000,
-            ..opts.clone()
+            ..*opts
         };
-        if let StageOutcome::Converged(final_x, it) =
-            newton_stage(netlist, &final_damped, x, 1.0e-9, 1.0, mode)
+        scratch.x.copy_from_slice(&scratch.best);
+        if let StageOutcome::Converged(it) =
+            newton_stage(netlist, &final_damped, scratch, 1.0e-9, 1.0, mode)
         {
-            return Ok(Solution::new(final_x, node_unknowns, total_iters + it)
-                .rescued(RescueStage::GminRegularized, stages_tried));
+            return Ok(
+                Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
+                    .rescued(RescueStage::GminRegularized, stages_tried),
+            );
         }
     }
 
     // Report failure with diagnostics from a final plain attempt.
-    match newton_stage(netlist, opts, start, 0.0, 1.0, mode) {
+    scratch.load_start();
+    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
         StageOutcome::Singular(row) => Err(Error::SingularMatrix {
             pivot_row: row,
             unknown: Some(netlist.unknown_label(row)),
@@ -503,9 +566,8 @@ pub fn solve(
             iterations: opts.max_iterations,
             residual,
         }),
-        StageOutcome::Converged(x, it) => {
-            Ok(Solution::new(x, node_unknowns, it).rescued(RescueStage::Plain, stages_tried))
-        }
+        StageOutcome::Converged(it) => Ok(Solution::new(scratch.x.clone(), node_unknowns, it)
+            .rescued(RescueStage::Plain, stages_tried)),
     }
 }
 
@@ -565,7 +627,7 @@ impl RetryPolicy {
     /// The options used for `attempt` (0-based), derived from `base`
     /// by the cumulative escalation schedule.
     pub fn options_for_attempt(&self, base: &NewtonOptions, attempt: usize) -> NewtonOptions {
-        let mut opts = base.clone();
+        let mut opts = *base;
         if attempt >= 1 {
             opts.max_iterations =
                 ((opts.max_iterations as f64) * self.iteration_growth).ceil() as usize;
@@ -607,12 +669,31 @@ pub fn solve_with_retry(
     mode: AnalysisMode<'_>,
     policy: &RetryPolicy,
 ) -> Result<Solution, Error> {
+    let mut scratch = SolveScratch::new();
+    solve_with_retry_in(netlist, opts, x0, mode, policy, &mut scratch)
+}
+
+/// As [`solve_with_retry`], but running every attempt in the
+/// caller-provided [`SolveScratch`]. Results are bit-identical to
+/// [`solve_with_retry`]; only the allocation profile differs.
+///
+/// # Errors
+///
+/// As [`solve_with_retry`].
+pub fn solve_with_retry_in(
+    netlist: &Netlist,
+    opts: &NewtonOptions,
+    x0: Option<&[f64]>,
+    mode: AnalysisMode<'_>,
+    policy: &RetryPolicy,
+    scratch: &mut SolveScratch,
+) -> Result<Solution, Error> {
     let attempts = policy.max_attempts.max(1);
     let mut iters_burned = 0usize;
     let mut stages_burned = 0usize;
     for attempt in 0..attempts {
         let attempt_opts = policy.options_for_attempt(opts, attempt);
-        match solve(netlist, &attempt_opts, x0, mode) {
+        match solve_with_scratch(netlist, &attempt_opts, x0, mode, scratch) {
             Ok(mut sol) => {
                 sol.stats.retries = attempt;
                 sol.stats.iterations += iters_burned;
@@ -620,7 +701,7 @@ pub fn solve_with_retry(
                 sol.iterations = sol.stats.iterations;
                 sol.stats.max_iterations = sol.stats.iterations;
                 obs::counter_add("anasim.solve.count", 1);
-                obs::counter_add(&format!("anasim.rescue.{}", sol.stats.rescued_by), 1);
+                obs::counter_add(sol.stats.rescued_by.counter_key(), 1);
                 obs::hist_record("anasim.solve.iterations", sol.stats.iterations as f64);
                 obs::hist_record("anasim.solve.retries", sol.stats.retries as f64);
                 obs::tally_add(sol.stats.iterations as u64, sol.stats.retries as u64);
@@ -931,5 +1012,116 @@ mod tests {
         let raw = sol.clone().into_raw();
         assert_eq!(raw.len(), 2);
         assert_eq!(sol.voltage(Netlist::GND), 0.0);
+    }
+
+    /// The seed solver's plain-Newton loop, re-implemented with the
+    /// original per-iteration allocations (full assembly + clone +
+    /// consuming LU). The production path must reproduce its iterate
+    /// sequence bit-for-bit.
+    fn reference_plain_newton(nl: &Netlist, opts: &NewtonOptions) -> Option<(Vec<f64>, usize)> {
+        use crate::matrix::DenseMatrix;
+        use crate::mna::assemble;
+        let n = nl.num_unknowns();
+        let mut matrix = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        let damp = nl.is_nonlinear();
+        let mut alpha = 1.0f64;
+        let mut prev_update = vec![0.0; n];
+        for iter in 0..opts.max_iterations {
+            assemble(nl, &x, 0.0, 1.0, AnalysisMode::Dc, &mut matrix, &mut rhs);
+            let lu = matrix.clone().into_lu().ok()?;
+            let x_new = lu.solve(&rhs);
+            let converged = x
+                .iter()
+                .zip(x_new.iter())
+                .all(|(xi, &xn)| (xn - xi).abs() <= opts.vntol + opts.reltol * xn.abs());
+            if converged {
+                return Some((x_new, iter + 1));
+            }
+            if damp {
+                let mut dot = 0.0;
+                let mut norm_prev = 0.0;
+                let mut norm_new = 0.0;
+                for ((&xp, xi), &xn) in prev_update.iter().zip(x.iter()).zip(x_new.iter()) {
+                    let d = xn - xi;
+                    dot += xp * d;
+                    norm_prev += xp * xp;
+                    norm_new += d * d;
+                }
+                let denom = (norm_prev * norm_new).sqrt();
+                if denom > 0.0 && dot < -0.3 * denom {
+                    alpha = (alpha * 0.5).max(1.0 / 64.0);
+                } else {
+                    alpha = (alpha * 1.4).min(1.0);
+                }
+            }
+            for ((xi, &xn), slot) in x.iter_mut().zip(x_new.iter()).zip(prev_update.iter_mut()) {
+                let delta = if damp {
+                    alpha * (xn - *xi).clamp(-opts.max_step, opts.max_step)
+                } else {
+                    xn - *xi
+                };
+                *xi += delta;
+                *slot = delta;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn scratch_solver_matches_reference_iterates() {
+        // A nonlinear circuit exercising damping, and a linear one
+        // exercising the undamped single-step path.
+        let (inverter, _) = threshold_inverter();
+        let mut divider = Netlist::new();
+        let a = divider.node("a");
+        divider.vsource("V", a, Netlist::GND, 1.5);
+        divider
+            .resistor("R", a, Netlist::GND, 2.0e3)
+            .expect("valid resistance, unique name");
+        for nl in [&inverter, &divider] {
+            let opts = NewtonOptions::default();
+            let (ref_x, ref_iters) =
+                reference_plain_newton(nl, &opts).expect("reference plain Newton converges");
+            let sol = solve(nl, &opts, None, AnalysisMode::Dc).expect("production solve converges");
+            assert_eq!(
+                sol.stats.rescued_by,
+                RescueStage::Plain,
+                "reference covers only the plain stage"
+            );
+            assert_eq!(sol.iterations, ref_iters, "iteration counts must match");
+            let got: Vec<u64> = sol.raw().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = ref_x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "iterate sequence diverged from the seed solver");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let (inverter, _) = threshold_inverter();
+        let mut divider = Netlist::new();
+        let a = divider.node("a");
+        divider.vsource("V", a, Netlist::GND, 3.3);
+        divider
+            .resistor("R", a, Netlist::GND, 4.7e3)
+            .expect("valid resistance, unique name");
+        let opts = NewtonOptions::default();
+        let mut reused = SolveScratch::new();
+        // Alternate between two structurally different netlists so the
+        // reuse path exercises plan rebuilds, then re-solve each with
+        // the warm iterate of the other still in the buffers.
+        for _ in 0..2 {
+            for nl in [&inverter, &divider] {
+                let fresh = solve(nl, &opts, None, AnalysisMode::Dc)
+                    .expect("fresh-scratch solve converges");
+                let reused_sol = solve_with_scratch(nl, &opts, None, AnalysisMode::Dc, &mut reused)
+                    .expect("reused-scratch solve converges");
+                assert_eq!(fresh.iterations, reused_sol.iterations);
+                let f: Vec<u64> = fresh.raw().iter().map(|v| v.to_bits()).collect();
+                let r: Vec<u64> = reused_sol.raw().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(f, r, "scratch reuse must not change results");
+            }
+        }
     }
 }

@@ -1,0 +1,111 @@
+//! Reusable solver workspace: every buffer the Newton loop needs,
+//! allocated once and recycled across iterations, continuation stages,
+//! rescue rungs, retry attempts — and, when the caller threads one
+//! through, across whole campaigns of solves.
+
+use crate::matrix::{DenseMatrix, LuWorkspace};
+use crate::mna::StampPlan;
+use crate::netlist::Netlist;
+
+/// Scratch buffers for [`solve_with_scratch`](crate::newton::solve_with_scratch).
+///
+/// Holds the MNA matrix, right-hand side, iterate vectors, LU
+/// workspace, and the netlist's [`StampPlan`]. A fresh scratch is
+/// cheap (`new` allocates nothing); the first solve sizes it to the
+/// netlist and every later solve against the same structure runs with
+/// zero per-iteration heap allocations. Reusing one scratch across
+/// *different* netlists is safe — the stamp plan's structural
+/// fingerprint triggers a resize-and-rebuild when the shape changes.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// MNA system matrix; entries outside the stamp plan's touched set
+    /// are kept zero so the planned clear stays sound.
+    pub(crate) matrix: DenseMatrix,
+    pub(crate) rhs: Vec<f64>,
+    /// Current iterate.
+    pub(crate) x: Vec<f64>,
+    /// Proposed iterate (the raw linear-solve result).
+    pub(crate) x_new: Vec<f64>,
+    /// Last applied damped update (oscillation detection).
+    pub(crate) prev_update: Vec<f64>,
+    /// The caller's starting vector, kept across stages so rescue
+    /// rungs can restart from it without re-cloning.
+    pub(crate) start: Vec<f64>,
+    /// Best converged iterate of the regularized ladder.
+    pub(crate) best: Vec<f64>,
+    pub(crate) lu: LuWorkspace,
+    pub(crate) plan: Option<StampPlan>,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch; buffers grow on first solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for `netlist` and (re)builds the stamp plan
+    /// when the netlist's structure changed since the last call. A
+    /// no-op — and allocation-free — when the structure matches.
+    pub fn ensure(&mut self, netlist: &Netlist) {
+        let n = netlist.num_unknowns();
+        let plan_ok = self.plan.as_ref().is_some_and(|p| p.matches(netlist));
+        if plan_ok && self.matrix.order() == n && self.x.len() == n {
+            return;
+        }
+        self.plan = Some(StampPlan::build(netlist));
+        // Full zeroing re-establishes the planned-clear invariant that
+        // untouched entries are zero.
+        self.matrix.resize_clear(n);
+        for buf in [
+            &mut self.rhs,
+            &mut self.x,
+            &mut self.x_new,
+            &mut self.prev_update,
+            &mut self.start,
+            &mut self.best,
+        ] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+
+    /// Copies the stored start vector into the current iterate.
+    pub(crate) fn load_start(&mut self) {
+        self.x.copy_from_slice(&self.start);
+    }
+
+    /// The stamp plan, for diagnostics. `None` until the first
+    /// [`ensure`](SolveScratch::ensure).
+    pub fn plan(&self) -> Option<&StampPlan> {
+        self.plan.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent_and_tracks_structure() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3).unwrap();
+        let mut scratch = SolveScratch::new();
+        assert!(scratch.plan().is_none());
+        scratch.ensure(&nl);
+        let n = nl.num_unknowns();
+        assert_eq!(scratch.matrix.order(), n);
+        assert_eq!(scratch.x.len(), n);
+        // Second call with unchanged structure must keep the plan.
+        let touched = scratch.plan().unwrap().touched_entries();
+        scratch.ensure(&nl);
+        assert_eq!(scratch.plan().unwrap().touched_entries(), touched);
+        // Growing the netlist rebuilds the plan and resizes buffers.
+        let b = nl.node("b");
+        nl.resistor("R2", a, b, 2.0e3).unwrap();
+        scratch.ensure(&nl);
+        assert_eq!(scratch.x.len(), nl.num_unknowns());
+        assert!(scratch.plan().unwrap().matches(&nl));
+    }
+}

@@ -8,7 +8,8 @@
 use crate::error::Error;
 use crate::mna::AnalysisMode;
 use crate::netlist::{Netlist, NodeId};
-use crate::newton::{solve_with_retry, NewtonOptions, RetryPolicy, Solution, SolverStats};
+use crate::newton::{solve_with_retry_in, NewtonOptions, RetryPolicy, Solution, SolverStats};
+use crate::scratch::SolveScratch;
 
 /// Transient analysis driver with a fixed step.
 #[derive(Debug, Clone)]
@@ -145,9 +146,18 @@ impl TransientAnalysis {
     /// propagated from the initial operating point or any step.
     pub fn run(&self, netlist: &Netlist) -> Result<TransientResult, Error> {
         self.validate()?;
-        let op = solve_with_retry(netlist, &self.options, None, AnalysisMode::Dc, &self.retry)?;
+        // One scratch covers the operating point and every time step.
+        let mut scratch = SolveScratch::new();
+        let op = solve_with_retry_in(
+            netlist,
+            &self.options,
+            None,
+            AnalysisMode::Dc,
+            &self.retry,
+            &mut scratch,
+        )?;
         let op_stats = op.stats;
-        let mut result = self.integrate(netlist, op.into_raw())?;
+        let mut result = self.integrate(netlist, op.into_raw(), &mut scratch)?;
         result.stats.absorb(&op_stats);
         Ok(result)
     }
@@ -171,10 +181,16 @@ impl TransientAnalysis {
             netlist.num_unknowns(),
             "initial state has wrong dimension"
         );
-        self.integrate(netlist, x0)
+        let mut scratch = SolveScratch::new();
+        self.integrate(netlist, x0, &mut scratch)
     }
 
-    fn integrate(&self, netlist: &Netlist, x0: Vec<f64>) -> Result<TransientResult, Error> {
+    fn integrate(
+        &self,
+        netlist: &Netlist,
+        x0: Vec<f64>,
+        scratch: &mut SolveScratch,
+    ) -> Result<TransientResult, Error> {
         let node_unknowns = netlist.num_nodes() - 1;
         let mut times = vec![0.0];
         let mut states = vec![x0];
@@ -186,14 +202,20 @@ impl TransientAnalysis {
             if dt <= 0.0 {
                 break;
             }
-            let prev = states.last().expect("non-empty").clone();
-            let mode = AnalysisMode::Transient {
-                dt,
-                time,
-                prev: &prev,
+            let sol: Solution = {
+                // Borrow the previous state in place; the only per-step
+                // allocation left is the accepted state pushed below.
+                let prev = states.last().expect("non-empty").as_slice();
+                let mode = AnalysisMode::Transient { dt, time, prev };
+                solve_with_retry_in(
+                    netlist,
+                    &self.options,
+                    Some(prev),
+                    mode,
+                    &self.retry,
+                    scratch,
+                )?
             };
-            let sol: Solution =
-                solve_with_retry(netlist, &self.options, Some(&prev), mode, &self.retry)?;
             stats.absorb(&sol.stats);
             times.push(time);
             states.push(sol.into_raw());

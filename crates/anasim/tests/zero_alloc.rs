@@ -1,0 +1,113 @@
+//! Allocation-profile contract of the scratch-based Newton core: once a
+//! [`SolveScratch`] is sized, a solve allocates only its returned
+//! [`Solution`] vector — nothing per iteration. Verified with a counting
+//! global allocator: a cold solve and a warm solve run very different
+//! iteration counts, so equal allocation counts mean the per-iteration
+//! slope is exactly zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anasim::devices::mosfet::MosParams;
+use anasim::mna::AnalysisMode;
+use anasim::newton::solve_with_scratch;
+use anasim::{Netlist, NewtonOptions, SolveScratch};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A CMOS inverter biased at its switching threshold: nonlinear enough
+/// that a cold plain-Newton solve takes many damped iterations, while a
+/// warm solve from the converged state takes very few.
+fn threshold_inverter() -> Netlist {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let input = nl.node("in");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+    nl.vsource("VIN", input, Netlist::GND, 0.55);
+    nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+        .expect("library PMOS card validates");
+    nl.mosfet(
+        "MN",
+        out,
+        input,
+        Netlist::GND,
+        MosParams::nmos(4.0e-4, 0.45),
+    )
+    .expect("library NMOS card validates");
+    nl
+}
+
+#[test]
+fn plain_newton_path_allocates_nothing_per_iteration() {
+    let nl = threshold_inverter();
+    let opts = NewtonOptions::default();
+    let mut scratch = SolveScratch::new();
+
+    // First solve sizes the scratch (and the allocator's own warmup).
+    let first = solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves");
+
+    // Cold solve: many damped iterations through the transition region.
+    let before_cold = allocations();
+    let cold = solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves");
+    let cold_allocs = allocations() - before_cold;
+
+    // Warm solve from the converged state: almost no iterations.
+    let x0 = first.raw().to_vec();
+    let before_warm = allocations();
+    let warm = solve_with_scratch(&nl, &opts, Some(&x0), AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves warm");
+    let warm_allocs = allocations() - before_warm;
+
+    assert!(
+        warm.iterations < cold.iterations,
+        "warm ({}) must need fewer iterations than cold ({})",
+        warm.iterations,
+        cold.iterations
+    );
+    assert_eq!(
+        cold_allocs, warm_allocs,
+        "allocations must not scale with iteration count \
+         (cold: {} iters / {} allocs, warm: {} iters / {} allocs)",
+        cold.iterations, cold_allocs, warm.iterations, warm_allocs
+    );
+    // The absolute budget: the returned Solution's state vector. Leave
+    // headroom of one more for the Solution box itself if the layout
+    // ever changes, but a per-iteration term is out.
+    assert!(
+        cold_allocs <= 2,
+        "a scratch solve may only allocate its result, got {cold_allocs}"
+    );
+}

@@ -3,8 +3,9 @@
 
 use anasim::dc::DcAnalysis;
 use anasim::devices::mosfet::MosParams;
-use anasim::matrix::{solve_dense, DenseMatrix};
-use anasim::Netlist;
+use anasim::matrix::{solve_dense, DenseMatrix, LuWorkspace};
+use anasim::mna::{assemble, assemble_planned, AnalysisMode, StampPlan};
+use anasim::{Netlist, SolveScratch};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use process::PvtCondition;
 use regulator::{static_circuit, VrefTap};
@@ -37,6 +38,17 @@ fn bench_solver(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lu_solve", n), &n, |bench, _| {
             bench.iter(|| solve_dense(a.clone(), &b).expect("non-singular"))
         });
+        // The same factor+solve through the reusable workspace: no
+        // clone, no per-call allocation after the first.
+        let mut ws = LuWorkspace::new();
+        let mut x = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("lu_solve_in_place", n), &n, |bench, _| {
+            bench.iter(|| {
+                ws.factor_from(&a).expect("non-singular");
+                ws.solve_into(&b, &mut x);
+                x[0]
+            })
+        });
     }
 
     let params = MosParams::nmos(2.0e-4, 0.55);
@@ -65,6 +77,55 @@ fn bench_solver(c: &mut Criterion) {
         })
     });
 
+    // The same solve with the scratch held across calls: the stamp
+    // plan, matrix, and LU buffers are built once and reused.
+    let mut cell_scratch = SolveScratch::new();
+    group.bench_function("cell_dc_solve_scratch_reuse", |b| {
+        b.iter(|| {
+            DcAnalysis::new()
+                .operating_point_in(&cell_nl, Some(&guess), &mut cell_scratch)
+                .expect("solves")
+        })
+    });
+
+    // Assembly in isolation: full-matrix clear + stamp vs the
+    // precomputed stamp plan (touched-entry clear, flat offsets).
+    {
+        let n = cell_nl.num_unknowns();
+        let plan = StampPlan::build(&cell_nl);
+        let mut matrix = DenseMatrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        group.bench_function("assemble_full", |b| {
+            b.iter(|| {
+                assemble(
+                    &cell_nl,
+                    &guess,
+                    0.0,
+                    1.0,
+                    AnalysisMode::Dc,
+                    &mut matrix,
+                    &mut rhs,
+                );
+                rhs[0]
+            })
+        });
+        group.bench_function("assemble_planned", |b| {
+            b.iter(|| {
+                assemble_planned(
+                    &cell_nl,
+                    &plan,
+                    &guess,
+                    0.0,
+                    1.0,
+                    AnalysisMode::Dc,
+                    &mut matrix,
+                    &mut rhs,
+                );
+                rhs[0]
+            })
+        });
+    }
+
     let load = ArrayLoad::build(&inst, &[], 256 * 1024, 1.3, 5).expect("builds");
     group.bench_function("regulator_dc_solve", |b| {
         b.iter_batched(
@@ -72,6 +133,14 @@ fn bench_solver(c: &mut Criterion) {
             |mut circuit| circuit.solve(&load).expect("solves"),
             criterion::BatchSize::SmallInput,
         )
+    });
+
+    // One circuit reused across solves: the embedded scratch and the
+    // warm state from the previous solve both carry over — the steady
+    // state of a characterization sweep.
+    let mut reused_circuit = static_circuit(pvt, VrefTap::V70).expect("builds");
+    group.bench_function("regulator_dc_solve_reused", |b| {
+        b.iter(|| reused_circuit.solve(&load).expect("solves"))
     });
 
     // Linear-circuit baseline: the divider alone.

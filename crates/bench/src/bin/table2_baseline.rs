@@ -5,16 +5,20 @@
 //! cargo run --release -p bench --bin table2_baseline [out.json]
 //! ```
 //!
-//! Three variants of the same campaign are timed back to back:
+//! Four variants of the same campaign are timed back to back:
 //!
 //! * `sequential_cold` — one worker, every Newton solve starts from the
-//!   cold DC guess (`jobs: 1`, `warm_start: false`); this is the
-//!   pre-executor behaviour and the reference point;
+//!   cold DC guess (`jobs: 1`, `warm_start: false`, no chained seeds);
+//!   this is the pre-executor behaviour and the reference point;
 //! * `sequential_warm` — one worker, each grid cell's solves seeded
 //!   from the healthy converged state of its (case-study, PVT)
 //!   condition (`jobs: 1`, `warm_start: true`);
 //! * `parallel_warm` — warm starts fanned across every available core
-//!   (`jobs: 0`).
+//!   (`jobs: 0`);
+//! * `parallel_warm_chained` — warm starts plus bisection-chained
+//!   seeding: inside every resistance search each probe seeds Newton
+//!   from the *nearest previously converged probe* in log-resistance
+//!   (`chain_seeds: true`, the library default).
 //!
 //! The file records per-variant points/sec and solver iteration totals
 //! so a future change that regresses the campaign (more Newton
@@ -24,22 +28,113 @@
 //! had to work with (on a single-core runner `parallel_warm` cannot
 //! beat `sequential_warm`); the iteration/retry totals are
 //! deterministic for a given variant.
+//!
+//! `allocs_per_iteration` is measured in-process with a counting
+//! global allocator: the heap-allocation count of a long cold Newton
+//! solve minus that of a short warm solve, divided by the iteration
+//! difference. The scratch-based solver core keeps this at exactly
+//! zero — every per-iteration buffer lives in the reused
+//! [`anasim::SolveScratch`].
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anasim::devices::mosfet::MosParams;
+use anasim::mna::AnalysisMode;
+use anasim::newton::solve_with_scratch;
+use anasim::{Netlist, NewtonOptions, SolveScratch};
 use drftest::experiments::table2;
 use drftest::Table2Options;
 use obs::Json;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation slope of the plain-Newton path, in heap allocations per
+/// iteration. A cold solve of a threshold-biased CMOS inverter runs
+/// many damped iterations; a warm solve from the converged state runs
+/// very few. Dividing the allocation-count difference by the
+/// iteration-count difference cancels the per-solve constant (the
+/// returned solution vector) and isolates the per-iteration term.
+fn measure_allocs_per_iteration() -> f64 {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let input = nl.node("in");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+    nl.vsource("VIN", input, Netlist::GND, 0.55);
+    nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+        .expect("library PMOS card validates");
+    nl.mosfet(
+        "MN",
+        out,
+        input,
+        Netlist::GND,
+        MosParams::nmos(4.0e-4, 0.45),
+    )
+    .expect("library NMOS card validates");
+    let opts = NewtonOptions::default();
+    let mut scratch = SolveScratch::new();
+    // Size the scratch before measuring.
+    let first =
+        solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch).expect("solves");
+    let x0 = first.raw().to_vec();
+
+    let before_cold = ALLOCATIONS.load(Ordering::Relaxed);
+    let cold =
+        solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch).expect("solves cold");
+    let cold_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before_cold;
+
+    let before_warm = ALLOCATIONS.load(Ordering::Relaxed);
+    let warm = solve_with_scratch(&nl, &opts, Some(&x0), AnalysisMode::Dc, &mut scratch)
+        .expect("solves warm");
+    let warm_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before_warm;
+
+    assert!(
+        warm.iterations < cold.iterations,
+        "measurement needs distinct iteration counts"
+    );
+    (cold_allocs as f64 - warm_allocs as f64) / (cold.iterations as f64 - warm.iterations as f64)
+}
 
 struct Variant {
     name: &'static str,
     jobs: usize,
     warm_start: bool,
+    chain_seeds: bool,
 }
 
-fn run_variant(v: &Variant) -> Json {
+fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
     obs::reset();
     let mut opts = Table2Options::quick();
     opts.jobs = v.jobs;
     opts.warm_start = v.warm_start;
+    opts.characterize.chain_seeds = v.chain_seeds;
     let report = table2::run(&opts).expect("quick campaign solves");
     obs::flush();
     let snapshot = obs::snapshot();
@@ -63,6 +158,7 @@ fn run_variant(v: &Variant) -> Json {
     Json::obj([
         ("jobs".to_string(), Json::Num(v.jobs as f64)),
         ("warm_start".to_string(), Json::Bool(v.warm_start)),
+        ("chain_seeds".to_string(), Json::Bool(v.chain_seeds)),
         (
             "points_attempted".to_string(),
             Json::Num(coverage.attempted as f64),
@@ -75,6 +171,10 @@ fn run_variant(v: &Variant) -> Json {
         (
             "points_per_sec".to_string(),
             Json::Num(coverage.points_per_sec()),
+        ),
+        (
+            "allocs_per_iteration".to_string(),
+            Json::Num(allocs_per_iteration),
         ),
         (
             "solver".to_string(),
@@ -104,6 +204,14 @@ fn run_variant(v: &Variant) -> Json {
                     Json::Num(counter("characterize.warm_seed.rejected") as f64),
                 ),
                 (
+                    "chain_seeds_applied".to_string(),
+                    Json::Num(counter("characterize.chain_seed.applied") as f64),
+                ),
+                (
+                    "chain_seeds_cold".to_string(),
+                    Json::Num(counter("characterize.chain_seed.cold") as f64),
+                ),
+                (
                     "rescue_plain".to_string(),
                     Json::Num(counter("anasim.rescue.plain") as f64),
                 ),
@@ -128,31 +236,42 @@ fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_table2.json".to_string());
+    let allocs_per_iteration = measure_allocs_per_iteration();
+    eprintln!("allocs/iteration on the plain-Newton path: {allocs_per_iteration}");
     let variants = [
         Variant {
             name: "sequential_cold",
             jobs: 1,
             warm_start: false,
+            chain_seeds: false,
         },
         Variant {
             name: "sequential_warm",
             jobs: 1,
             warm_start: true,
+            chain_seeds: false,
         },
         Variant {
             name: "parallel_warm",
             jobs: 0,
             warm_start: true,
+            chain_seeds: false,
+        },
+        Variant {
+            name: "parallel_warm_chained",
+            jobs: 0,
+            warm_start: true,
+            chain_seeds: true,
         },
     ];
     let results: Vec<(String, Json)> = variants
         .iter()
-        .map(|v| (v.name.to_string(), run_variant(v)))
+        .map(|v| (v.name.to_string(), run_variant(v, allocs_per_iteration)))
         .collect();
     let doc = Json::obj([
         (
             "schema".to_string(),
-            Json::Str("lp-sram-suite/bench-baseline/v2".to_string()),
+            Json::Str("lp-sram-suite/bench-baseline/v3".to_string()),
         ),
         ("artifact".to_string(), Json::Str("table2".to_string())),
         ("mode".to_string(), Json::Str("quick".to_string())),

@@ -890,4 +890,62 @@ mod tests {
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    #[test]
+    fn table2_agrees_across_cold_warm_and_chained_seeding() {
+        // Warm seeding (healthy-state, scratch reuse) and chained
+        // bisection seeding are accelerators: every reported minimum
+        // resistance must agree with the cold run to the bisection
+        // bracket width.
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(29), Defect::new(18)];
+        opts.case_studies = vec![CaseStudy::new(2, StoredBit::One)];
+        opts.jobs = 1;
+
+        let mut cold = opts.clone();
+        cold.warm_start = false;
+        cold.characterize.chain_seeds = false;
+        let mut warm = opts.clone();
+        warm.warm_start = true;
+        warm.characterize.chain_seeds = false;
+        let mut chained = opts.clone();
+        chained.warm_start = true;
+        chained.characterize.chain_seeds = true;
+
+        let cold_t = table2(&cold).unwrap();
+        let warm_t = table2(&warm).unwrap();
+        let chained_t = table2(&chained).unwrap();
+
+        // Final bracket width in log10-resistance: the coarse step
+        // halved once per refinement, doubled as slack for a verdict
+        // flipping exactly at a shared probe point.
+        let c = &opts.characterize;
+        let tol = 2.0 * (1.0 / c.points_per_decade as f64) / (1u64 << c.refine_iters) as f64;
+        for (row_c, (row_w, row_ch)) in cold_t
+            .rows
+            .iter()
+            .zip(warm_t.rows.iter().zip(&chained_t.rows))
+        {
+            for (cell_c, (cell_w, cell_ch)) in row_c
+                .cells
+                .iter()
+                .zip(row_w.cells.iter().zip(&row_ch.cells))
+            {
+                for (variant, cell_v) in [("warm", cell_w), ("chained", cell_ch)] {
+                    match (cell_c.min_ohms, cell_v.min_ohms) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => assert!(
+                            (a.log10() - b.log10()).abs() <= tol,
+                            "Df{} {variant} run drifted: cold {a} vs {b} (tol 10^{tol})",
+                            row_c.defect.number()
+                        ),
+                        (a, b) => panic!(
+                            "Df{} {variant} run changed the verdict: cold {a:?} vs {b:?}",
+                            row_c.defect.number()
+                        ),
+                    }
+                }
+            }
+        }
+    }
 }

@@ -37,6 +37,14 @@ pub struct CharacterizeOptions {
     /// structurally broken netlist is then rejected with a named-node
     /// diagnostic instead of burning the whole rescue ladder.
     pub preflight: bool,
+    /// Seed every DC probe of a search from the *nearest previously
+    /// converged probe* in log-resistance, instead of whatever point
+    /// the sweep happened to visit last. The operating point moves
+    /// continuously in the defect resistance, so the nearest converged
+    /// neighbour is the best available predictor — this is what makes
+    /// warm starts pay off inside the bisection ladder. On by default;
+    /// turn off to reproduce the plain last-visited continuation.
+    pub chain_seeds: bool,
 }
 
 impl Default for CharacterizeOptions {
@@ -51,6 +59,7 @@ impl Default for CharacterizeOptions {
             transient_window: 1.0e-3,
             retry: anasim::RetryPolicy::ladder(),
             preflight: true,
+            chain_seeds: true,
         }
     }
 }
@@ -305,12 +314,98 @@ pub fn min_resistance_seeded(
             None => preflight_transient_build(design, pvt, tap, defect)?,
         }
     }
+    let mut chain = ChainSeeds::new(opts.chain_seeds && dc_circuit.is_some());
     let mut eval = |ohms: f64| -> Result<(bool, f64), anasim::Error> {
         match dc_circuit.as_mut() {
-            Some(circuit) => drf_at_dc(circuit, defect, ohms, load, criterion, opts),
+            Some(circuit) => {
+                chain.seed(circuit, ohms);
+                let out = drf_at_dc(circuit, defect, ohms, load, criterion, opts)?;
+                chain.record(circuit, ohms);
+                Ok(out)
+            }
             None => drf_at_transient(design, pvt, tap, defect, ohms, load, criterion, opts),
         }
     };
+    let result = search_min_resistance(opts, &mut eval);
+    chain.flush_counters();
+    result
+}
+
+/// Converged probe states of one minimum-resistance search, keyed by
+/// log-resistance, so each new probe can seed Newton from its *nearest*
+/// converged neighbour rather than the last-visited point. Counters are
+/// accumulated locally and flushed to obs once per search.
+struct ChainSeeds {
+    enabled: bool,
+    /// `(ln ohms, converged state)` per successful probe.
+    probes: Vec<(f64, Vec<f64>)>,
+    applied: u64,
+    cold: u64,
+}
+
+impl ChainSeeds {
+    fn new(enabled: bool) -> Self {
+        ChainSeeds {
+            enabled,
+            probes: Vec::new(),
+            applied: 0,
+            cold: 0,
+        }
+    }
+
+    /// Seeds `circuit` for a probe at `ohms` from the nearest converged
+    /// probe, when one exists.
+    fn seed(&mut self, circuit: &mut RegulatorCircuit, ohms: f64) {
+        if !self.enabled {
+            return;
+        }
+        let target = ohms.ln();
+        // `min_by` keeps the first of equally-near probes, so ties
+        // resolve deterministically by evaluation order.
+        let nearest = self.probes.iter().min_by(|a, b| {
+            let da = (a.0 - target).abs();
+            let db = (b.0 - target).abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        match nearest {
+            Some((_, state)) => {
+                // The state came from this very circuit; skip the
+                // length re-check the public seeding path pays.
+                circuit.seed_warm_trusted(state);
+                self.applied += 1;
+            }
+            None => self.cold += 1,
+        }
+    }
+
+    /// Records the converged state of the probe at `ohms`.
+    fn record(&mut self, circuit: &RegulatorCircuit, ohms: f64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(state) = circuit.warm_state() {
+            self.probes.push((ohms.ln(), state.to_vec()));
+        }
+    }
+
+    fn flush_counters(&self) {
+        if !self.enabled {
+            return;
+        }
+        obs::counter_add("characterize.chain_seed.applied", self.applied);
+        obs::counter_add("characterize.chain_seed.cold", self.cold);
+    }
+}
+
+/// The scan-then-bisect skeleton shared by every minimum-resistance
+/// search: healthy sanity probe, coarse log-scale scan for the first
+/// failing point, then log-scale bisection against the last passing
+/// point. `eval` answers "does the defect at this resistance cause a
+/// DRF, and what rail voltage was observed".
+fn search_min_resistance(
+    opts: &CharacterizeOptions,
+    eval: &mut dyn FnMut(f64) -> Result<(bool, f64), anasim::Error>,
+) -> Result<MinResistance, anasim::Error> {
     // Sanity: a condition where the healthy circuit already fails the
     // criterion cannot characterize a defect.
     let (healthy_fails, _) = eval(crate::topology::NO_DEFECT_OHMS)?;

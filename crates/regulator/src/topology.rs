@@ -21,7 +21,7 @@ use anasim::dc::DcAnalysis;
 use anasim::devices::mosfet::MosParams;
 use anasim::devices::vsource::Waveform;
 use anasim::netlist::ParamId;
-use anasim::{Netlist, NodeId};
+use anasim::{Netlist, NodeId, SolveScratch};
 use process::PvtCondition;
 use sram::ArrayLoad;
 
@@ -220,6 +220,7 @@ pub struct RegulatorCircuit {
     n_mn2_gate: NodeId,
     dc: DcAnalysis,
     warm: Option<Vec<f64>>,
+    scratch: SolveScratch,
 }
 
 impl RegulatorCircuit {
@@ -484,6 +485,7 @@ impl RegulatorCircuit {
             n_mn2_gate: mn2_gate,
             dc: DcAnalysis::new(),
             warm: None,
+            scratch: SolveScratch::new(),
         })
     }
 
@@ -527,12 +529,34 @@ impl RegulatorCircuit {
     /// [`solve`](RegulatorCircuit::solve) falls back to a cold start
     /// whenever the warm iteration fails.
     pub fn seed_warm(&mut self, state: &[f64]) -> bool {
-        if state.len() == self.nl.num_unknowns() {
-            self.warm = Some(state.to_vec());
-            true
-        } else {
-            false
+        if state.len() != self.nl.num_unknowns() {
+            return false;
         }
+        self.seed_warm_trusted(state);
+        true
+    }
+
+    /// As [`seed_warm`](RegulatorCircuit::seed_warm), but for callers
+    /// that already know the seed came from this very circuit (e.g. a
+    /// bisection chain re-applying its own converged probes) — skips
+    /// the per-application length re-check and reuses the existing warm
+    /// buffer instead of allocating a fresh one.
+    pub fn seed_warm_trusted(&mut self, state: &[f64]) {
+        debug_assert_eq!(
+            state.len(),
+            self.nl.num_unknowns(),
+            "trusted seed from a different topology"
+        );
+        match &mut self.warm {
+            Some(w) if w.len() == state.len() => w.copy_from_slice(state),
+            w => *w = Some(state.to_vec()),
+        }
+    }
+
+    /// Length of this circuit's unknown vector — the dimension
+    /// [`seed_warm`](RegulatorCircuit::seed_warm) validates against.
+    pub fn state_len(&self) -> usize {
+        self.nl.num_unknowns()
     }
 
     /// Declares a node that no device touches. The MNA system then
@@ -603,21 +627,32 @@ impl RegulatorCircuit {
             let r = (v_guess / i_load).clamp(1.0, 1.0e13);
             self.nl.set_param(self.load_res, r);
             let sol = match &self.warm {
-                Some(x) => match self.dc.operating_point_from(&self.nl, x) {
-                    Ok(sol) => Ok(sol),
-                    Err(_) => {
-                        // A stale warm start can drag the iteration onto
-                        // a spurious branch near fold points of the
-                        // defect parameter; retry cold before giving up.
-                        self.warm = None;
-                        self.dc.operating_point(&self.nl)
+                Some(x) => {
+                    match self
+                        .dc
+                        .operating_point_in(&self.nl, Some(x), &mut self.scratch)
+                    {
+                        Ok(sol) => Ok(sol),
+                        Err(_) => {
+                            // A stale warm start can drag the iteration onto
+                            // a spurious branch near fold points of the
+                            // defect parameter; retry cold before giving up.
+                            self.warm = None;
+                            self.dc
+                                .operating_point_in(&self.nl, None, &mut self.scratch)
+                        }
                     }
-                },
-                None => self.dc.operating_point(&self.nl),
+                }
+                None => self
+                    .dc
+                    .operating_point_in(&self.nl, None, &mut self.scratch),
             }?;
             let vddcc = sol.voltage(self.n_vddcc);
             let converged = (vddcc - v_guess).abs() < 1.0e-4;
-            self.warm = Some(sol.raw().to_vec());
+            match &mut self.warm {
+                Some(w) if w.len() == sol.raw().len() => w.copy_from_slice(sol.raw()),
+                w => *w = Some(sol.raw().to_vec()),
+            }
             let vreg = sol.voltage(self.n_vreg);
             let taps = self.n_taps.map(|n| sol.voltage(n));
             let bias_current = {
