@@ -48,6 +48,25 @@ pub enum Error {
     InvalidTimeAxis(String),
     /// An analysis was asked to sweep an empty set of points.
     EmptySweep,
+    /// A campaign worker panicked while evaluating this point; the
+    /// panic was caught by the executor's per-point isolation and the
+    /// point recorded as lost instead of aborting the campaign.
+    Panicked {
+        /// The panic message, when the payload was a string.
+        what: String,
+    },
+    /// The point's solve budget ([`crate::newton::SolveBudget`]) ran
+    /// out before the rescue ladder finished: either too many total
+    /// Newton iterations or too much wall-clock was spent across
+    /// attempts.
+    BudgetExceeded {
+        /// Newton iterations burned across all attempts so far.
+        iterations: usize,
+        /// Wall-clock seconds burned across all attempts so far.
+        seconds: f64,
+        /// Which limit tripped (`"iterations"` or `"wall-clock"`).
+        limit: String,
+    },
 }
 
 impl Error {
@@ -73,8 +92,23 @@ impl Error {
     /// campaign. Every retryable error qualifies, and so does a
     /// pre-flight ERC rejection: the netlist is broken at that one grid
     /// point (e.g. an injected disconnect), not the campaign itself.
+    /// A caught worker panic and an exhausted solve budget are likewise
+    /// per-point casualties: the one grid point is lost, the campaign
+    /// is not.
     pub fn is_recordable(&self) -> bool {
-        self.is_retryable() || matches!(self, Error::PreflightRejected { .. })
+        self.is_retryable()
+            || matches!(
+                self,
+                Error::PreflightRejected { .. }
+                    | Error::Panicked { .. }
+                    | Error::BudgetExceeded { .. }
+            )
+    }
+
+    /// Whether this error records a caught worker panic — the
+    /// `panicked` marker campaign failure records carry.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, Error::Panicked { .. })
     }
 }
 
@@ -109,6 +143,16 @@ impl fmt::Display for Error {
             ),
             Error::InvalidTimeAxis(what) => write!(f, "invalid time axis: {what}"),
             Error::EmptySweep => write!(f, "sweep requires at least one point"),
+            Error::Panicked { what } => write!(f, "worker panicked: {what}"),
+            Error::BudgetExceeded {
+                iterations,
+                seconds,
+                limit,
+            } => write!(
+                f,
+                "solve budget exceeded ({limit} limit) after {iterations} iterations \
+                 / {seconds:.3} s"
+            ),
         }
     }
 }
@@ -177,6 +221,23 @@ mod tests {
         }
         .is_recordable());
         assert!(!Error::EmptySweep.is_recordable());
+    }
+
+    #[test]
+    fn panics_and_budgets_are_recordable_but_not_retryable() {
+        let p = Error::Panicked {
+            what: "index out of bounds".into(),
+        };
+        assert!(p.is_recordable() && !p.is_retryable() && p.is_panic());
+        assert!(p.to_string().contains("worker panicked"));
+        let b = Error::BudgetExceeded {
+            iterations: 1200,
+            seconds: 4.5,
+            limit: "wall-clock".into(),
+        };
+        assert!(b.is_recordable() && !b.is_retryable() && !b.is_panic());
+        let s = b.to_string();
+        assert!(s.contains("1200") && s.contains("wall-clock"), "{s}");
     }
 
     #[test]

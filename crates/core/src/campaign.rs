@@ -81,6 +81,33 @@ pub struct PointFailure {
     /// budget); 0 when the point was rejected by the ERC pre-flight
     /// gate before any solve was tried.
     pub attempts: usize,
+    /// Whether this failure records a *panic* caught by the executor's
+    /// per-point isolation ([`crate::executor::parallel_map_isolated`])
+    /// rather than a solver error — a worker died evaluating the point
+    /// and the campaign kept going.
+    pub panicked: bool,
+}
+
+impl PointFailure {
+    /// A failure record for one grid point; the `panicked` marker is
+    /// derived from the error ([`anasim::Error::is_panic`]).
+    pub fn new(
+        defect: Option<Defect>,
+        case_study: Option<u8>,
+        pvt: Option<PvtCondition>,
+        error: anasim::Error,
+        attempts: usize,
+    ) -> Self {
+        let panicked = error.is_panic();
+        PointFailure {
+            defect,
+            case_study,
+            pvt,
+            error,
+            attempts,
+            panicked,
+        }
+    }
 }
 
 impl fmt::Display for PointFailure {
@@ -95,7 +122,11 @@ impl fmt::Display for PointFailure {
         if let Some(pvt) = self.pvt {
             write!(f, " @ {pvt}")?;
         }
-        write!(f, " — {} (after {} attempts)", self.error, self.attempts)
+        write!(f, " — {} (after {} attempts)", self.error, self.attempts)?;
+        if self.panicked {
+            f.write_str(" [panicked]")?;
+        }
+        Ok(())
     }
 }
 
@@ -412,22 +443,40 @@ mod tests {
 
     #[test]
     fn point_failure_renders_coordinates() {
-        let f = PointFailure {
-            defect: Some(Defect::new(16)),
-            case_study: Some(1),
-            pvt: Some(PvtCondition::nominal()),
-            error: anasim::Error::NoConvergence {
+        let f = PointFailure::new(
+            Some(Defect::new(16)),
+            Some(1),
+            Some(PvtCondition::nominal()),
+            anasim::Error::NoConvergence {
                 iterations: 400,
                 residual: 1.0e-2,
             },
-            attempts: 5,
-        };
+            5,
+        );
         let s = f.to_string();
         assert!(s.contains("Df16"), "{s}");
         assert!(s.contains("CS1"), "{s}");
         assert!(s.contains("after 5 attempts"), "{s}");
+        assert!(!f.panicked && !s.contains("[panicked]"), "{s}");
         let ctx = PointFailure { defect: None, ..f };
         assert!(ctx.to_string().starts_with("(context)"));
+    }
+
+    #[test]
+    fn panicked_point_failure_is_marked() {
+        let f = PointFailure::new(
+            Some(Defect::new(3)),
+            Some(2),
+            None,
+            anasim::Error::Panicked {
+                what: "index out of bounds".into(),
+            },
+            0,
+        );
+        assert!(f.panicked);
+        let s = f.to_string();
+        assert!(s.contains("worker panicked"), "{s}");
+        assert!(s.ends_with("[panicked]"), "{s}");
     }
 
     #[test]
@@ -435,16 +484,16 @@ mod tests {
         let mut c = Coverage::default();
         c.record_ok();
         c.record_failure();
-        let failures = vec![PointFailure {
-            defect: Some(Defect::new(8)),
-            case_study: Some(2),
-            pvt: None,
-            error: anasim::Error::SingularMatrix {
+        let failures = vec![PointFailure::new(
+            Some(Defect::new(8)),
+            Some(2),
+            None,
+            anasim::Error::SingularMatrix {
                 pivot_row: 3,
                 unknown: None,
             },
-            attempts: 5,
-        }];
+            5,
+        )];
         let footer = completeness_footer(&c, &failures);
         assert!(footer.starts_with("coverage: 1/2"), "{footer}");
         assert!(footer.contains("unresolved: Df8 × CS2"), "{footer}");

@@ -14,7 +14,7 @@ use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
 use crate::campaign::{publish_coverage, Checkpoint, Coverage, PointFailure, PointTimer};
 use crate::case_study::CaseStudy;
-use crate::executor::parallel_map_ordered;
+use crate::executor::{parallel_map_isolated, WorkOutcome};
 
 /// The regulator configuration rule of §IV.A: pick the tap that puts
 /// `Vreg` as close as possible to — but not below — the worst-case
@@ -60,6 +60,13 @@ pub struct Table2Options {
     /// deliberately severed (orphan-node) regulator netlist, so the
     /// static checks must reject them before any Newton iteration.
     pub inject_disconnects: Vec<(u8, u8)>,
+    /// Fault-injection hook for the executor's panic isolation:
+    /// `(defect number, case-study number)` cells whose evaluation
+    /// deliberately panics on the worker. The campaign must record the
+    /// cell as a panicked [`PointFailure`] and keep going — surviving
+    /// cells, checkpoint rows and the coverage footer stay
+    /// byte-identical at any `--jobs` count.
+    pub inject_panics: Vec<(u8, u8)>,
     /// When set, completed `(defect, case study)` cells are appended to
     /// this tab-separated file and a rerun pointed at the same path
     /// resumes, skipping cells already logged.
@@ -94,6 +101,7 @@ impl Table2Options {
             load_points: 9,
             inject_failures: Vec::new(),
             inject_disconnects: Vec::new(),
+            inject_panics: Vec::new(),
             checkpoint: None,
             jobs: 0,
             warm_start: true,
@@ -315,6 +323,9 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             || options
                 .inject_disconnects
                 .contains(&(defect.number(), cs.number))
+            || options
+                .inject_panics
+                .contains(&(defect.number(), cs.number))
     };
 
     // ---- Phase A: shared grid contexts, in deterministic grid order.
@@ -336,7 +347,7 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             }
         }
     }
-    let built = parallel_map_ordered(
+    let built = parallel_map_isolated(
         options.jobs,
         &ctx_items,
         |_, &(ci, pvt)| {
@@ -369,20 +380,26 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
     // needs it is tallied as failed without re-solving.
     let mut contexts: HashMap<CtxKey, Option<GridContext>> = HashMap::new();
     let mut failures: Vec<PointFailure> = Vec::new();
-    for (&(ci, pvt), result) in ctx_items.iter().zip(built) {
+    for (&(ci, pvt), outcome) in ctx_items.iter().zip(built) {
         let cs = &options.case_studies[ci];
+        let result = outcome.unwrap_or_else(|what| Err(anasim::Error::Panicked { what }));
         match result {
             Ok(ctx) => {
                 contexts.insert(ctx_key(cs.number, pvt), Some(ctx));
             }
             Err(e) if e.is_recordable() => {
-                failures.push(PointFailure {
-                    defect: None,
-                    case_study: Some(cs.number),
-                    pvt: Some(pvt),
-                    error: e,
-                    attempts: options.drv.retry.max_attempts,
-                });
+                let attempts = if e.is_retryable() {
+                    options.drv.retry.max_attempts
+                } else {
+                    0
+                };
+                failures.push(PointFailure::new(
+                    None,
+                    Some(cs.number),
+                    Some(pvt),
+                    e,
+                    attempts,
+                ));
                 contexts.insert(ctx_key(cs.number, pvt), None);
             }
             Err(e) => return Err(e),
@@ -408,15 +425,15 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
     for cell in resumed.values() {
         running.merge(resumed_coverage(cell, grid_size));
     }
-    let done = parallel_map_ordered(
+    let done = parallel_map_isolated(
         options.jobs,
         &cell_items,
         |_, &(defect, ci)| evaluate_cell(defect, &options.case_studies[ci], options, &contexts),
-        |i, result| {
+        |i, outcome| {
             let (defect, ci) = cell_items[i];
             let key = cell_key(defect, options.case_studies[ci].number);
-            match result {
-                Ok(cell) => {
+            match outcome {
+                WorkOutcome::Done(Ok(cell)) => {
                     running.merge(cell.coverage);
                     if halted || ckpt_err.is_some() {
                         return;
@@ -429,11 +446,24 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                     }
                     obs::progress(&format!("table2 cell {key} done ({running})"));
                 }
+                // A panicked cell is a recorded casualty, *not* a halt:
+                // it is deliberately left out of the checkpoint so a
+                // resumed run recomputes it, and the surviving cells'
+                // checkpoint stream is exactly what a run without the
+                // panic would have written around it.
+                WorkOutcome::Panicked { .. } => {
+                    running.merge(Coverage {
+                        attempted: grid_size,
+                        completed: 0,
+                        elapsed_s: 0.0,
+                    });
+                    obs::progress(&format!("table2 cell {key} panicked ({running})"));
+                }
                 // A non-recordable error will abort the campaign once
                 // the scope joins; stop checkpointing cells past it so
                 // the file matches what a sequential run would have
                 // logged before the abort.
-                Err(_) => halted = true,
+                WorkOutcome::Done(Err(_)) => halted = true,
             }
         },
     );
@@ -453,9 +483,32 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                 cells.push(*cell);
                 continue;
             }
-            let cell = done_iter
+            let outcome = done_iter
                 .next()
-                .expect("the executor returns one result per non-resumed cell")?;
+                .expect("the executor returns one result per non-resumed cell");
+            let cell = match outcome {
+                WorkOutcome::Done(result) => result?,
+                // The worker evaluating this cell panicked: the whole
+                // cell's grid is lost, charged as one panicked failure.
+                WorkOutcome::Panicked { message } => CellDone {
+                    cell: Table2Cell {
+                        failed_points: grid_size,
+                        ..Table2Cell::empty()
+                    },
+                    failures: vec![PointFailure::new(
+                        Some(defect),
+                        Some(cs.number),
+                        None,
+                        anasim::Error::Panicked { what: message },
+                        0,
+                    )],
+                    coverage: Coverage {
+                        attempted: grid_size,
+                        completed: 0,
+                        elapsed_s: 0.0,
+                    },
+                },
+            };
             coverage.merge(cell.coverage);
             failures.extend(cell.failures);
             cells.push(cell.cell);
@@ -509,6 +562,15 @@ fn evaluate_cell(
     let disconnected = options
         .inject_disconnects
         .contains(&(defect.number(), cs.number));
+    // Resilience-test hook: die on the worker exactly as an untrusted
+    // model evaluation would, and let the executor's per-point
+    // isolation turn it into a recorded failure.
+    assert!(
+        !options
+            .inject_panics
+            .contains(&(defect.number(), cs.number)),
+        "injected panic evaluating cell {key}"
+    );
     for &corner in &options.corners {
         for &temp in &options.temperatures {
             for &vdd in &options.supplies {
@@ -517,16 +579,16 @@ fn evaluate_cell(
                 if injected {
                     best.failed_points += 1;
                     coverage.record_failure();
-                    failures.push(PointFailure {
-                        defect: Some(defect),
-                        case_study: Some(cs.number),
-                        pvt: Some(pvt),
-                        error: anasim::Error::NoConvergence {
+                    failures.push(PointFailure::new(
+                        Some(defect),
+                        Some(cs.number),
+                        Some(pvt),
+                        anasim::Error::NoConvergence {
                             iterations: 0,
                             residual: f64::INFINITY,
                         },
-                        attempts: options.characterize.retry.max_attempts,
-                    });
+                        options.characterize.retry.max_attempts,
+                    ));
                     continue;
                 }
                 if disconnected {
@@ -549,13 +611,13 @@ fn evaluate_cell(
                         });
                     best.failed_points += 1;
                     coverage.record_failure();
-                    failures.push(PointFailure {
-                        defect: Some(defect),
-                        case_study: Some(cs.number),
-                        pvt: Some(pvt),
+                    failures.push(PointFailure::new(
+                        Some(defect),
+                        Some(cs.number),
+                        Some(pvt),
                         error,
-                        attempts: 0,
-                    });
+                        0,
+                    ));
                     continue;
                 }
                 let Some(Some(ctx)) = contexts.get(&ctx_key(cs.number, pvt)) else {
@@ -603,13 +665,13 @@ fn evaluate_cell(
                         } else {
                             0
                         };
-                        failures.push(PointFailure {
-                            defect: Some(defect),
-                            case_study: Some(cs.number),
-                            pvt: Some(pvt),
-                            error: e,
+                        failures.push(PointFailure::new(
+                            Some(defect),
+                            Some(cs.number),
+                            Some(pvt),
+                            e,
                             attempts,
-                        });
+                        ));
                     }
                     Err(e) => return Err(e),
                 }
@@ -742,6 +804,95 @@ mod tests {
         assert_eq!(table.coverage.attempted, 4);
         assert_eq!(table.coverage.completed, 3);
         assert!(!table.coverage.is_complete());
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_not_fatal() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(19)];
+        opts.case_studies = vec![
+            CaseStudy::new(1, StoredBit::One),
+            CaseStudy::new(2, StoredBit::One),
+        ];
+        // The worker evaluating (Df19, CS1) dies mid-campaign.
+        opts.inject_panics = vec![(19, 1)];
+
+        opts.jobs = 1;
+        let sequential = table2(&opts).expect("campaign must survive a panicking cell");
+        opts.jobs = 4;
+        let parallel = table2(&opts).expect("campaign must survive a panicking cell");
+        assert_eq!(
+            table_fingerprint(&sequential),
+            table_fingerprint(&parallel),
+            "surviving cells must be byte-identical at any --jobs count"
+        );
+
+        // The lost cell carries the tally; survivors are untouched.
+        let hurt = cell_at(&sequential, 19, 1);
+        assert_eq!(hurt.failed_points, 1);
+        assert_eq!(hurt.min_ohms, None);
+        assert!(cell_at(&sequential, 16, 1).min_ohms.is_some());
+        assert!(cell_at(&sequential, 16, 2).min_ohms.is_some());
+        assert_eq!(cell_at(&sequential, 19, 2).failed_points, 0);
+
+        // Exactly one failure, marked as a caught panic.
+        assert_eq!(sequential.failures.len(), 1);
+        let f = &sequential.failures[0];
+        assert!(f.panicked, "failure must carry the panicked marker");
+        assert!(f.error.is_panic());
+        assert_eq!(f.defect, Some(Defect::new(19)));
+        assert_eq!(f.case_study, Some(1));
+        assert_eq!(f.attempts, 0);
+        assert!(
+            f.error.to_string().contains("injected panic"),
+            "the panic message survives: {}",
+            f.error
+        );
+        assert!(!sequential.coverage.is_complete());
+        assert_eq!(sequential.coverage.completed, 3);
+
+        // The report footer renders the casualty.
+        let footer =
+            crate::campaign::completeness_footer(&sequential.coverage, &sequential.failures);
+        assert!(footer.contains("[panicked]"), "{footer}");
+    }
+
+    #[test]
+    fn panicked_cell_is_left_out_of_the_checkpoint() {
+        let dir = std::env::temp_dir().join("drftest-table2-panic-ckpt");
+        let path = dir.join("table2.tsv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(19)];
+        opts.case_studies = vec![CaseStudy::new(1, StoredBit::One)];
+        opts.inject_panics = vec![(19, 1)];
+        opts.checkpoint = Some(path.clone());
+        opts.jobs = 2;
+        let first = table2(&opts).expect("campaign must survive a panicking cell");
+
+        // The checkpoint stream stays valid: the surviving cell is
+        // logged, the panicked one is not — a resume recomputes it.
+        let logged = Checkpoint::new(&path).completed_keys().unwrap();
+        assert!(logged.contains("df16/cs1"), "surviving cell must be logged");
+        assert!(
+            !logged.contains("df19/cs1"),
+            "a panicked cell must never be checkpointed"
+        );
+
+        // Resume: the healed cell (hook removed) is recomputed and the
+        // table completes.
+        opts.inject_panics = Vec::new();
+        let healed = table2(&opts).unwrap();
+        assert!(healed.coverage.is_complete(), "{}", healed.coverage);
+        assert!(
+            cell_at(&healed, 19, 1).min_ohms.is_some() || {
+                // Df19 may legitimately not fault at the quick grid point;
+                // completeness is the contract under test.
+                cell_at(&healed, 19, 1).failed_points == 0
+            }
+        );
+        assert_eq!(first.coverage.attempted, healed.coverage.attempted);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

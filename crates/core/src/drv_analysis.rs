@@ -13,7 +13,7 @@ use sram::drv::{drv_ds, DrvOptions, StoredBit};
 use sram::{CellInstance, CellTransistor, MismatchPattern};
 
 use crate::campaign::{preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer};
-use crate::executor::parallel_map_ordered;
+use crate::executor::parallel_map_isolated;
 
 /// Options for the Fig. 4 sweep.
 #[derive(Debug, Clone)]
@@ -189,7 +189,7 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
             }
         }
     }
-    let solved = parallel_map_ordered(
+    let solved = parallel_map_isolated(
         options.jobs,
         &grid,
         |_, &(transistor, sigma, pvt)| {
@@ -209,6 +209,11 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
         },
         |_, _| {},
     );
+    // Panicked points surface as recordable per-point errors.
+    let solved: Vec<_> = solved
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|what| Err(anasim::Error::Panicked { what })))
+        .collect();
 
     let per_point = options.corners.len() * options.temperatures.len();
     let mut series = Vec::with_capacity(6);
@@ -241,13 +246,7 @@ pub fn fig4(options: &Fig4Options) -> Result<Fig4Data, anasim::Error> {
                         } else {
                             0
                         };
-                        failures.push(PointFailure {
-                            defect: None,
-                            case_study: None,
-                            pvt: Some(pvt),
-                            error: e,
-                            attempts,
-                        });
+                        failures.push(PointFailure::new(None, None, Some(pvt), e, attempts));
                     }
                     Err(e) => return Err(e),
                 }

@@ -32,6 +32,7 @@
 //! the whole `parallel_map_ordered` call.
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -47,6 +48,61 @@ pub fn effective_jobs(requested: usize) -> usize {
         available_jobs()
     } else {
         requested
+    }
+}
+
+/// One work item's outcome under per-point panic isolation
+/// ([`parallel_map_isolated`]): either the closure's result or the
+/// message of the panic that killed it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkOutcome<R> {
+    /// The work closure returned normally.
+    Done(R),
+    /// The work closure panicked; the point is lost but the campaign
+    /// is not.
+    Panicked {
+        /// The panic payload, when it was a `&str` or `String`
+        /// (`panic!` and all `assert!` macros), else a placeholder.
+        message: String,
+    },
+}
+
+impl<R> WorkOutcome<R> {
+    /// The result, when the point completed.
+    pub fn as_done(&self) -> Option<&R> {
+        match self {
+            WorkOutcome::Done(r) => Some(r),
+            WorkOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// The panic message, when the point panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            WorkOutcome::Done(_) => None,
+            WorkOutcome::Panicked { message } => Some(message),
+        }
+    }
+
+    /// Unwraps the result, synthesizing one from the panic message for
+    /// lost points — the hook campaign drivers use to turn a panic into
+    /// a recordable per-point error value.
+    pub fn unwrap_or_else(self, on_panic: impl FnOnce(String) -> R) -> R {
+        match self {
+            WorkOutcome::Done(r) => r,
+            WorkOutcome::Panicked { message } => on_panic(message),
+        }
+    }
+}
+
+/// Renders a caught panic payload as a message string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -70,8 +126,18 @@ pub fn effective_jobs(requested: usize) -> usize {
 ///
 /// Worker threads flush their thread-local obs buffers before the
 /// scope joins, so metrics recorded inside `work` are globally visible
-/// when this function returns. A panic inside `work` propagates to the
-/// caller after the scope unwinds (no result is lost silently).
+/// when this function returns.
+///
+/// A panic inside `work` still panics the caller — but only after
+/// every other item has run to completion (panics are caught per point
+/// by [`parallel_map_isolated`] underneath, so one poisoned point
+/// never takes down in-flight workers). Campaign drivers that must
+/// *survive* a panicking point call [`parallel_map_isolated`] directly
+/// and record the [`WorkOutcome::Panicked`] as a point failure.
+///
+/// # Panics
+///
+/// Re-raises the first (lowest-index) panic observed in `work`.
 pub fn parallel_map_ordered<T, R>(
     jobs: usize,
     items: &[T],
@@ -82,13 +148,64 @@ where
     T: Sync,
     R: Send,
 {
+    let mut first_panic: Option<(usize, String)> = None;
+    let outcomes = parallel_map_isolated(jobs, items, work, |i, outcome| match outcome {
+        WorkOutcome::Done(r) if first_panic.is_none() => on_ready(i, r),
+        WorkOutcome::Done(_) => {}
+        WorkOutcome::Panicked { message } => {
+            if first_panic.is_none() {
+                first_panic = Some((i, message.clone()));
+            }
+        }
+    });
+    if let Some((i, message)) = first_panic {
+        panic!("worker panicked at grid point {i}: {message}");
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|_| unreachable!("panics re-raised above")))
+        .collect()
+}
+
+/// As [`parallel_map_ordered`], but with per-point panic isolation: a
+/// panic inside `work` is caught on the worker, counted in the
+/// `executor.panic` obs counter, and delivered as
+/// [`WorkOutcome::Panicked`] at that item's index — every other item
+/// still runs, `on_ready` still fires in strict index order, and the
+/// call never unwinds because of `work`.
+///
+/// This is the executor contract campaign drivers build on: one
+/// poisoned grid point becomes one recorded casualty, not the loss of
+/// a multi-hour campaign's in-flight results.
+pub fn parallel_map_isolated<T, R>(
+    jobs: usize,
+    items: &[T],
+    work: impl Fn(usize, &T) -> R + Sync,
+    mut on_ready: impl FnMut(usize, &WorkOutcome<R>),
+) -> Vec<WorkOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+{
+    let guarded = |i: usize, item: &T| -> WorkOutcome<R> {
+        match panic::catch_unwind(AssertUnwindSafe(|| work(i, item))) {
+            Ok(r) => WorkOutcome::Done(r),
+            Err(payload) => {
+                obs::counter_add("executor.panic", 1);
+                WorkOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+        }
+    };
+
     let jobs = effective_jobs(jobs).min(items.len());
     if jobs <= 1 {
         return items
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                let r = work(i, item);
+                let r = guarded(i, item);
                 on_ready(i, &r);
                 r
             })
@@ -96,22 +213,22 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = Vec::new();
+    let (tx, rx) = mpsc::channel::<(usize, WorkOutcome<R>)>();
+    let mut slots: Vec<Option<WorkOutcome<R>>> = Vec::new();
     slots.resize_with(items.len(), || None);
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
-            let work = &work;
+            let guarded = &guarded;
             scope.spawn(move || {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    let r = work(i, &items[i]);
+                    let r = guarded(i, &items[i]);
                     if tx.send((i, r)).is_err() {
                         break; // receiver gone: the scope is unwinding
                     }
@@ -138,7 +255,7 @@ where
 
     slots
         .into_iter()
-        .map(|s| s.expect("scope joined without panicking, so every item sent a result"))
+        .map(|s| s.expect("every item either completed or was caught panicking"))
         .collect()
 }
 
@@ -239,6 +356,94 @@ mod tests {
             |_, _| {},
         );
         assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn isolated_panic_is_delivered_at_its_index_only() {
+        let items: Vec<u64> = (0..32).collect();
+        for jobs in [1, 4] {
+            let mut log = OrderedLog::default();
+            let before = obs::snapshot()
+                .counters
+                .get("executor.panic")
+                .copied()
+                .unwrap_or(0);
+            let out = parallel_map_isolated(
+                jobs,
+                &items,
+                |i, x| {
+                    assert!(i != 13, "poisoned point 13");
+                    x * 2
+                },
+                |i, r| log.push(i, r.as_done().copied()),
+            );
+            // Strict index order survives the panic, with a hole at 13.
+            assert_eq!(log.indices(), (0..32).collect::<Vec<_>>());
+            assert_eq!(out.len(), 32);
+            for (i, o) in out.iter().enumerate() {
+                if i == 13 {
+                    assert!(
+                        o.panic_message().is_some_and(|m| m.contains("poisoned")),
+                        "jobs={jobs}: {o:?}"
+                    );
+                } else {
+                    assert_eq!(o.as_done(), Some(&(i as u64 * 2)), "jobs={jobs}");
+                }
+            }
+            obs::flush();
+            let after = obs::snapshot()
+                .counters
+                .get("executor.panic")
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(after - before, 1, "jobs={jobs}: one panic, one count");
+        }
+    }
+
+    #[test]
+    fn isolated_outcomes_are_identical_across_job_counts() {
+        let items: Vec<u64> = (0..50).collect();
+        let run = |jobs| {
+            parallel_map_isolated(
+                jobs,
+                &items,
+                |i, x| {
+                    assert!(i % 17 != 3, "grid point {i} is poisoned");
+                    x + 100
+                },
+                |_, _| {},
+            )
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked at grid point 7")]
+    fn ordered_map_still_propagates_panics() {
+        let items: Vec<u64> = (0..16).collect();
+        let _ = parallel_map_ordered(
+            4,
+            &items,
+            |i, x| {
+                assert!(i != 7, "bad item");
+                *x
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_synthesizes_a_value_for_panics() {
+        let done: WorkOutcome<i32> = WorkOutcome::Done(5);
+        assert_eq!(done.unwrap_or_else(|_| -1), 5);
+        let lost: WorkOutcome<i32> = WorkOutcome::Panicked {
+            message: "boom".into(),
+        };
+        assert_eq!(
+            lost.unwrap_or_else(|m| if m == "boom" { -1 } else { -2 }),
+            -1
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use sram::{CellInstance, StoredBit};
 
 use crate::campaign::{completeness_footer, publish_coverage, Coverage, PointFailure, PointTimer};
 use crate::case_study::CaseStudy;
-use crate::executor::parallel_map_ordered;
+use crate::executor::parallel_map_isolated;
 use crate::report::{format_mv, TextTable};
 
 /// Options for the Table I experiment.
@@ -165,7 +165,7 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
             }
         }
     }
-    let solved = parallel_map_ordered(
+    let solved = parallel_map_isolated(
         options.jobs,
         &points,
         |_, &(cs, pvt)| {
@@ -180,6 +180,12 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
         },
         |_, _| {},
     );
+    // A worker that panicked on a point surfaces as a recordable
+    // per-point error, exactly like a solver failure.
+    let solved: Vec<_> = solved
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|what| Err(anasim::Error::Panicked { what })))
+        .collect();
 
     let per_row = options.corners.len() * options.temperatures.len();
     let mut rows = Vec::new();
@@ -201,15 +207,20 @@ pub fn run(options: &Table1Options) -> Result<Table1Report, anasim::Error> {
                     }
                     best0 = best0.max(d0);
                 }
-                Err(e) if e.is_retryable() => {
+                Err(e) if e.is_recordable() => {
                     coverage.record_failure();
-                    failures.push(PointFailure {
-                        defect: None,
-                        case_study: Some(cs.number),
-                        pvt: Some(pvt),
-                        error: e,
-                        attempts: options.drv.retry.max_attempts,
-                    });
+                    let attempts = if e.is_retryable() {
+                        options.drv.retry.max_attempts
+                    } else {
+                        0
+                    };
+                    failures.push(PointFailure::new(
+                        None,
+                        Some(cs.number),
+                        Some(pvt),
+                        e,
+                        attempts,
+                    ));
                 }
                 Err(e) => return Err(e),
             }

@@ -71,7 +71,9 @@ pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
 pub use diagnosis::{diagnose_mlz, diagnose_mlz_with_prepass, FailureSignature, LostValue};
 pub use drv_analysis::{fig4, Fig4Data, Fig4Options};
 pub use ds_time::{ds_time_sweep, DsTimeOptions, DsTimeReport};
-pub use executor::{available_jobs, effective_jobs, parallel_map_ordered};
+pub use executor::{
+    available_jobs, effective_jobs, parallel_map_isolated, parallel_map_ordered, WorkOutcome,
+};
 pub use fault_model::DrfDs;
 pub use lint::{lint_all, rule_catalogue, LintRun, LintTarget};
 pub use montecarlo_drv::{monte_carlo_drv, MonteCarloOptions, MonteCarloReport};

@@ -14,7 +14,7 @@ use sram::{CellInstance, CellTransistor, MismatchPattern};
 use crate::campaign::{
     completeness_footer, preflight_netlist, publish_coverage, Coverage, PointFailure, PointTimer,
 };
-use crate::executor::parallel_map_ordered;
+use crate::executor::parallel_map_isolated;
 
 /// Options for the Monte Carlo study.
 #[derive(Debug, Clone)]
@@ -143,7 +143,7 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
             pattern
         })
         .collect();
-    let outcomes = parallel_map_ordered(
+    let outcomes = parallel_map_isolated(
         options.jobs,
         &patterns,
         |sample, &pattern| {
@@ -164,7 +164,7 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
     let mut failures = Vec::new();
     let mut coverage = Coverage::default();
     for outcome in outcomes {
-        match outcome {
+        match outcome.unwrap_or_else(|what| Err(anasim::Error::Panicked { what })) {
             Ok(drv) => {
                 coverage.record_ok();
                 drvs.push(drv);
@@ -176,13 +176,13 @@ pub fn monte_carlo_drv(options: &MonteCarloOptions) -> Result<MonteCarloReport, 
                 } else {
                     0
                 };
-                failures.push(PointFailure {
-                    defect: None,
-                    case_study: None,
-                    pvt: Some(options.pvt),
-                    error: e,
+                failures.push(PointFailure::new(
+                    None,
+                    None,
+                    Some(options.pvt),
+                    e,
                     attempts,
-                });
+                ));
             }
             Err(e) => return Err(e),
         }

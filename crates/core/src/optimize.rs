@@ -12,7 +12,7 @@ use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
 use crate::campaign::{Coverage, PointFailure};
 use crate::case_study::{CaseStudy, WORST_CASE_DRV};
-use crate::executor::parallel_map_ordered;
+use crate::executor::{parallel_map_isolated, WorkOutcome};
 use crate::test_flow::{FlowIteration, TestFlow};
 
 /// Options for building the coverage matrix.
@@ -154,7 +154,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
     // order afterwards, so the record is deterministic.
     type SupplyContext = (CellInstance, f64, ArrayLoad);
     let supplies = [1.0, 1.1, 1.2];
-    let built_contexts = parallel_map_ordered(
+    let built_contexts = parallel_map_isolated(
         options.jobs,
         &supplies,
         |_, &vdd| -> Result<SupplyContext, anasim::Error> {
@@ -178,18 +178,24 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
         |_, _| {},
     );
     let mut contexts: Vec<(f64, Result<SupplyContext, anasim::Error>)> = Vec::new();
-    for (&vdd, built) in supplies.iter().zip(built_contexts) {
+    for (&vdd, outcome) in supplies.iter().zip(built_contexts) {
+        let built = outcome.unwrap_or_else(|what| Err(anasim::Error::Panicked { what }));
         if let Err(e) = &built {
             if !e.is_recordable() {
                 return Err(e.clone());
             }
-            failures.push(PointFailure {
-                defect: None,
-                case_study: Some(cs.number),
-                pvt: Some(PvtCondition::new(options.corner, vdd, options.temp_c)),
-                error: e.clone(),
-                attempts: options.drv.retry.max_attempts,
-            });
+            let attempts = if e.is_retryable() {
+                options.drv.retry.max_attempts
+            } else {
+                0
+            };
+            failures.push(PointFailure::new(
+                None,
+                Some(cs.number),
+                Some(PvtCondition::new(options.corner, vdd, options.temp_c)),
+                e.clone(),
+                attempts,
+            ));
         }
         contexts.push((vdd, built));
     }
@@ -197,7 +203,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
     // Per-combination warm-start seeds: the healthy operating point at
     // each (vdd, tap), shared by every defect search at that column.
     let seeds: Vec<Option<Vec<f64>>> = if options.warm_start {
-        parallel_map_ordered(
+        let built = parallel_map_isolated(
             options.jobs,
             &combos,
             |_, combo| {
@@ -212,7 +218,13 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                 healthy_seed(&options.design, pvt, combo.tap, load, &options.characterize).ok()
             },
             |_, _| {},
-        )
+        );
+        // A seed is purely an accelerator: a panicked seed solve
+        // degrades that column to a cold start.
+        built
+            .into_iter()
+            .map(|o| o.unwrap_or_else(|_| None))
+            .collect()
     } else {
         vec![None; combos.len()]
     };
@@ -230,7 +242,7 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
     let entries: Vec<(usize, usize)> = (0..options.defects.len())
         .flat_map(|d| (0..combos.len()).map(move |c| (d, c)))
         .collect();
-    let solved = parallel_map_ordered(
+    let solved = parallel_map_isolated(
         options.jobs,
         &entries,
         |_, &(d, c)| -> Result<Entry, anasim::Error> {
@@ -272,13 +284,13 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
                     } else {
                         0
                     };
-                    Ok(Entry::Failed(Box::new(PointFailure {
-                        defect: Some(defect),
-                        case_study: Some(cs.number),
-                        pvt: Some(pvt),
-                        error: e,
+                    Ok(Entry::Failed(Box::new(PointFailure::new(
+                        Some(defect),
+                        Some(cs.number),
+                        Some(pvt),
+                        e,
                         attempts,
-                    })))
+                    ))))
                 }
                 Err(e) => Err(e),
             }
@@ -287,8 +299,24 @@ pub fn build_coverage(options: &CoverageOptions) -> Result<CoverageMatrix, anasi
     );
 
     let mut min_r = vec![vec![None; combos.len()]; options.defects.len()];
-    for (&(d, c), entry) in entries.iter().zip(solved) {
-        match entry? {
+    for (&(d, c), outcome) in entries.iter().zip(solved) {
+        let entry = match outcome {
+            WorkOutcome::Done(result) => result?,
+            // The worker evaluating this matrix entry panicked: record
+            // the entry as failed and keep building the matrix.
+            WorkOutcome::Panicked { message } => Entry::Failed(Box::new(PointFailure::new(
+                Some(options.defects[d]),
+                Some(cs.number),
+                Some(PvtCondition::new(
+                    options.corner,
+                    combos[c].vdd,
+                    options.temp_c,
+                )),
+                anasim::Error::Panicked { what: message },
+                0,
+            ))),
+        };
+        match entry {
             Entry::Poisoned => coverage.record_failure(),
             Entry::Done(r) => {
                 coverage.record_ok();
