@@ -52,7 +52,7 @@ pub mod units;
 
 pub use error::Error;
 pub use netlist::{Netlist, NodeId, SourceId};
-pub use newton::{NewtonOptions, RescueStage, RetryPolicy, Solution, SolverStats};
+pub use newton::{NewtonOptions, RescueStage, RetryPolicy, Solution, SolveBudget, SolverStats};
 pub use scratch::SolveScratch;
 
 /// Boltzmann constant over elementary charge, in volts per kelvin.

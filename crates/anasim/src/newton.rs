@@ -4,6 +4,7 @@ use crate::error::Error;
 use crate::mna::{assemble_planned, AnalysisMode};
 use crate::netlist::{Netlist, NodeId};
 use crate::scratch::SolveScratch;
+use std::time::Instant;
 
 /// Tuning knobs for the nonlinear solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -571,6 +572,88 @@ pub fn solve_with_scratch(
     }
 }
 
+/// Hard cap on the total effort one operating point may consume across
+/// every rung of the [`RetryPolicy`] rescue ladder.
+///
+/// Campaigns over adversarial or fuzzed inputs need a guarantee that no
+/// single grid point can stall the whole run: a pathological circuit
+/// that fails every rung burns `ladder_sum(max_iterations)` Newton
+/// iterations before surfacing its error, and a campaign of thousands
+/// of such points multiplies that. The budget is checked *between*
+/// rescue attempts — a point that converges is never interrupted, so
+/// runs that succeed are bit-identical with and without a budget — and
+/// trips as [`Error::BudgetExceeded`], which campaigns record as a
+/// per-point casualty ([`Error::is_recordable`]).
+///
+/// The default is [`SolveBudget::UNLIMITED`]: both limits off, and the
+/// retry loop never reads the clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveBudget {
+    /// Maximum total Newton iterations summed across every rescue
+    /// attempt (`usize::MAX` = unlimited).
+    pub max_total_iterations: usize,
+    /// Maximum wall-clock seconds summed across every rescue attempt
+    /// (`f64::INFINITY` = unlimited).
+    pub max_seconds: f64,
+}
+
+impl SolveBudget {
+    /// Both limits off (the default).
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        max_total_iterations: usize::MAX,
+        max_seconds: f64::INFINITY,
+    };
+
+    /// Caps total Newton iterations only.
+    pub fn iterations(max_total_iterations: usize) -> Self {
+        SolveBudget {
+            max_total_iterations,
+            ..SolveBudget::UNLIMITED
+        }
+    }
+
+    /// Caps wall-clock seconds only.
+    pub fn seconds(max_seconds: f64) -> Self {
+        SolveBudget {
+            max_seconds,
+            ..SolveBudget::UNLIMITED
+        }
+    }
+
+    /// Whether both limits are off (the retry loop then skips clock
+    /// reads entirely).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_total_iterations == usize::MAX && self.max_seconds.is_infinite()
+    }
+
+    /// The error to surface if `iterations` burned since `started`
+    /// exceed either limit; `None` while within budget.
+    fn exceeded(&self, iterations: usize, started: Option<Instant>) -> Option<Error> {
+        let seconds = started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        if iterations >= self.max_total_iterations {
+            Some(Error::BudgetExceeded {
+                iterations,
+                seconds,
+                limit: "iterations".to_string(),
+            })
+        } else if seconds >= self.max_seconds {
+            Some(Error::BudgetExceeded {
+                iterations,
+                seconds,
+                limit: "wall-clock".to_string(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget::UNLIMITED
+    }
+}
+
 /// Escalation schedule for re-attempting a failed operating point.
 ///
 /// When a solve fails with a [retryable](Error::is_retryable) error,
@@ -599,6 +682,8 @@ pub struct RetryPolicy {
     pub damping_shrink: f64,
     /// `reltol` multiplier applied from the fourth attempt.
     pub reltol_relax: f64,
+    /// Cross-attempt effort cap; [`SolveBudget::UNLIMITED`] by default.
+    pub budget: SolveBudget,
 }
 
 impl RetryPolicy {
@@ -609,6 +694,7 @@ impl RetryPolicy {
             iteration_growth: 2.0,
             damping_shrink: 0.5,
             reltol_relax: 10.0,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 
@@ -621,7 +707,14 @@ impl RetryPolicy {
             iteration_growth: 1.0,
             damping_shrink: 1.0,
             reltol_relax: 1.0,
+            budget: SolveBudget::UNLIMITED,
         }
+    }
+
+    /// Replaces the cross-attempt effort cap.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The options used for `attempt` (0-based), derived from `base`
@@ -691,6 +784,9 @@ pub fn solve_with_retry_in(
     let attempts = policy.max_attempts.max(1);
     let mut iters_burned = 0usize;
     let mut stages_burned = 0usize;
+    // Clock reads only happen on budgeted runs, so unbudgeted solves
+    // keep an identical (syscall-free) hot path.
+    let started = (!policy.budget.is_unlimited()).then(Instant::now);
     for attempt in 0..attempts {
         let attempt_opts = policy.options_for_attempt(opts, attempt);
         match solve_with_scratch(netlist, &attempt_opts, x0, mode, scratch) {
@@ -711,6 +807,11 @@ pub fn solve_with_retry_in(
                 // Failed attempts ran the whole continuation ladder.
                 iters_burned += attempt_opts.max_iterations;
                 stages_burned += 1;
+                if let Some(exhausted) = policy.budget.exceeded(iters_burned, started) {
+                    obs::counter_add("anasim.solve.budget_exhausted", 1);
+                    obs::counter_add("anasim.solve.failed", 1);
+                    return Err(exhausted);
+                }
             }
             Err(e) => {
                 obs::counter_add("anasim.solve.failed", 1);
@@ -856,6 +957,81 @@ mod tests {
         };
         let r = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &RetryPolicy::none());
         assert!(r.is_err(), "none() must not escalate");
+    }
+
+    #[test]
+    fn iteration_budget_interrupts_the_rescue_ladder() {
+        let (nl, _) = threshold_inverter();
+        let opts = NewtonOptions {
+            max_iterations: 3,
+            ..NewtonOptions::plain()
+        };
+        // The first failed attempt burns 3 iterations, tripping the cap
+        // before any further rung runs.
+        let policy = RetryPolicy::ladder().with_budget(SolveBudget::iterations(3));
+        let err = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &policy)
+            .expect_err("budget must trip before the ladder rescues");
+        match err {
+            Error::BudgetExceeded {
+                iterations, limit, ..
+            } => {
+                assert_eq!(iterations, 3);
+                assert_eq!(limit, "iterations");
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_interrupts_the_rescue_ladder() {
+        let (nl, _) = threshold_inverter();
+        let opts = NewtonOptions {
+            max_iterations: 3,
+            ..NewtonOptions::plain()
+        };
+        // Zero seconds: any elapsed time at the first between-attempt
+        // check exceeds the cap.
+        let policy = RetryPolicy::ladder().with_budget(SolveBudget::seconds(0.0));
+        let err = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &policy)
+            .expect_err("zero wall-clock budget must trip");
+        match err {
+            Error::BudgetExceeded { limit, .. } => assert_eq!(limit, "wall-clock"),
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budget_never_interrupts_a_converging_point() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, Netlist::GND, 1.0);
+        nl.resistor("R", a, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
+        // Tightest possible budget: checked only between failed
+        // attempts, so a first-attempt success sails through.
+        let policy = RetryPolicy::ladder().with_budget(SolveBudget {
+            max_total_iterations: 1,
+            max_seconds: 0.0,
+        });
+        let sol = solve_with_retry(
+            &nl,
+            &NewtonOptions::default(),
+            None,
+            AnalysisMode::Dc,
+            &policy,
+        )
+        .expect("converging point must ignore the budget");
+        assert_eq!(sol.stats.retries, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_is_the_default_and_detectable() {
+        assert!(SolveBudget::UNLIMITED.is_unlimited());
+        assert!(SolveBudget::default().is_unlimited());
+        assert!(!SolveBudget::iterations(10).is_unlimited());
+        assert!(!SolveBudget::seconds(1.0).is_unlimited());
+        assert_eq!(RetryPolicy::ladder().budget, SolveBudget::UNLIMITED);
+        assert_eq!(RetryPolicy::none().budget, SolveBudget::UNLIMITED);
     }
 
     #[test]

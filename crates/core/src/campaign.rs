@@ -417,6 +417,150 @@ impl Checkpoint {
     }
 }
 
+/// Cross-run quarantine for grid cells that die the same way on every
+/// resume attempt.
+///
+/// A panicked cell is deliberately left out of the [`Checkpoint`] so a
+/// resumed run recomputes it — the right call for a transient crash,
+/// but a cell that panics *identically* on every resume (a
+/// deterministic bug on that one input) would burn the same work and
+/// the same crash on every attempt forever. The quarantine is the
+/// executor's memory of those deaths: each one appends
+/// `key \t fingerprint` to an append-only sidecar TSV next to the
+/// checkpoint, and once a key accumulates
+/// [`threshold`](Quarantine::with_threshold) *consecutive identical*
+/// fingerprints, later runs skip it with a recordable
+/// [`anasim::Error::PreflightRejected`] carrying the `QUARANTINED`
+/// code instead of re-dying.
+///
+/// A fingerprint change resets the count: a cell that fails
+/// *differently* is flaky, not deterministic, and keeps its retry
+/// rights. Deleting the sidecar file (or the fix shipping a different
+/// fingerprint) lifts the quarantine.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    file: Checkpoint,
+    /// Per key: the last fingerprint seen and how many consecutive
+    /// times it repeated.
+    counts: HashMap<String, (String, u64)>,
+    threshold: u64,
+}
+
+impl Quarantine {
+    /// Consecutive identical failures after which a key is skipped.
+    pub const DEFAULT_THRESHOLD: u64 = 2;
+
+    /// The sidecar path for a checkpoint at `checkpoint`:
+    /// `<checkpoint>.quarantine`.
+    pub fn sidecar_path(checkpoint: &Path) -> PathBuf {
+        let mut os = checkpoint.as_os_str().to_os_string();
+        os.push(".quarantine");
+        PathBuf::from(os)
+    }
+
+    /// Loads (or starts) the quarantine backed by `path`. An absent
+    /// file reads as empty — no key is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "file not found".
+    pub fn load(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let file = Checkpoint::new(path);
+        let mut counts: HashMap<String, (String, u64)> = HashMap::new();
+        for row in file.rows()? {
+            if row.len() < 2 {
+                continue;
+            }
+            let entry = counts.entry(row[0].clone()).or_default();
+            if entry.0 == row[1] {
+                entry.1 += 1;
+            } else {
+                *entry = (row[1].clone(), 1);
+            }
+        }
+        Ok(Quarantine {
+            file,
+            counts,
+            threshold: Self::DEFAULT_THRESHOLD,
+        })
+    }
+
+    /// Replaces the consecutive-failure threshold (clamped to ≥ 1).
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.threshold = threshold.max(1);
+        self
+    }
+
+    /// The backing sidecar file.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Whether `key` has reached the quarantine threshold.
+    pub fn is_quarantined(&self, key: &str) -> bool {
+        self.counts
+            .get(key)
+            .is_some_and(|(_, n)| *n >= self.threshold)
+    }
+
+    /// Every quarantined key, in no particular order.
+    pub fn quarantined_keys(&self) -> Vec<&str> {
+        self.counts
+            .iter()
+            .filter(|(_, (_, n))| *n >= self.threshold)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// The recordable error a campaign logs instead of re-evaluating a
+    /// quarantined `key`; `None` while the key keeps its retry rights.
+    pub fn reject(&self, key: &str) -> Option<anasim::Error> {
+        let (fingerprint, n) = self.counts.get(key)?;
+        if *n < self.threshold {
+            return None;
+        }
+        obs::counter_add("campaign.quarantine.skipped", 1);
+        Some(anasim::Error::PreflightRejected {
+            code: "QUARANTINED".into(),
+            what: format!(
+                "`{key}` failed identically on {n} runs ({fingerprint}); \
+                 delete {} to retry it",
+                self.file.path().display()
+            ),
+        })
+    }
+
+    /// Records one failure of `key` with the given `fingerprint`
+    /// (typically the panic message or error rendering), returning
+    /// whether the key just crossed the quarantine threshold. Tabs and
+    /// newlines in the fingerprint are flattened to keep the TSV
+    /// well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sidecar I/O failures.
+    pub fn record(&mut self, key: &str, fingerprint: &str) -> io::Result<bool> {
+        let fingerprint: String = fingerprint
+            .chars()
+            .map(|c| {
+                if c == '\t' || c == '\n' || c == '\r' {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        self.file.append(&[key.to_string(), fingerprint.clone()])?;
+        let entry = self.counts.entry(key.to_string()).or_default();
+        if entry.0 == fingerprint {
+            entry.1 += 1;
+        } else {
+            *entry = (fingerprint, 1);
+        }
+        Ok(entry.1 >= self.threshold)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,5 +769,71 @@ mod tests {
             "torn fragment concatenated with the recomputed row: {healed:?}"
         );
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_trips_on_consecutive_identical_failures() {
+        let dir = std::env::temp_dir().join("drftest-quarantine-test");
+        let path = dir.join("table2.tsv.quarantine");
+        let _ = fs::remove_dir_all(&dir);
+        let mut q = Quarantine::load(&path).unwrap();
+        assert!(!q.is_quarantined("df19/cs1"));
+        assert!(q.reject("df19/cs1").is_none());
+
+        // First death: recorded, not yet quarantined.
+        assert!(!q.record("df19/cs1", "index out of bounds").unwrap());
+        assert!(!q.is_quarantined("df19/cs1"));
+
+        // Second identical death crosses the default threshold.
+        assert!(q.record("df19/cs1", "index out of bounds").unwrap());
+        assert!(q.is_quarantined("df19/cs1"));
+        assert_eq!(q.quarantined_keys(), vec!["df19/cs1"]);
+        let err = q.reject("df19/cs1").expect("must reject");
+        assert!(err.is_recordable() && !err.is_retryable());
+        let s = err.to_string();
+        assert!(s.contains("QUARANTINED") && s.contains("df19/cs1"), "{s}");
+
+        // The state survives a reload from the sidecar.
+        let reloaded = Quarantine::load(&path).unwrap();
+        assert!(reloaded.is_quarantined("df19/cs1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_resets_when_the_failure_changes() {
+        let dir = std::env::temp_dir().join("drftest-quarantine-flaky-test");
+        let path = dir.join("q.tsv");
+        let _ = fs::remove_dir_all(&dir);
+        let mut q = Quarantine::load(&path).unwrap();
+        assert!(!q.record("k", "first way").unwrap());
+        // A different fingerprint is flakiness, not determinism: the
+        // consecutive count restarts.
+        assert!(!q.record("k", "second way").unwrap());
+        assert!(!q.is_quarantined("k"));
+        assert!(q.record("k", "second way").unwrap());
+        assert!(q.is_quarantined("k"));
+        // Reload sees the same consecutive-run arithmetic.
+        assert!(Quarantine::load(&path).unwrap().is_quarantined("k"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_flattens_tsv_hostile_fingerprints() {
+        let dir = std::env::temp_dir().join("drftest-quarantine-tsv-test");
+        let path = dir.join("q.tsv");
+        let _ = fs::remove_dir_all(&dir);
+        let mut q = Quarantine::load(&path).unwrap();
+        q.record("k", "line one\nline\ttwo").unwrap();
+        q.record("k", "line one\nline\ttwo").unwrap();
+        assert!(q.is_quarantined("k"));
+        // The flattened fingerprint still matches itself on reload.
+        assert!(Quarantine::load(&path).unwrap().is_quarantined("k"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_sidecar_path_is_derived_from_the_checkpoint() {
+        let p = Quarantine::sidecar_path(Path::new("/tmp/x/table2.tsv"));
+        assert_eq!(p, PathBuf::from("/tmp/x/table2.tsv.quarantine"));
     }
 }

@@ -12,7 +12,9 @@ use regulator::{Defect, RegulatorDesign, VrefTap};
 use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
-use crate::campaign::{publish_coverage, Checkpoint, Coverage, PointFailure, PointTimer};
+use crate::campaign::{
+    publish_coverage, Checkpoint, Coverage, PointFailure, PointTimer, Quarantine,
+};
 use crate::case_study::CaseStudy;
 use crate::executor::{parallel_map_isolated, WorkOutcome};
 
@@ -315,8 +317,23 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             .collect(),
         None => HashMap::new(),
     };
+    // The quarantine sidecar remembers cells that died identically on
+    // earlier resume attempts; those are turned away up front instead
+    // of re-dying on every resume forever.
+    let mut quarantine = match &checkpoint {
+        Some(cp) => Some(Quarantine::load(Quarantine::sidecar_path(cp.path())).map_err(io_err)?),
+        None => None,
+    };
+    // Snapshot at load time: a death recorded *during this run* must
+    // not retroactively rewrite this run's own failure record — the
+    // quarantine only gates future runs.
+    let quarantined_at_start: std::collections::HashSet<String> = quarantine
+        .as_ref()
+        .map(|q| q.quarantined_keys().iter().map(|s| s.to_string()).collect())
+        .unwrap_or_default();
     let skipped = |defect: Defect, cs: &CaseStudy| {
         resumed.contains_key(&cell_key(defect, cs.number))
+            || quarantined_at_start.contains(&cell_key(defect, cs.number))
             || options
                 .inject_failures
                 .contains(&(defect.number(), cs.number))
@@ -414,7 +431,9 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
     let mut cell_items: Vec<(Defect, usize)> = Vec::new();
     for &d in &options.defects {
         for (ci, cs) in options.case_studies.iter().enumerate() {
-            if !resumed.contains_key(&cell_key(d, cs.number)) {
+            if !resumed.contains_key(&cell_key(d, cs.number))
+                && !quarantined_at_start.contains(&cell_key(d, cs.number))
+            {
                 cell_items.push((d, ci));
             }
         }
@@ -450,8 +469,18 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
                 // it is deliberately left out of the checkpoint so a
                 // resumed run recomputes it, and the surviving cells'
                 // checkpoint stream is exactly what a run without the
-                // panic would have written around it.
-                WorkOutcome::Panicked { .. } => {
+                // panic would have written around it. The death *is*
+                // logged in the quarantine sidecar: a cell that dies
+                // the same way on consecutive resumes loses its retry
+                // rights.
+                WorkOutcome::Panicked { message } => {
+                    if let Some(q) = &mut quarantine {
+                        if ckpt_err.is_none() {
+                            if let Err(e) = q.record(&key, message) {
+                                ckpt_err = Some(e);
+                            }
+                        }
+                    }
                     running.merge(Coverage {
                         attempted: grid_size,
                         completed: 0,
@@ -481,6 +510,36 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
             if let Some(cell) = resumed.get(&cell_key(defect, cs.number)) {
                 coverage.merge(resumed_coverage(cell, grid_size));
                 cells.push(*cell);
+                continue;
+            }
+            if let Some(err) = quarantined_at_start
+                .contains(&cell_key(defect, cs.number))
+                .then(|| {
+                    quarantine
+                        .as_ref()
+                        .and_then(|q| q.reject(&cell_key(defect, cs.number)))
+                })
+                .flatten()
+            {
+                // Turned away before any solve: the whole cell's grid
+                // is charged as lost, exactly like a pre-flight ERC
+                // rejection (attempts: 0).
+                coverage.merge(Coverage {
+                    attempted: grid_size,
+                    completed: 0,
+                    elapsed_s: 0.0,
+                });
+                failures.push(PointFailure::new(
+                    Some(defect),
+                    Some(cs.number),
+                    None,
+                    err,
+                    0,
+                ));
+                cells.push(Table2Cell {
+                    failed_points: grid_size,
+                    ..Table2Cell::empty()
+                });
                 continue;
             }
             let outcome = done_iter
@@ -892,6 +951,52 @@ mod tests {
             }
         );
         assert_eq!(first.coverage.attempted, healed.coverage.attempted);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeat_identical_panics_quarantine_the_cell() {
+        let dir = std::env::temp_dir().join("drftest-table2-quarantine");
+        let path = dir.join("table2.tsv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(19)];
+        opts.case_studies = vec![CaseStudy::new(1, StoredBit::One)];
+        opts.inject_panics = vec![(19, 1)];
+        opts.checkpoint = Some(path.clone());
+
+        // Runs 1 and 2: the cell dies identically both times (run 2
+        // resumed df16/cs1 from the checkpoint and re-tried df19/cs1).
+        let first = table2(&opts).expect("run 1 survives the panic");
+        assert!(first.failures[0].panicked);
+        let second = table2(&opts).expect("run 2 survives the panic");
+        assert!(second.failures[0].panicked);
+
+        // Run 3: two consecutive identical deaths put the cell in
+        // quarantine — it is turned away without re-evaluating (the
+        // panic hook would still fire if it ran).
+        let third = table2(&opts).expect("run 3 skips the quarantined cell");
+        assert_eq!(third.failures.len(), 1);
+        let f = &third.failures[0];
+        assert!(!f.panicked, "quarantined cell must not re-run: {f}");
+        assert_eq!(f.attempts, 0);
+        let s = f.error.to_string();
+        assert!(s.contains("QUARANTINED") && s.contains("df19/cs1"), "{s}");
+        assert_eq!(cell_at(&third, 19, 1).failed_points, 1);
+        assert!(!third.coverage.is_complete());
+
+        // The sidecar documents the deaths and is the lever to undo
+        // the quarantine: delete it (after fixing the bug) and the
+        // cell computes again.
+        let sidecar = crate::campaign::Quarantine::sidecar_path(&path);
+        assert!(
+            sidecar.exists(),
+            "sidecar must be written next to the checkpoint"
+        );
+        std::fs::remove_file(&sidecar).unwrap();
+        opts.inject_panics = Vec::new();
+        let healed = table2(&opts).expect("healed run recomputes the cell");
+        assert!(healed.coverage.is_complete(), "{}", healed.coverage);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

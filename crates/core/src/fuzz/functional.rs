@@ -1,0 +1,587 @@
+//! Randomized functional tester for the march engine's detection
+//! claims.
+//!
+//! Ports the tester idiom of hardware fault-injection frameworks —
+//! poke random operations at a device with a known injected fault, then
+//! expect the checker to flag (or provably not flag) it — onto
+//! [`march::SimpleMemory`]. Each property below is a detection claim
+//! the suite's coverage tables rely on, checked under arbitrary
+//! preambles (random writes/reads/deep-sleep/wake-up before the test),
+//! random geometries, and all data backgrounds.
+//!
+//! The claims are deliberately the *state-independent* subset: e.g.
+//! March m-LZ's transition-fault coverage depends on the memory's
+//! initial state, so it is not asserted here; its retention and
+//! wake-up coverage is state-independent and is.
+
+use drill::{check, Config, Report, Rng};
+use march::{
+    engine, library, CellRef, DataBackground, Fault, FaultKind, MarchTest, SimpleMemory, TestTarget,
+};
+
+use super::FuzzSummary;
+
+/// Deep-sleep dwell used by generated tests and preambles.
+const DWELL: f64 = 1.0e-3;
+
+/// One operation of a random preamble.
+#[derive(Debug, Clone)]
+pub enum MemOp {
+    /// Write `value` (masked to the word width) at `addr`.
+    Write {
+        /// Word address.
+        addr: usize,
+        /// Raw value; the memory masks it.
+        value: u64,
+    },
+    /// Read `addr`, discarding the data.
+    Read {
+        /// Word address.
+        addr: usize,
+    },
+    /// Enter deep-sleep and dwell.
+    DeepSleep,
+    /// Return to active mode.
+    WakeUp,
+}
+
+/// A generated test scenario: geometry, background, an arbitrary
+/// operation preamble, and at most one injected fault.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Addressable words.
+    pub words: usize,
+    /// Word width in bits.
+    pub bits: usize,
+    /// Data background the march runs under.
+    pub background: DataBackground,
+    /// Operations applied before the march test starts.
+    pub preamble: Vec<MemOp>,
+    /// The injected fault (`None` for clean-memory claims).
+    pub fault: Option<Fault>,
+}
+
+impl Scenario {
+    /// Builds the memory, injects the fault, and replays the preamble.
+    pub fn memory(&self) -> SimpleMemory {
+        let mut m = SimpleMemory::new(self.words, self.bits);
+        if let Some(fault) = &self.fault {
+            m.inject(fault.clone());
+        }
+        for op in &self.preamble {
+            match *op {
+                MemOp::Write { addr, value } => m.write(addr, value),
+                MemOp::Read { addr } => {
+                    m.read(addr);
+                }
+                MemOp::DeepSleep => m.deep_sleep(DWELL),
+                MemOp::WakeUp => m.wake_up(),
+            }
+        }
+        m
+    }
+
+    /// Applies `test` to a freshly-built memory under this scenario's
+    /// background.
+    pub fn detected_by(&self, test: &MarchTest) -> bool {
+        engine::run_with_background(test, &mut self.memory(), self.background).detected()
+    }
+}
+
+fn gen_background(rng: &mut Rng) -> DataBackground {
+    *rng.choose(&DataBackground::ALL)
+}
+
+fn gen_preamble(rng: &mut Rng, words: usize, power_ops: bool) -> Vec<MemOp> {
+    let len = rng.int_in(0, 24);
+    (0..len)
+        .map(|_| match rng.below(if power_ops { 6 } else { 4 }) {
+            0 | 1 => MemOp::Write {
+                addr: rng.int_in(0, words - 1),
+                value: rng.next_u64(),
+            },
+            2 | 3 => MemOp::Read {
+                addr: rng.int_in(0, words - 1),
+            },
+            4 => MemOp::DeepSleep,
+            _ => MemOp::WakeUp,
+        })
+        .collect()
+}
+
+fn gen_cell(rng: &mut Rng, words: usize, bits: usize) -> CellRef {
+    CellRef {
+        addr: rng.int_in(0, words - 1),
+        bit: rng.int_in(0, bits - 1),
+    }
+}
+
+fn gen_scenario(rng: &mut Rng, min_words: usize, min_bits: usize, power_ops: bool) -> Scenario {
+    let words = rng.int_in(min_words, 24);
+    let bits = rng.int_in(min_bits, 12);
+    Scenario {
+        words,
+        bits,
+        background: gen_background(rng),
+        preamble: gen_preamble(rng, words, power_ops),
+        fault: None,
+    }
+}
+
+/// The smallest word count keeping every address the fault references
+/// in range.
+fn min_words_for(fault: &Fault) -> usize {
+    let mut min = fault.victim.addr + 1;
+    if let Some(aggr) = fault.kind.aggressor() {
+        min = min.max(aggr.addr + 1);
+    }
+    if let FaultKind::AddressAlias { aliases_to } = fault.kind {
+        min = min.max(aliases_to + 1);
+    }
+    min
+}
+
+/// Shrink candidates: shorter preambles first (they minimize fastest),
+/// then smaller geometries with preamble addresses clamped back into
+/// range.
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if !s.preamble.is_empty() {
+        out.push(Scenario {
+            preamble: s.preamble[..s.preamble.len() / 2].to_vec(),
+            ..s.clone()
+        });
+        out.push(Scenario {
+            preamble: s.preamble[..s.preamble.len() - 1].to_vec(),
+            ..s.clone()
+        });
+    }
+    let min_words = s.fault.as_ref().map_or(1, min_words_for);
+    for words in [s.words / 2, s.words - 1] {
+        if words >= min_words.max(1) && words < s.words {
+            let preamble = s
+                .preamble
+                .iter()
+                .map(|op| match *op {
+                    MemOp::Write { addr, value } => MemOp::Write {
+                        addr: addr.min(words - 1),
+                        value,
+                    },
+                    MemOp::Read { addr } => MemOp::Read {
+                        addr: addr.min(words - 1),
+                    },
+                    ref other => other.clone(),
+                })
+                .collect();
+            out.push(Scenario {
+                words,
+                preamble,
+                ..s.clone()
+            });
+        }
+    }
+    out
+}
+
+fn detected_claim(s: &Scenario, tests: &[MarchTest]) -> Result<(), String> {
+    for test in tests {
+        if !s.detected_by(test) {
+            return Err(format!(
+                "{} missed {}",
+                test.name(),
+                s.fault.as_ref().expect("claim scenarios carry a fault")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn missed_claim(s: &Scenario, tests: &[MarchTest]) -> Result<(), String> {
+    for test in tests {
+        if s.detected_by(test) {
+            return Err(format!(
+                "{} unexpectedly flagged {}",
+                test.name(),
+                s.fault.as_ref().expect("claim scenarios carry a fault")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether checkerboard or pair-stripes backgrounds can place opposite
+/// values on bits `i` and `j` of one word (van de Goor's separability
+/// condition for words up to 4-bit pair distance).
+fn separable(i: usize, j: usize) -> bool {
+    (i % 2 != j % 2) || ((i / 2) % 2 != (j / 2) % 2)
+}
+
+fn config(label: &str, seed: u64, cases: u64) -> Config {
+    Config::new(label, seed).cases(cases)
+}
+
+/// Runs every functional detection claim for `cases` cases each,
+/// deriving all case inputs from `seed`.
+///
+/// The claims:
+///
+/// 1. the behavioural memory matches a plain shadow array on arbitrary
+///    clean op sequences (the poke/expect tester),
+/// 2. no library test flags a clean memory,
+/// 3. stuck-at faults are caught by every library test,
+/// 4. retention loss is caught by March m-LZ,
+/// 5. wake-up write faults are caught by March m-LZ and March LZ,
+/// 6. retention loss escapes the non-retention tests (MATS+/C−/SS),
+/// 7. wake-up write faults escape the non-retention tests,
+/// 8. transition faults are caught by March C− and March SS,
+/// 9. inter-word coupling (CFin/CFid) is caught by March C− and SS,
+/// 10. address-decoder aliasing is caught by MATS+, C−, and SS,
+/// 11. an intra-word state-coupling fault on a *separable* bit pair is
+///     caught by March C− under at least one standard background,
+/// 12. the same fault on a non-separable pair (with `when == forces`)
+///     escapes *all* standard backgrounds — the data-background
+///     escape the word-oriented coverage analysis predicts.
+pub fn fuzz_functional(cases: u64, seed: u64) -> FuzzSummary {
+    let _span = obs::span("fuzz_functional");
+    let classic = [
+        library::mats_plus(),
+        library::march_cminus(),
+        library::march_ss(),
+    ];
+    let mut reports: Vec<Report> = Vec::new();
+
+    // 1. Clean memory behaves like a plain array (poke/expect).
+    reports.push(check(
+        &config("clean memory matches shadow array", seed, cases),
+        |rng| gen_scenario(rng, 1, 1, true),
+        shrink_scenario,
+        |s| {
+            let mut m = SimpleMemory::new(s.words, s.bits);
+            let mask = m.ones();
+            let mut shadow = vec![0u64; s.words];
+            for op in &s.preamble {
+                match *op {
+                    MemOp::Write { addr, value } => {
+                        m.write(addr, value);
+                        shadow[addr] = value & mask;
+                    }
+                    MemOp::Read { addr } => {
+                        let got = m.read(addr);
+                        if got != shadow[addr] {
+                            return Err(format!(
+                                "read [{addr}] = {got:#x}, shadow {:#x}",
+                                shadow[addr]
+                            ));
+                        }
+                    }
+                    MemOp::DeepSleep => m.deep_sleep(DWELL),
+                    MemOp::WakeUp => m.wake_up(),
+                }
+            }
+            Ok(())
+        },
+    ));
+
+    // 2. Clean memory passes every library test.
+    reports.push(check(
+        &config("clean memory passes every test", seed, cases),
+        |rng| gen_scenario(rng, 1, 1, true),
+        shrink_scenario,
+        |s| {
+            for test in library::all(DWELL) {
+                if s.detected_by(&test) {
+                    return Err(format!("{} false-flagged a clean memory", test.name()));
+                }
+            }
+            Ok(())
+        },
+    ));
+
+    // 3. Stuck-at faults: caught by everything.
+    reports.push(check(
+        &config("stuck-at caught by every test", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, true);
+            s.fault = Some(Fault::stuck_at(gen_cell(rng, s.words, s.bits), rng.coin()));
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &library::all(DWELL)),
+    ));
+
+    // 4. Retention loss: caught by March m-LZ (both weak polarities,
+    // any background — the two DSM passes hold each cell at both
+    // values).
+    reports.push(check(
+        &config("retention loss caught by March m-LZ", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, true);
+            s.fault = Some(Fault::retention_loss(
+                gen_cell(rng, s.words, s.bits),
+                rng.coin(),
+            ));
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &[library::march_mlz(DWELL)]),
+    ));
+
+    // 5. Wake-up write faults: caught by March m-LZ and March LZ
+    // (ME4's post-WUP `w0, r0`).
+    reports.push(check(
+        &config("wake-up write fault caught by m-LZ and LZ", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, true);
+            s.fault = Some(Fault::wake_up_write(gen_cell(rng, s.words, s.bits)));
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &[library::march_mlz(DWELL), library::march_lz(DWELL)]),
+    ));
+
+    // 6. Retention loss escapes the non-retention tests — even when the
+    // preamble slept (their opening write sweep erases the evidence).
+    reports.push(check(
+        &config("retention loss escapes MATS+/C-/SS", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, true);
+            s.fault = Some(Fault::retention_loss(
+                gen_cell(rng, s.words, s.bits),
+                rng.coin(),
+            ));
+            s
+        },
+        shrink_scenario,
+        |s| missed_claim(s, &classic),
+    ));
+
+    // 7. Wake-up write faults escape the non-retention tests. The
+    // preamble must not wake up (an armed fault would eat the test's
+    // own first write), so: data ops only.
+    reports.push(check(
+        &config("wake-up write fault escapes MATS+/C-/SS", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, false);
+            s.fault = Some(Fault::wake_up_write(gen_cell(rng, s.words, s.bits)));
+            s
+        },
+        shrink_scenario,
+        |s| missed_claim(s, &classic),
+    ));
+
+    // 8. Transition faults: caught by March C− and March SS from any
+    // initial state (unlike m-LZ, whose TF coverage is
+    // state-dependent).
+    reports.push(check(
+        &config("transition fault caught by C- and SS", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 1, true);
+            s.fault = Some(Fault::transition(
+                gen_cell(rng, s.words, s.bits),
+                rng.coin(),
+            ));
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &[library::march_cminus(), library::march_ss()]),
+    ));
+
+    // 9. Inter-word coupling: caught by March C− and SS under every
+    // background (backgrounds only complement the per-bit sense, which
+    // maps each CFin/CFid onto another member of the detected class).
+    reports.push(check(
+        &config("inter-word CFin/CFid caught by C- and SS", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 2, 1, true);
+            let aggr = gen_cell(rng, s.words, s.bits);
+            let victim = loop {
+                let v = gen_cell(rng, s.words, s.bits);
+                if v.addr != aggr.addr {
+                    break v;
+                }
+            };
+            s.fault = Some(if rng.coin() {
+                Fault::coupling_inversion(aggr, victim)
+            } else {
+                Fault::coupling_idempotent(aggr, victim, rng.coin(), rng.coin())
+            });
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &[library::march_cminus(), library::march_ss()]),
+    ));
+
+    // 10. Address-decoder aliasing: caught by MATS+, C−, and SS.
+    reports.push(check(
+        &config("address alias caught by MATS+/C-/SS", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 2, 1, true);
+            let addr = rng.int_in(0, s.words - 1);
+            let aliases_to = loop {
+                let a = rng.int_in(0, s.words - 1);
+                if a != addr {
+                    break a;
+                }
+            };
+            s.fault = Some(Fault::address_alias(addr, aliases_to));
+            s
+        },
+        shrink_scenario,
+        |s| detected_claim(s, &classic),
+    ));
+
+    // 11. Intra-word CFst on a separable bit pair: some standard
+    // background hands March C− the aggressor/victim value combination
+    // that sensitizes it.
+    reports.push(check(
+        &config("separable intra-word CFst caught by C-", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 2, true);
+            let addr = rng.int_in(0, s.words - 1);
+            let i = rng.int_in(0, s.bits - 1);
+            let j = loop {
+                let j = rng.int_in(0, s.bits - 1);
+                if j != i && separable(i, j) {
+                    break j;
+                }
+            };
+            s.fault = Some(Fault::coupling_state(
+                CellRef { addr, bit: i },
+                CellRef { addr, bit: j },
+                rng.coin(),
+                rng.coin(),
+            ));
+            s
+        },
+        shrink_scenario,
+        |s| {
+            let test = library::march_cminus();
+            let caught = DataBackground::ALL
+                .iter()
+                .any(|&bg| engine::run_with_background(&test, &mut s.memory(), bg).detected());
+            if caught {
+                Ok(())
+            } else {
+                Err(format!(
+                    "no standard background sensitized {}",
+                    s.fault.as_ref().expect("fault present")
+                ))
+            }
+        },
+    ));
+
+    // 12. The predicted escape: a non-separable pair with
+    // `when == forces` needs opposite values on two bits no standard
+    // background ever separates — all four must miss it.
+    reports.push(check(
+        &config("non-separable intra-word CFst escapes", seed, cases),
+        |rng| {
+            let mut s = gen_scenario(rng, 1, 5, true);
+            let addr = rng.int_in(0, s.words - 1);
+            // Non-separable pairs satisfy i ≡ j (mod 4), so a partner
+            // only exists for i ≤ bits − 5; drawing i from the full bit
+            // range would loop forever on narrow words.
+            let i = rng.int_in(0, s.bits - 5);
+            let j = i + 4 * rng.int_in(1, (s.bits - 1 - i) / 4);
+            let when = rng.coin();
+            s.fault = Some(Fault::coupling_state(
+                CellRef { addr, bit: i },
+                CellRef { addr, bit: j },
+                when,
+                when,
+            ));
+            s
+        },
+        shrink_scenario,
+        |s| {
+            let test = library::march_cminus();
+            for &bg in &DataBackground::ALL {
+                if engine::run_with_background(&test, &mut s.memory(), bg).detected() {
+                    return Err(format!(
+                        "{bg} background unexpectedly sensitized {}",
+                        s.fault.as_ref().expect("fault present")
+                    ));
+                }
+            }
+            Ok(())
+        },
+    ));
+
+    let summary = FuzzSummary { reports };
+    obs::counter_add("fuzz.functional.cases", summary.total_cases());
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_smoke_run_is_clean() {
+        let summary = fuzz_functional(8, super::super::DEFAULT_SEED);
+        assert!(summary.ok(), "{summary}");
+        assert_eq!(summary.reports.len(), 12);
+        assert_eq!(summary.total_cases(), 12 * 8);
+    }
+
+    #[test]
+    fn a_seeded_engine_bug_is_caught_with_a_replay_seed() {
+        // Break a claim on purpose: inject a *second* fault the claim
+        // does not know about by running the missed-claim against a
+        // retention test. Cheapest equivalent: assert the WUF-escape
+        // claim against m-LZ, which does detect it.
+        let report = check(
+            &Config::new("wuf escapes m-LZ (deliberately false)", 7).cases(64),
+            |rng| {
+                let mut s = gen_scenario(rng, 1, 1, false);
+                s.fault = Some(Fault::wake_up_write(gen_cell(rng, s.words, s.bits)));
+                s
+            },
+            shrink_scenario,
+            |s| missed_claim(s, &[library::march_mlz(DWELL)]),
+        );
+        let failure = report.failure.expect("m-LZ detects WUF, so this must fail");
+        assert!(failure.message.contains("unexpectedly flagged"));
+        // The replay seed regenerates the same counterexample.
+        let replay = check(
+            &Config::replay("replay", failure.case_seed),
+            |rng| {
+                let mut s = gen_scenario(rng, 1, 1, false);
+                s.fault = Some(Fault::wake_up_write(gen_cell(rng, s.words, s.bits)));
+                s
+            },
+            shrink_scenario,
+            |s| missed_claim(s, &[library::march_mlz(DWELL)]),
+        );
+        assert_eq!(
+            replay.failure.expect("replay fails too").input,
+            failure.input
+        );
+    }
+
+    #[test]
+    fn separability_matches_the_background_family() {
+        // Bits 0 and 4 agree in checkerboard and pair-stripes phase;
+        // 0 and 1 differ in checkerboard.
+        assert!(!separable(0, 4));
+        assert!(separable(0, 1));
+        assert!(separable(1, 2));
+        assert!(separable(2, 4));
+    }
+
+    #[test]
+    fn shrink_keeps_fault_addresses_in_range() {
+        let s = Scenario {
+            words: 10,
+            bits: 8,
+            background: DataBackground::Solid,
+            preamble: vec![MemOp::Write { addr: 9, value: 1 }],
+            fault: Some(Fault::address_alias(7, 3)),
+        };
+        for candidate in shrink_scenario(&s) {
+            assert!(candidate.words >= 8, "alias target must stay in range");
+            // Rebuilding must not panic (addresses all in range).
+            let _ = candidate.memory();
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod ds_time;
 pub mod executor;
 pub mod experiments;
 pub mod fault_model;
+pub mod fuzz;
 pub mod lint;
 pub mod montecarlo_drv;
 pub mod optimize;
@@ -64,7 +65,7 @@ pub mod test_flow;
 
 pub use campaign::{
     completeness_footer, preflight_netlist, publish_coverage, record_point, Checkpoint, Coverage,
-    PointFailure, PointTimer,
+    PointFailure, PointTimer, Quarantine,
 };
 pub use case_study::{CaseStudy, WORST_CASE_DRV};
 pub use defect_analysis::{table2, tap_for_vdd, Table2, Table2Options};
@@ -75,6 +76,7 @@ pub use executor::{
     available_jobs, effective_jobs, parallel_map_isolated, parallel_map_ordered, WorkOutcome,
 };
 pub use fault_model::DrfDs;
+pub use fuzz::{fuzz_functional, fuzz_netlists, random_netlist, FuzzSummary};
 pub use lint::{lint_all, rule_catalogue, LintRun, LintTarget};
 pub use montecarlo_drv::{monte_carlo_drv, MonteCarloOptions, MonteCarloReport};
 pub use optimize::{

@@ -1,0 +1,289 @@
+//! Deterministic boundary companions to the randomized functional
+//! fuzzer (`drftest::fuzz`): the first and last rows of an array, the
+//! degenerate single-word and single-bit geometries, and the
+//! solid/checkerboard background claims, each pinned as an explicit
+//! test so a regression names the exact broken boundary instead of a
+//! fuzzer seed.
+
+use march::{engine, library, CellRef, DataBackground, Fault, MarchTest, SimpleMemory};
+
+const DWELL: f64 = 1.0e-3;
+
+fn all_tests() -> Vec<MarchTest> {
+    library::all(DWELL)
+}
+
+fn classic_tests() -> Vec<MarchTest> {
+    vec![
+        library::mats_plus(),
+        library::march_cminus(),
+        library::march_ss(),
+    ]
+}
+
+/// Runs `test` against a fresh `words` × `bits` array carrying `fault`.
+fn detects(test: &MarchTest, words: usize, bits: usize, fault: Fault) -> bool {
+    let mut memory = SimpleMemory::new(words, bits);
+    memory.inject(fault);
+    engine::run(test, &mut memory).detected()
+}
+
+#[test]
+fn clean_boundary_geometries_pass_every_test() {
+    for (words, bits) in [(1, 1), (1, 8), (2, 1), (16, 8)] {
+        for test in &all_tests() {
+            let mut memory = SimpleMemory::new(words, bits);
+            assert!(
+                !engine::run(test, &mut memory).detected(),
+                "{} false-alarmed on a clean {words}x{bits} array",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stuck_at_in_first_and_last_word_is_caught_by_every_test() {
+    let (words, bits) = (16, 8);
+    for cell in [
+        CellRef { addr: 0, bit: 0 },
+        CellRef {
+            addr: 0,
+            bit: bits - 1,
+        },
+        CellRef {
+            addr: words - 1,
+            bit: 0,
+        },
+        CellRef {
+            addr: words - 1,
+            bit: bits - 1,
+        },
+    ] {
+        for value in [false, true] {
+            for test in &all_tests() {
+                assert!(
+                    detects(test, words, bits, Fault::stuck_at(cell, value)),
+                    "{} missed SA{} at addr {} bit {}",
+                    test.name(),
+                    value as u8,
+                    cell.addr,
+                    cell.bit
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_word_array_still_detects_stuck_ats() {
+    // words = 1 degenerates every address sweep to a single iteration;
+    // detection must not depend on a second row existing.
+    for bits in [1, 8] {
+        for test in &all_tests() {
+            assert!(
+                detects(
+                    test,
+                    1,
+                    bits,
+                    Fault::stuck_at(CellRef { addr: 0, bit: 0 }, true)
+                ),
+                "{} missed SA1 in a 1x{bits} array",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn operation_counts_hold_at_the_single_word_boundary() {
+    // Complexity claims (5N+4, 5N, 10N, 22N) must hold at N = 1.
+    let mut memory = SimpleMemory::new(1, 8);
+    assert_eq!(
+        engine::run(&library::march_mlz(DWELL), &mut memory).operations(),
+        5 + 4
+    );
+    assert_eq!(
+        engine::run(&library::mats_plus(), &mut memory).operations(),
+        5
+    );
+    assert_eq!(
+        engine::run(&library::march_cminus(), &mut memory).operations(),
+        10
+    );
+    assert_eq!(
+        engine::run(&library::march_ss(), &mut memory).operations(),
+        22
+    );
+}
+
+#[test]
+fn retention_fault_on_boundary_rows_needs_the_retention_test() {
+    let (words, bits) = (8, 4);
+    for addr in [0, words - 1] {
+        for weak in [false, true] {
+            let cell = CellRef { addr, bit: 0 };
+            assert!(
+                detects(
+                    &library::march_mlz(DWELL),
+                    words,
+                    bits,
+                    Fault::retention_loss(cell, weak)
+                ),
+                "m-LZ missed retention loss (weak={weak}) at addr {addr}"
+            );
+            for test in &classic_tests() {
+                assert!(
+                    !detects(test, words, bits, Fault::retention_loss(cell, weak)),
+                    "{} has no deep-sleep phase yet detected retention loss at addr {addr}",
+                    test.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wake_up_fault_on_boundary_rows_is_caught_by_the_low_power_tests() {
+    let (words, bits) = (8, 4);
+    for addr in [0, words - 1] {
+        let fault = || Fault::wake_up_write(CellRef { addr, bit: 0 });
+        for test in [library::march_mlz(DWELL), library::march_lz(DWELL)] {
+            assert!(
+                detects(&test, words, bits, fault()),
+                "{} missed a wake-up write fault at addr {addr}",
+                test.name()
+            );
+        }
+        for test in &classic_tests() {
+            assert!(
+                !detects(test, words, bits, fault()),
+                "{} never enters deep sleep yet detected a WUF at addr {addr}",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transition_fault_at_boundaries_is_caught_by_cminus_and_ss() {
+    let (words, bits) = (8, 4);
+    for addr in [0, words - 1] {
+        for rising in [false, true] {
+            let cell = CellRef {
+                addr,
+                bit: bits - 1,
+            };
+            for test in [library::march_cminus(), library::march_ss()] {
+                assert!(
+                    detects(&test, words, bits, Fault::transition(cell, rising)),
+                    "{} missed a {} transition fault at addr {addr}",
+                    test.name(),
+                    if rising { "rising" } else { "falling" }
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn address_alias_between_first_and_last_word_is_caught() {
+    let (words, bits) = (8, 4);
+    for (addr, aliases_to) in [(0, words - 1), (words - 1, 0)] {
+        for test in &classic_tests() {
+            assert!(
+                detects(test, words, bits, Fault::address_alias(addr, aliases_to)),
+                "{} missed aliasing {addr} -> {aliases_to}",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn inter_word_coupling_between_first_and_last_word_is_caught() {
+    let (words, bits) = (8, 4);
+    let first = CellRef { addr: 0, bit: 0 };
+    let last = CellRef {
+        addr: words - 1,
+        bit: 0,
+    };
+    // Both sweep directions matter: aggressor below and above victim.
+    for (aggr, victim) in [(first, last), (last, first)] {
+        for test in [library::march_cminus(), library::march_ss()] {
+            assert!(
+                detects(&test, words, bits, Fault::coupling_inversion(aggr, victim)),
+                "{} missed CFin {} -> {}",
+                test.name(),
+                aggr.addr,
+                victim.addr
+            );
+            for (rising, forces) in [(false, false), (false, true), (true, false), (true, true)] {
+                assert!(
+                    detects(
+                        &test,
+                        words,
+                        bits,
+                        Fault::coupling_idempotent(aggr, victim, rising, forces)
+                    ),
+                    "{} missed CFid({rising},{forces}) {} -> {}",
+                    test.name(),
+                    aggr.addr,
+                    victim.addr
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn separable_intra_word_pair_is_sensitized_by_some_standard_background() {
+    // Bits 0 and 1 differ in checkerboard parity: for every state
+    // coupling polarity, at least one of the four standard backgrounds
+    // hands March C− the aggressor/victim combination that sensitizes
+    // the fault.
+    let (words, bits) = (4, 8);
+    let test = library::march_cminus();
+    for when in [false, true] {
+        for forces in [false, true] {
+            let caught = DataBackground::ALL.iter().any(|&bg| {
+                let mut memory = SimpleMemory::new(words, bits);
+                memory.inject(Fault::coupling_state(
+                    CellRef { addr: 1, bit: 0 },
+                    CellRef { addr: 1, bit: 1 },
+                    when,
+                    forces,
+                ));
+                engine::run_with_background(&test, &mut memory, bg).detected()
+            });
+            assert!(
+                caught,
+                "no standard background sensitized CFst({when},{forces}) on bits (0,1)"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_separable_intra_word_pair_escapes_every_standard_background() {
+    // Bits 0 and 4 agree in every standard background (i ≡ j mod 4),
+    // so a state coupling that needs opposite values on the pair is
+    // never sensitized — the documented word-oriented escape.
+    let (words, bits) = (4, 8);
+    let test = library::march_cminus();
+    for when in [false, true] {
+        for &bg in &DataBackground::ALL {
+            let mut memory = SimpleMemory::new(words, bits);
+            memory.inject(Fault::coupling_state(
+                CellRef { addr: 2, bit: 0 },
+                CellRef { addr: 2, bit: 4 },
+                when,
+                when,
+            ));
+            assert!(
+                !engine::run_with_background(&test, &mut memory, bg).detected(),
+                "{bg} background unexpectedly sensitized the non-separable pair (0,4)"
+            );
+        }
+    }
+}

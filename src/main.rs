@@ -6,9 +6,18 @@
 //!               [--trace <file.jsonl>] [--metrics <file.json>] [--progress]
 //! lp-sram-suite summary <manifest.json> [--top <k>]
 //! lp-sram-suite lint [--deny-warnings] [--json] [--rules]
+//! lp-sram-suite fuzz-functional [--cases <n>] [--fuzz-seed <u64>]
+//! lp-sram-suite fuzz-netlist   [--cases <n>] [--fuzz-seed <u64>]
 //!   artifacts: fig4, fig5, table1, table2, table3, march, power,
 //!              power-defects, ds-time, monte-carlo, all
 //! ```
+//!
+//! The `fuzz-*` subcommands drive the adversarial harnesses in
+//! [`drftest::fuzz`]. Runs are deterministic per seed; a failing
+//! property prints the per-case seed and the exact replay command
+//! (`--fuzz-seed <case_seed> --cases 1`). The seed and case count are
+//! echoed into the `--metrics` manifest so CI failures replay from the
+//! artifact alone.
 //!
 //! `lint` runs the static electrical rule checks (`ERC001`… plus the
 //! regulator-family `ERC1xx` rules) over every netlist the campaigns
@@ -78,9 +87,24 @@ fn usage() -> ExitCode {
          lint [--deny-warnings] [--json] [--rules]:\n\
          \x20    static ERC over the suite's netlists (exit 1 on errors,\n\
          \x20    2 on warnings with --deny-warnings); --rules lists the\n\
-         \x20    rule catalogue"
+         \x20    rule catalogue\n\
+         fuzz-functional [--cases <n>] [--fuzz-seed <u64>]:\n\
+         \x20    randomized march-claim tester (n cases per property)\n\
+         fuzz-netlist [--cases <n>] [--fuzz-seed <u64>]:\n\
+         \x20    ERC-clean netlist fuzzer against the analog solver;\n\
+         \x20    failures print a one-command replay seed"
     );
     ExitCode::FAILURE
+}
+
+/// Default `--cases` per fuzz subcommand: ≥ 500 functional sequences
+/// (12 properties × 48) and 200 netlists, the fuzz-smoke floor.
+fn default_fuzz_cases(artifact: &str) -> u64 {
+    if artifact == "fuzz-netlist" {
+        200
+    } else {
+        48
+    }
 }
 
 fn run(
@@ -89,7 +113,9 @@ fn run(
     reduced: bool,
     jobs: usize,
     checkpoint: Option<&str>,
+    fuzz: (u64, Option<u64>),
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let (fuzz_seed, fuzz_cases) = fuzz;
     match artifact {
         "fig4" => {
             let mut opts = if paper {
@@ -141,6 +167,23 @@ fn run(
                 println!("{test}  (length {a}N+{b})");
             }
         }
+        "fuzz-functional" | "fuzz-netlist" => {
+            let cases = fuzz_cases.unwrap_or_else(|| default_fuzz_cases(artifact));
+            let summary = if artifact == "fuzz-netlist" {
+                drftest::fuzz_netlists(cases, fuzz_seed)
+            } else {
+                drftest::fuzz_functional(cases, fuzz_seed)
+            };
+            println!("{summary}");
+            if let Some(failure) = summary.first_failure() {
+                return Err(format!(
+                    "fuzzing found a counterexample; replay it with \
+                     `lp-sram-suite {artifact} --fuzz-seed {} --cases 1`\n{failure}",
+                    failure.case_seed
+                )
+                .into());
+            }
+        }
         "power-defects" => {
             println!("{}", power_defect_table(&PowerDefectOptions::default())?);
         }
@@ -171,7 +214,7 @@ fn run(
                 "monte-carlo",
             ] {
                 println!("==== {artifact} ====");
-                run(artifact, false, false, jobs, None)?;
+                run(artifact, false, false, jobs, None, fuzz)?;
                 println!();
             }
         }
@@ -230,9 +273,20 @@ fn config_echo(
     reduced: bool,
     jobs: usize,
     checkpoint: Option<&str>,
+    fuzz: (u64, Option<u64>),
 ) -> BTreeMap<String, String> {
     let mut config = BTreeMap::new();
     config.insert("artifact".to_string(), artifact.to_string());
+    if artifact.starts_with("fuzz-") {
+        let (seed, cases) = fuzz;
+        config.insert("fuzz.seed".to_string(), seed.to_string());
+        config.insert(
+            "fuzz.cases".to_string(),
+            cases
+                .unwrap_or_else(|| default_fuzz_cases(artifact))
+                .to_string(),
+        );
+    }
     let mode = if paper {
         "paper"
     } else if reduced {
@@ -292,6 +346,27 @@ fn main() -> ExitCode {
         None => 0,
     };
     let checkpoint = flag_value(&args, "--checkpoint");
+    let fuzz_seed = match flag_value(&args, "--fuzz-seed") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("error: --fuzz-seed expects a u64, got `{v}`");
+                return usage();
+            }
+        },
+        None => drftest::fuzz::DEFAULT_SEED,
+    };
+    let fuzz_cases = match flag_value(&args, "--cases") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("error: --cases expects a positive integer, got `{v}`");
+                return usage();
+            }
+        },
+        None => None,
+    };
+    let fuzz = (fuzz_seed, fuzz_cases);
     let trace = flag_value(&args, "--trace");
     let metrics = flag_value(&args, "--metrics");
     if args.iter().any(|a| a == "--progress") {
@@ -304,12 +379,12 @@ fn main() -> ExitCode {
         }
     }
     let started = Instant::now();
-    let outcome = run(artifact, paper, reduced, jobs, checkpoint);
+    let outcome = run(artifact, paper, reduced, jobs, checkpoint, fuzz);
     if let Some(path) = metrics {
         obs::flush();
         let manifest = obs::RunManifest::from_snapshot(
             artifact,
-            config_echo(artifact, paper, reduced, jobs, checkpoint),
+            config_echo(artifact, paper, reduced, jobs, checkpoint, fuzz),
             &obs::snapshot(),
             started.elapsed().as_secs_f64(),
         );
