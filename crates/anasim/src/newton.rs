@@ -84,18 +84,24 @@ impl RescueStage {
             RescueStage::GminRegularized => "anasim.rescue.gmin-regularized",
         }
     }
-}
 
-impl std::fmt::Display for RescueStage {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
+    /// The stage's human-readable label, as a static string so the
+    /// flight recorder can tag samples without allocating.
+    pub fn label(self) -> &'static str {
+        match self {
             RescueStage::Plain => "plain",
             RescueStage::GminStepping => "gmin-stepping",
             RescueStage::SourceStepping => "source-stepping",
             RescueStage::DampedWarmStart => "damped-warm-start",
             RescueStage::DampedGmin => "damped-gmin",
             RescueStage::GminRegularized => "gmin-regularized",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for RescueStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -300,6 +306,9 @@ fn newton_stage(
                 converged = false;
             }
         }
+        // Flight recorder: allocation-free when enabled, one relaxed
+        // atomic load when not. Never touches the iterate.
+        obs::flight_record(max_delta, alpha);
         if converged {
             // The accepted answer is the undamped proposal; swap it
             // into the iterate slot for the caller.
@@ -395,6 +404,7 @@ pub fn solve_with_scratch(
     let mut stages_tried = 1usize;
 
     // Stage 1: plain Newton from the provided start.
+    obs::flight_set_stage(RescueStage::Plain.label());
     scratch.load_start();
     match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
         StageOutcome::Converged(it) => {
@@ -414,6 +424,7 @@ pub fn solve_with_scratch(
     // rung's converged iterate, already sitting in the scratch.
     if opts.gmin_stepping {
         stages_tried += 1;
+        obs::flight_set_stage(RescueStage::GminStepping.label());
         scratch.x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         let mut gmin = 1.0e-2;
@@ -442,6 +453,7 @@ pub fn solve_with_scratch(
     // Stage 3: source stepping.
     if opts.source_stepping {
         stages_tried += 1;
+        obs::flight_set_stage(RescueStage::SourceStepping.label());
         scratch.x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         for step in 1..=20 {
@@ -465,6 +477,7 @@ pub fn solve_with_scratch(
     // the iterate inside the basin).
     if x0.is_some() && opts.gmin_stepping {
         stages_tried += 1;
+        obs::flight_set_stage(RescueStage::DampedWarmStart.label());
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
@@ -485,6 +498,7 @@ pub fn solve_with_scratch(
     // can provoke in the plain iteration.
     if opts.gmin_stepping {
         stages_tried += 1;
+        obs::flight_set_stage(RescueStage::DampedGmin.label());
         let damped = NewtonOptions {
             max_step: 0.01,
             max_iterations: 2000,
@@ -521,6 +535,7 @@ pub fn solve_with_scratch(
     // pathological off-state operating points a well-defined answer.
     if opts.gmin_stepping {
         stages_tried += 1;
+        obs::flight_set_stage(RescueStage::GminRegularized.label());
         let damped = NewtonOptions {
             max_step: 0.05,
             max_iterations: 1000,
@@ -557,6 +572,7 @@ pub fn solve_with_scratch(
     }
 
     // Report failure with diagnostics from a final plain attempt.
+    obs::flight_set_stage(RescueStage::Plain.label());
     scratch.load_start();
     match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
         StageOutcome::Singular(row) => Err(Error::SingularMatrix {
@@ -788,6 +804,7 @@ pub fn solve_with_retry_in(
     // keep an identical (syscall-free) hot path.
     let started = (!policy.budget.is_unlimited()).then(Instant::now);
     for attempt in 0..attempts {
+        obs::flight_set_attempt(attempt as u16);
         let attempt_opts = policy.options_for_attempt(opts, attempt);
         match solve_with_scratch(netlist, &attempt_opts, x0, mode, scratch) {
             Ok(mut sol) => {

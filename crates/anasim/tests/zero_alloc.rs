@@ -111,3 +111,58 @@ fn plain_newton_path_allocates_nothing_per_iteration() {
         "a scratch solve may only allocate its result, got {cold_allocs}"
     );
 }
+
+#[test]
+fn flight_recorder_adds_no_allocations_per_iteration() {
+    // The convergence flight recorder samples every Newton iteration
+    // when armed. Its ring is reserved once at `flight_begin`; from
+    // then on recording must be an index write — the same
+    // cold-vs-warm allocation-slope measurement as above, with the
+    // recorder live, must still come out flat.
+    let nl = threshold_inverter();
+    let opts = NewtonOptions::default();
+    let mut scratch = SolveScratch::new();
+
+    obs::flight_enable(obs::DEFAULT_CAPACITY);
+    let first = solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves");
+    let x0 = first.raw().to_vec();
+
+    // Arm this thread's ring outside the measured windows: the one
+    // reserve happens here, not per solve or per iteration.
+    obs::flight_begin();
+
+    let before_cold = allocations();
+    let cold = solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves cold");
+    let cold_allocs = allocations() - before_cold;
+
+    let before_warm = allocations();
+    let warm = solve_with_scratch(&nl, &opts, Some(&x0), AnalysisMode::Dc, &mut scratch)
+        .expect("inverter solves warm");
+    let warm_allocs = allocations() - before_warm;
+
+    let trajectory = obs::flight_take().expect("the armed ring captured the solves");
+    obs::flight_disable();
+
+    assert!(
+        trajectory.recorded >= (cold.iterations + warm.iterations) as u64,
+        "every iteration of both solves must be sampled \
+         (recorded {}, cold {} + warm {})",
+        trajectory.recorded,
+        cold.iterations,
+        warm.iterations
+    );
+    assert!(
+        warm.iterations < cold.iterations,
+        "warm ({}) must need fewer iterations than cold ({})",
+        warm.iterations,
+        cold.iterations
+    );
+    assert_eq!(
+        cold_allocs, warm_allocs,
+        "the flight recorder must not allocate per iteration \
+         (cold: {} iters / {} allocs, warm: {} iters / {} allocs)",
+        cold.iterations, cold_allocs, warm.iterations, warm_allocs
+    );
+}

@@ -2,8 +2,12 @@
 //! Table II campaign's throughput and solver cost at the quick setting.
 //!
 //! ```text
-//! cargo run --release -p bench --bin table2_baseline [out.json]
+//! cargo run --release -p bench --bin table2_baseline [out.json] [--allow-dirty]
 //! ```
+//!
+//! A dirty working tree is refused (exit 2) unless `--allow-dirty` is
+//! passed: a baseline stamped `-dirty` cannot be reproduced from any
+//! commit, so it must never be the committed reference.
 //!
 //! Four variants of the same campaign are timed back to back:
 //!
@@ -233,9 +237,32 @@ fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let allow_dirty = args.iter().any(|a| a == "--allow-dirty");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_table2.json".to_string());
+    // A baseline stamped `-dirty` can never be reproduced: nobody can
+    // check out the tree that produced it. Refuse by default so the
+    // committed file always carries a reachable commit id.
+    let version = obs::describe_version();
+    if version.contains("-dirty") {
+        if allow_dirty {
+            eprintln!(
+                "WARNING: working tree is dirty ({version}); this baseline \
+                 is NOT reproducible from any commit. Do not commit it."
+            );
+        } else {
+            eprintln!(
+                "error: refusing to write a baseline from a dirty tree ({version});\n\
+                 commit or stash your changes, or pass --allow-dirty for a\n\
+                 throwaway local measurement"
+            );
+            std::process::exit(2);
+        }
+    }
     let allocs_per_iteration = measure_allocs_per_iteration();
     eprintln!("allocs/iteration on the plain-Newton path: {allocs_per_iteration}");
     let variants = [

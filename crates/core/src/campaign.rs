@@ -250,8 +250,12 @@ pub struct PointTimer {
 }
 
 impl PointTimer {
-    /// Starts timing the point identified by `key`.
+    /// Starts timing the point identified by `key`, and opens a
+    /// flight-recorder bracket so the solver's per-iteration residual
+    /// trajectory can be retained if this point turns out interesting
+    /// (a no-op unless the recorder is enabled).
     pub fn start(key: impl Into<String>) -> Self {
+        obs::flight_begin();
         PointTimer {
             key: key.into(),
             start: std::time::Instant::now(),
@@ -263,6 +267,17 @@ impl PointTimer {
     /// obs registry and emits a `point` trace event when a sink is
     /// installed.
     pub fn finish(self) {
+        self.finish_with("ok");
+    }
+
+    /// As [`finish`](PointTimer::finish), for a point that failed.
+    /// `outcome` labels the retained trajectory: `"failed"`,
+    /// `"budget-exhausted"` or `"panicked"`.
+    pub fn finish_failed(self, outcome: &str) {
+        self.finish_with(outcome);
+    }
+
+    fn finish_with(self, outcome: &str) {
         let seconds = self.start.elapsed().as_secs_f64();
         let work = obs::tally().since(&self.tally0);
         obs::record_point(&self.key, seconds, work.retries, work.iterations);
@@ -270,7 +285,8 @@ impl PointTimer {
             obs::emit(
                 "point",
                 vec![
-                    ("key".to_string(), obs::Json::Str(self.key)),
+                    ("key".to_string(), obs::Json::Str(self.key.clone())),
+                    ("outcome".to_string(), obs::Json::Str(outcome.to_string())),
                     ("seconds".to_string(), obs::Json::Num(seconds)),
                     (
                         "iterations".to_string(),
@@ -279,6 +295,173 @@ impl PointTimer {
                     ("retries".to_string(), obs::Json::Num(work.retries as f64)),
                 ],
             );
+        }
+        // Close the flight-recorder bracket; the registry keeps the
+        // trajectory only for failures and the slowest-k successes.
+        if let Some(traj) = obs::flight_take() {
+            obs::record_trace(&self.key, outcome, seconds, traj);
+        }
+    }
+}
+
+/// Periodic campaign progress snapshots with ETA and stall detection.
+///
+/// An executor creates one heartbeat per campaign and calls
+/// [`tick`](Heartbeat::tick) from its single-writer `on_ready` hook;
+/// at most one `heartbeat` event is emitted per `interval_s`, carrying
+/// completed/total, throughput, and the ETA a streaming consumer (or
+/// the future campaign daemon) needs. When no point completes for
+/// `stall_after_s`, the next tick flags the snapshot as stalled,
+/// counts it in `campaign.heartbeat.stalls`, and warns via
+/// [`obs::progress`].
+#[derive(Debug)]
+pub struct Heartbeat {
+    artifact: String,
+    total: usize,
+    started: std::time::Instant,
+    last_emit: Option<std::time::Instant>,
+    last_change: (usize, std::time::Instant),
+    stall_reported: bool,
+    interval_s: f64,
+    stall_after_s: f64,
+}
+
+/// One emitted heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatSnapshot {
+    /// Points completed so far.
+    pub completed: usize,
+    /// Points in the whole campaign.
+    pub total: usize,
+    /// Seconds since the campaign started.
+    pub elapsed_s: f64,
+    /// Completed points per second so far.
+    pub points_per_sec: f64,
+    /// Estimated seconds to completion (infinite while throughput is
+    /// still zero).
+    pub eta_s: f64,
+    /// Whether no progress was observed for the stall window.
+    pub stalled: bool,
+}
+
+impl Heartbeat {
+    /// A heartbeat for a campaign of `total` points, emitting at most
+    /// every 5 s and flagging stalls after 30 s without progress.
+    pub fn new(artifact: impl Into<String>, total: usize) -> Self {
+        let now = std::time::Instant::now();
+        Heartbeat {
+            artifact: artifact.into(),
+            total,
+            started: now,
+            last_emit: None,
+            last_change: (0, now),
+            stall_reported: false,
+            interval_s: 5.0,
+            stall_after_s: 30.0,
+        }
+    }
+
+    /// Overrides the emission interval.
+    #[must_use]
+    pub fn with_interval(mut self, seconds: f64) -> Self {
+        self.interval_s = seconds;
+        self
+    }
+
+    /// Overrides the stall-detection window.
+    #[must_use]
+    pub fn with_stall_after(mut self, seconds: f64) -> Self {
+        self.stall_after_s = seconds;
+        self
+    }
+
+    /// Reports progress; emits a `heartbeat` event (and returns the
+    /// snapshot) when the interval elapsed or a stall began.
+    pub fn tick(&mut self, completed: usize) -> Option<HeartbeatSnapshot> {
+        self.tick_at(completed, std::time::Instant::now())
+    }
+
+    /// [`tick`](Heartbeat::tick) against an explicit clock (tests
+    /// drive this with synthetic instants).
+    pub fn tick_at(
+        &mut self,
+        completed: usize,
+        now: std::time::Instant,
+    ) -> Option<HeartbeatSnapshot> {
+        if completed != self.last_change.0 {
+            self.last_change = (completed, now);
+            self.stall_reported = false;
+        }
+        let stalled = now.duration_since(self.last_change.1).as_secs_f64() >= self.stall_after_s;
+        let due = match self.last_emit {
+            None => true,
+            Some(t) => now.duration_since(t).as_secs_f64() >= self.interval_s,
+        };
+        // A fresh stall jumps the schedule so the warning is prompt.
+        let fresh_stall = stalled && !self.stall_reported;
+        if !due && !fresh_stall {
+            return None;
+        }
+        self.last_emit = Some(now);
+        let elapsed_s = now.duration_since(self.started).as_secs_f64();
+        let points_per_sec = if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(completed);
+        let eta_s = if points_per_sec > 0.0 {
+            remaining as f64 / points_per_sec
+        } else {
+            f64::INFINITY
+        };
+        let snap = HeartbeatSnapshot {
+            completed,
+            total: self.total,
+            elapsed_s,
+            points_per_sec,
+            eta_s,
+            stalled,
+        };
+        self.publish(&snap);
+        Some(snap)
+    }
+
+    fn publish(&mut self, snap: &HeartbeatSnapshot) {
+        obs::gauge_set("campaign.heartbeat.completed", snap.completed as f64);
+        if snap.eta_s.is_finite() {
+            obs::gauge_set("campaign.heartbeat.eta_s", snap.eta_s);
+        }
+        if obs::sink_installed() {
+            obs::emit(
+                "heartbeat",
+                vec![
+                    (
+                        "artifact".to_string(),
+                        obs::Json::Str(self.artifact.clone()),
+                    ),
+                    (
+                        "completed".to_string(),
+                        obs::Json::Num(snap.completed as f64),
+                    ),
+                    ("total".to_string(), obs::Json::Num(snap.total as f64)),
+                    ("elapsed_s".to_string(), obs::Json::Num(snap.elapsed_s)),
+                    (
+                        "points_per_sec".to_string(),
+                        obs::Json::Num(snap.points_per_sec),
+                    ),
+                    ("eta_s".to_string(), obs::Json::Num(snap.eta_s)),
+                    ("stalled".to_string(), obs::Json::Bool(snap.stalled)),
+                ],
+            );
+        }
+        if snap.stalled && !self.stall_reported {
+            self.stall_reported = true;
+            obs::counter_add("campaign.heartbeat.stalls", 1);
+            obs::progress(&format!(
+                "{}: no progress for {:.0} s ({}/{} points)",
+                self.artifact, self.stall_after_s, snap.completed, snap.total
+            ));
         }
     }
 }
@@ -583,6 +766,56 @@ mod tests {
         assert_eq!(d.attempted, 4);
         assert_eq!(d.completed, 3);
         assert_eq!(d.to_string(), "3/4 grid points (75.0%)");
+    }
+
+    #[test]
+    fn heartbeat_paces_emits_and_computes_eta() {
+        use std::time::{Duration, Instant};
+        let t0 = Instant::now();
+        let mut hb = Heartbeat::new("test-hb", 100)
+            .with_interval(5.0)
+            .with_stall_after(30.0);
+        hb.started = t0;
+        hb.last_change = (0, t0);
+        // First tick always emits (a baseline snapshot).
+        let s = hb.tick_at(0, t0).expect("first tick emits");
+        assert_eq!(s.completed, 0);
+        assert!(!s.stalled);
+        // Inside the interval: silent.
+        assert!(hb.tick_at(10, t0 + Duration::from_secs(2)).is_none());
+        // Past the interval: emits with throughput and ETA.
+        let s = hb
+            .tick_at(20, t0 + Duration::from_secs(10))
+            .expect("due tick emits");
+        assert!((s.points_per_sec - 2.0).abs() < 1e-9);
+        assert!((s.eta_s - 40.0).abs() < 1e-9, "80 left at 2/s");
+        assert!(!s.stalled);
+    }
+
+    #[test]
+    fn heartbeat_flags_a_stall_once_and_recovers() {
+        use std::time::{Duration, Instant};
+        let t0 = Instant::now();
+        let mut hb = Heartbeat::new("test-hb-stall", 10)
+            .with_interval(5.0)
+            .with_stall_after(30.0);
+        hb.started = t0;
+        hb.last_change = (0, t0);
+        let s = hb
+            .tick_at(4, t0 + Duration::from_secs(6))
+            .expect("progress tick");
+        assert!(!s.stalled);
+        // 30 s with no completed change: stalled, even off-schedule.
+        assert!(hb.tick_at(4, t0 + Duration::from_secs(8)).is_none());
+        let s = hb
+            .tick_at(4, t0 + Duration::from_secs(37))
+            .expect("stall jumps the schedule");
+        assert!(s.stalled);
+        // Progress clears the stall.
+        let s = hb
+            .tick_at(5, t0 + Duration::from_secs(50))
+            .expect("due tick");
+        assert!(!s.stalled);
     }
 
     #[test]

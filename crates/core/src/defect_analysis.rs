@@ -13,7 +13,7 @@ use sram::drv::{drv_ds, DrvOptions};
 use sram::{ArrayLoad, CellInstance, CellPopulation, StoredBit};
 
 use crate::campaign::{
-    publish_coverage, Checkpoint, Coverage, PointFailure, PointTimer, Quarantine,
+    publish_coverage, Checkpoint, Coverage, Heartbeat, PointFailure, PointTimer, Quarantine,
 };
 use crate::case_study::CaseStudy;
 use crate::executor::{parallel_map_isolated, WorkOutcome};
@@ -444,11 +444,17 @@ pub fn table2(options: &Table2Options) -> Result<Table2, anasim::Error> {
     for cell in resumed.values() {
         running.merge(resumed_coverage(cell, grid_size));
     }
+    // Periodic progress events with ETA and stall detection, paced by
+    // the single-writer callback (no extra thread, no lock).
+    // `running` already carries the resumed cells' coverage, so the
+    // target is the fresh cells' grid plus whatever was pre-counted.
+    let mut heartbeat = Heartbeat::new("table2", grid_size * cell_items.len() + running.attempted);
     let done = parallel_map_isolated(
         options.jobs,
         &cell_items,
         |_, &(defect, ci)| evaluate_cell(defect, &options.case_studies[ci], options, &contexts),
         |i, outcome| {
+            heartbeat.tick(running.completed);
             let (defect, ci) = cell_items[i];
             let key = cell_key(defect, options.case_studies[ci].number);
             match outcome {
@@ -714,7 +720,16 @@ fn evaluate_cell(
                         }
                     }
                     Err(e) if e.is_recordable() => {
-                        timer.finish();
+                        // Label the outcome so the flight recorder
+                        // retains this point's convergence trajectory
+                        // unconditionally (failures always keep their
+                        // ring; successes compete for the slowest-k
+                        // slots).
+                        timer.finish_failed(match &e {
+                            anasim::Error::BudgetExceeded { .. } => "budget-exhausted",
+                            anasim::Error::Panicked { .. } => "panicked",
+                            _ => "failed",
+                        });
                         best.failed_points += 1;
                         coverage.record_failure();
                         // Pre-flight rejections never reach the

@@ -192,6 +192,16 @@ where
             Ok(r) => WorkOutcome::Done(r),
             Err(payload) => {
                 obs::counter_add("executor.panic", 1);
+                // The panicking closure unwound past its own flush
+                // points: drain the thread-local metric buffers now so
+                // counters recorded before the panic are not lost, and
+                // capture the point's in-flight convergence trajectory
+                // — a panicked point is exactly the kind the flight
+                // recorder exists to explain.
+                obs::flush();
+                if let Some(traj) = obs::flight_take() {
+                    obs::record_trace(&format!("grid item {i}"), "panicked", 0.0, traj);
+                }
                 WorkOutcome::Panicked {
                     message: panic_message(payload.as_ref()),
                 }
@@ -444,6 +454,53 @@ mod tests {
             lost.unwrap_or_else(|m| if m == "boom" { -1 } else { -2 }),
             -1
         );
+    }
+
+    #[test]
+    fn panicked_points_flush_buffers_and_surrender_their_trajectory() {
+        // A panic unwinds past the worker's normal flush points; the
+        // catch_unwind arm must drain the thread-local counter buffers
+        // (so pre-panic increments survive) and hand the in-flight
+        // convergence ring to the registry as a "panicked" trace. Both
+        // must already be visible when on_ready fires for that index —
+        // on the inline jobs=1 path there is no later flush at all.
+        let key = "executor.test.pre_panic_events";
+        let items: Vec<u64> = (0..8).collect();
+        for jobs in [1usize, 4] {
+            obs::flight_enable(obs::DEFAULT_CAPACITY);
+            let before = obs::snapshot().counters.get(key).copied().unwrap_or(0);
+            let mut at_ready: Option<obs::Snapshot> = None;
+            parallel_map_isolated(
+                jobs,
+                &items,
+                |i, _| {
+                    if i == 3 {
+                        obs::counter_add(key, 1);
+                        obs::flight_begin();
+                        obs::flight_record(0.5, 1.0);
+                        panic!("poisoned point 3");
+                    }
+                },
+                |i, _| {
+                    if i == 3 {
+                        at_ready = Some(obs::snapshot());
+                    }
+                },
+            );
+            obs::flight_disable();
+            let snap = at_ready.expect("on_ready fired for index 3");
+            assert_eq!(
+                snap.counters.get(key).copied().unwrap_or(0) - before,
+                1,
+                "jobs={jobs}: pre-panic counter must be flushed before delivery"
+            );
+            assert!(
+                snap.traces
+                    .iter()
+                    .any(|t| t.key == "grid item 3" && t.outcome == "panicked"),
+                "jobs={jobs}: the panicked point's trajectory must reach the registry"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Convergence flight recorder: a fixed-capacity, thread-local ring
+//! buffer of per-iteration Newton samples.
+//!
+//! The solver calls [`flight_record`] once per Newton iteration with
+//! the residual infinity-norm and the damping factor in effect; the
+//! rescue ladder labels the samples with [`flight_set_stage`] /
+//! [`flight_set_attempt`]. A campaign executor brackets each grid
+//! point with [`flight_begin`] / [`flight_take`] and hands the
+//! trajectory of interesting points (the slowest, and everything that
+//! failed) to [`crate::metrics::record_trace`].
+//!
+//! The recorder is disabled by default and *globally opt-in*
+//! ([`flight_enable`]); while disabled, [`flight_record`] is a single
+//! relaxed atomic load. While enabled it is an index write into a
+//! buffer whose capacity [`flight_begin`] pre-reserved — the per-
+//! iteration path never allocates, which the solver's counting-
+//! allocator tests assert. When a point runs longer than the capacity,
+//! the ring keeps the *last* N samples (the death throes are the
+//! interesting part), and reports how many were recorded in total.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Default ring capacity: enough for a typical full rescue-ladder
+/// traversal while keeping the per-thread footprint at a few KiB.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// One recorded Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Rescue-ladder stage label (e.g. `"plain"`, `"gmin-stepping"`).
+    pub stage: &'static str,
+    /// Whole-solve retry attempt the iteration belongs to (0-based).
+    pub attempt: u16,
+    /// Residual infinity-norm (`max_delta`) after the update.
+    pub residual: f64,
+    /// Damping factor applied on this iteration.
+    pub alpha: f64,
+}
+
+/// A completed point's recorded trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointTrajectory {
+    /// The retained samples in chronological order (the last
+    /// `capacity` iterations when the point overflowed the ring).
+    pub samples: Vec<TraceSample>,
+    /// Total iterations recorded, including overwritten ones.
+    pub recorded: u64,
+}
+
+struct Ring {
+    buf: Vec<TraceSample>,
+    cap: usize,
+    /// Overwrite cursor once the buffer is full.
+    next: usize,
+    recorded: u64,
+    stage: &'static str,
+    attempt: u16,
+    /// Set by `flight_begin` on this thread only: keeps concurrent
+    /// threads that never began a point from recording (or allocating)
+    /// just because the recorder is globally enabled.
+    active: bool,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Ring {
+            buf: Vec::new(),
+            cap: 0,
+            next: 0,
+            recorded: 0,
+            stage: "plain",
+            attempt: 0,
+            active: false,
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+/// Globally enables the recorder with the given per-thread ring
+/// capacity (clamped to at least 1).
+pub fn flight_enable(capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Globally disables the recorder.
+pub fn flight_disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is globally enabled.
+pub fn flight_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts recording a point on the calling thread: clears the ring and
+/// pre-reserves its full capacity, so every subsequent
+/// [`flight_record`] is allocation-free. A no-op while the recorder is
+/// disabled.
+pub fn flight_begin() {
+    if !flight_enabled() {
+        return;
+    }
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    let _ = RING.try_with(|ring| {
+        let mut ring = ring.borrow_mut();
+        ring.buf.clear();
+        ring.buf.reserve(cap);
+        ring.cap = cap;
+        ring.next = 0;
+        ring.recorded = 0;
+        ring.stage = "plain";
+        ring.attempt = 0;
+        ring.active = true;
+    });
+}
+
+/// Labels subsequent samples with the rescue-ladder stage in effect.
+pub fn flight_set_stage(stage: &'static str) {
+    if !flight_enabled() {
+        return;
+    }
+    let _ = RING.try_with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if ring.active {
+            ring.stage = stage;
+        }
+    });
+}
+
+/// Labels subsequent samples with the whole-solve retry attempt.
+pub fn flight_set_attempt(attempt: u16) {
+    if !flight_enabled() {
+        return;
+    }
+    let _ = RING.try_with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if ring.active {
+            ring.attempt = attempt;
+        }
+    });
+}
+
+/// Records one Newton iteration. Allocation-free: the ring's capacity
+/// was reserved by [`flight_begin`]; overflow overwrites the oldest
+/// sample. A no-op unless the recorder is enabled *and* the calling
+/// thread is inside a `flight_begin`/`flight_take` bracket.
+#[inline]
+pub fn flight_record(residual: f64, alpha: f64) {
+    if !flight_enabled() {
+        return;
+    }
+    let _ = RING.try_with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if !ring.active {
+            return;
+        }
+        let sample = TraceSample {
+            stage: ring.stage,
+            attempt: ring.attempt,
+            residual,
+            alpha,
+        };
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(sample);
+        } else {
+            let i = ring.next;
+            ring.buf[i] = sample;
+            ring.next = (i + 1) % ring.cap;
+        }
+        ring.recorded += 1;
+    });
+}
+
+/// Ends the calling thread's recording bracket and returns the
+/// trajectory, in chronological order. `None` when the recorder was
+/// off, no bracket was open, or no iterations were recorded.
+pub fn flight_take() -> Option<PointTrajectory> {
+    RING.try_with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if !ring.active {
+            return None;
+        }
+        ring.active = false;
+        if ring.recorded == 0 {
+            return None;
+        }
+        // When the ring wrapped, `next` points at the oldest sample.
+        let samples = if ring.buf.len() < ring.cap || ring.next == 0 {
+            ring.buf.clone()
+        } else {
+            let mut v = Vec::with_capacity(ring.buf.len());
+            v.extend_from_slice(&ring.buf[ring.next..]);
+            v.extend_from_slice(&ring.buf[..ring.next]);
+            v
+        };
+        let recorded = ring.recorded;
+        ring.buf.clear();
+        ring.recorded = 0;
+        Some(PointTrajectory { samples, recorded })
+    })
+    .ok()
+    .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder state is global; tests touching it must not
+    /// overlap — each runs its ring on a dedicated thread and brackets
+    /// enable/disable under a lock.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _guard = test_lock();
+        flight_disable();
+        std::thread::spawn(|| {
+            flight_begin();
+            flight_record(1.0, 1.0);
+            assert!(flight_take().is_none());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn records_in_order_and_labels_stages() {
+        let _guard = test_lock();
+        flight_enable(8);
+        std::thread::spawn(|| {
+            flight_begin();
+            flight_record(4.0, 1.0);
+            flight_set_stage("gmin-stepping");
+            flight_set_attempt(1);
+            flight_record(2.0, 0.5);
+            let t = flight_take().expect("trajectory");
+            assert_eq!(t.recorded, 2);
+            assert_eq!(t.samples.len(), 2);
+            assert_eq!(t.samples[0].stage, "plain");
+            assert_eq!(t.samples[0].attempt, 0);
+            assert_eq!(t.samples[0].residual, 4.0);
+            assert_eq!(t.samples[1].stage, "gmin-stepping");
+            assert_eq!(t.samples[1].attempt, 1);
+            assert_eq!(t.samples[1].alpha, 0.5);
+            // The bracket is closed: further records are dropped.
+            flight_record(1.0, 1.0);
+            assert!(flight_take().is_none());
+        })
+        .join()
+        .unwrap();
+        flight_disable();
+    }
+
+    #[test]
+    fn overflow_keeps_the_last_samples_chronologically() {
+        let _guard = test_lock();
+        flight_enable(4);
+        std::thread::spawn(|| {
+            flight_begin();
+            for i in 0..10 {
+                flight_record(f64::from(i), 1.0);
+            }
+            let t = flight_take().expect("trajectory");
+            assert_eq!(t.recorded, 10);
+            let residuals: Vec<f64> = t.samples.iter().map(|s| s.residual).collect();
+            assert_eq!(residuals, vec![6.0, 7.0, 8.0, 9.0]);
+        })
+        .join()
+        .unwrap();
+        flight_disable();
+    }
+
+    #[test]
+    fn inactive_thread_ignores_records_while_enabled() {
+        let _guard = test_lock();
+        flight_enable(8);
+        std::thread::spawn(|| {
+            // No flight_begin on this thread: recording must be inert.
+            flight_record(1.0, 1.0);
+            assert!(flight_take().is_none());
+        })
+        .join()
+        .unwrap();
+        flight_disable();
+    }
+
+    #[test]
+    fn begin_resets_a_previous_bracket() {
+        let _guard = test_lock();
+        flight_enable(4);
+        std::thread::spawn(|| {
+            flight_begin();
+            flight_record(9.0, 1.0);
+            flight_set_stage("gmin-stepping");
+            // Abandon without take; the next begin starts clean.
+            flight_begin();
+            flight_record(1.0, 1.0);
+            let t = flight_take().expect("trajectory");
+            assert_eq!(t.recorded, 1);
+            assert_eq!(t.samples[0].stage, "plain");
+        })
+        .join()
+        .unwrap();
+        flight_disable();
+    }
+}

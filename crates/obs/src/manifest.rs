@@ -103,6 +103,82 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Approximate quantile over the serialized buckets, mirroring
+    /// [`Histogram::quantile`]: geometric bucket midpoint clamped to
+    /// the observed range, exact at the extremes. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        if rank + 1 >= self.count {
+            return self.max;
+        }
+        if rank < self.zeros {
+            return self.min.min(0.0);
+        }
+        let mut seen = self.zeros;
+        for &(e, n) in &self.buckets {
+            seen += n;
+            if rank < seen {
+                let mid = 2f64.powi(e) * std::f64::consts::SQRT_2;
+                return mid.clamp(self.min.max(0.0), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One flight-recorder sample (manifest form; stages become owned
+/// strings so a parsed manifest round-trips).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSampleSummary {
+    /// Rescue-ladder stage label.
+    pub stage: String,
+    /// Whole-solve retry attempt (0-based).
+    pub attempt: u64,
+    /// Residual infinity-norm after the iteration.
+    pub residual: f64,
+    /// Damping factor applied.
+    pub alpha: f64,
+}
+
+/// One retained convergence trajectory (manifest form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Stable point key.
+    pub key: String,
+    /// `"ok"`, `"failed"`, `"budget-exhausted"` or `"panicked"`.
+    pub outcome: String,
+    /// Wall-clock spent on the point, seconds.
+    pub seconds: f64,
+    /// Total iterations recorded (the samples keep the last N).
+    pub recorded: u64,
+    /// Per-iteration samples, chronological.
+    pub samples: Vec<TraceSampleSummary>,
+}
+
+impl From<&crate::metrics::TraceRecord> for TraceSummary {
+    fn from(r: &crate::metrics::TraceRecord) -> Self {
+        TraceSummary {
+            key: r.key.clone(),
+            outcome: r.outcome.clone(),
+            seconds: r.seconds,
+            recorded: r.recorded,
+            samples: r
+                .samples
+                .iter()
+                .map(|s| TraceSampleSummary {
+                    stage: s.stage.to_string(),
+                    attempt: u64::from(s.attempt),
+                    residual: s.residual,
+                    alpha: s.alpha,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Campaign completeness, with throughput.
@@ -147,6 +223,9 @@ pub struct RunManifest {
     pub slowest: Vec<PointTiming>,
     /// Points needing the most solver retries, descending.
     pub retry_hot: Vec<PointTiming>,
+    /// Retained convergence trajectories (failed points first, then
+    /// slowest successes), when the flight recorder ran.
+    pub traces: Vec<TraceSummary>,
 }
 
 /// The build identity: `git describe --always --dirty --tags` when a
@@ -235,6 +314,7 @@ impl RunManifest {
             coverage,
             slowest: snapshot.slowest.iter().map(PointTiming::from).collect(),
             retry_hot: snapshot.retry_hot.iter().map(PointTiming::from).collect(),
+            traces: snapshot.traces.iter().map(TraceSummary::from).collect(),
         }
     }
 
@@ -338,6 +418,40 @@ impl RunManifest {
             (
                 "retry_hot".into(),
                 Json::Arr(self.retry_hot.iter().map(point_json).collect()),
+            ),
+            (
+                "traces".into(),
+                Json::Arr(
+                    self.traces
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("key".into(), Json::Str(t.key.clone())),
+                                ("outcome".into(), Json::Str(t.outcome.clone())),
+                                ("seconds".into(), Json::Num(t.seconds)),
+                                ("recorded".into(), Json::Num(t.recorded as f64)),
+                                (
+                                    "samples".into(),
+                                    // Compact row form: [stage, attempt,
+                                    // residual, alpha] per iteration.
+                                    Json::Arr(
+                                        t.samples
+                                            .iter()
+                                            .map(|s| {
+                                                Json::Arr(vec![
+                                                    Json::Str(s.stage.clone()),
+                                                    Json::Num(s.attempt as f64),
+                                                    Json::Num(s.residual),
+                                                    Json::Num(s.alpha),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]);
         doc.to_pretty()
@@ -450,6 +564,41 @@ impl RunManifest {
                     .unwrap_or(0.0),
             }),
         };
+        // Older v1 manifests predate traces; missing → empty.
+        let mut traces = Vec::new();
+        for t in doc.get("traces").and_then(Json::as_arr).unwrap_or(&[]) {
+            let mut samples = Vec::new();
+            for s in t.get("samples").and_then(Json::as_arr).unwrap_or(&[]) {
+                let row = s.as_arr().ok_or_else(|| bad("trace sample is not a row"))?;
+                if row.len() != 4 {
+                    return Err(bad("trace sample is not a 4-element row"));
+                }
+                samples.push(TraceSampleSummary {
+                    stage: row[0]
+                        .as_str()
+                        .ok_or_else(|| bad("bad trace stage"))?
+                        .to_string(),
+                    attempt: row[1].as_u64().ok_or_else(|| bad("bad trace attempt"))?,
+                    residual: row[2].as_f64().ok_or_else(|| bad("bad trace residual"))?,
+                    alpha: row[3].as_f64().ok_or_else(|| bad("bad trace alpha"))?,
+                });
+            }
+            traces.push(TraceSummary {
+                key: t
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("trace without key"))?
+                    .to_string(),
+                outcome: t
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("ok")
+                    .to_string(),
+                seconds: t.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                recorded: t.get("recorded").and_then(Json::as_u64).unwrap_or(0),
+                samples,
+            });
+        }
         Ok(RunManifest {
             version: str_field("version")?,
             artifact: str_field("artifact")?,
@@ -475,6 +624,7 @@ impl RunManifest {
             coverage,
             slowest: points("slowest")?,
             retry_hot: points("retry_hot")?,
+            traces,
         })
     }
 
@@ -562,6 +712,151 @@ impl RunManifest {
             )
         });
         out
+    }
+
+    /// Renders the retained convergence trajectories (`summary
+    /// --traces`): per point, a header line and the last
+    /// `samples_per_trace` recorded iterations.
+    pub fn render_traces(&self, samples_per_trace: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\nconvergence traces:");
+        if self.traces.is_empty() {
+            let _ = writeln!(
+                out,
+                "  (none recorded — run with --trace or --metrics to enable the flight recorder)"
+            );
+            return out;
+        }
+        for t in &self.traces {
+            let _ = writeln!(
+                out,
+                "  {} — {} after {} iterations, {}",
+                t.key,
+                t.outcome,
+                t.recorded,
+                format_seconds(t.seconds)
+            );
+            let shown = t.samples.len().min(samples_per_trace);
+            let skipped = t.recorded as usize - shown;
+            if skipped > 0 {
+                let _ = writeln!(out, "    … {skipped} earlier iterations");
+            }
+            let first_shown = t.recorded as usize - shown;
+            for (i, s) in t.samples[t.samples.len() - shown..].iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    #{:<6} {:<18} attempt {}  residual {:>10}  alpha {:.3}",
+                    first_shown + i,
+                    s.stage,
+                    s.attempt,
+                    compact(s.residual),
+                    s.alpha
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable digest of the manifest (`summary --json`):
+    /// the render_summary content as structured JSON, with derived
+    /// histogram statistics (mean, p50/p90/p99) precomputed.
+    pub fn summary_json(&self, top_k: usize) -> Json {
+        let point_json = |p: &PointTiming| {
+            Json::obj([
+                ("key".into(), Json::Str(p.key.clone())),
+                ("seconds".into(), Json::Num(p.seconds)),
+                ("retries".into(), Json::Num(p.retries as f64)),
+                ("iterations".into(), Json::Num(p.iterations as f64)),
+            ])
+        };
+        Json::obj([
+            (
+                "schema".into(),
+                Json::Str("lp-sram-suite/summary/v1".into()),
+            ),
+            ("artifact".into(), Json::Str(self.artifact.clone())),
+            ("version".into(), Json::Str(self.version.clone())),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            (
+                "coverage".into(),
+                match &self.coverage {
+                    None => Json::Null,
+                    Some(c) => Json::obj([
+                        ("attempted".into(), Json::Num(c.attempted as f64)),
+                        ("completed".into(), Json::Num(c.completed as f64)),
+                        ("percent".into(), Json::Num(c.percent)),
+                        ("elapsed_s".into(), Json::Num(c.elapsed_s)),
+                        ("points_per_sec".into(), Json::Num(c.points_per_sec)),
+                    ]),
+                },
+            ),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("path".into(), Json::Str(p.path.clone())),
+                                ("count".into(), Json::Num(p.count as f64)),
+                                ("total_s".into(), Json::Num(p.total_s)),
+                                ("max_s".into(), Json::Num(p.max_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                Json::obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Num(v as f64))),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::obj(self.histograms.iter().map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("count".into(), Json::Num(h.count as f64)),
+                            ("mean".into(), Json::Num(h.mean())),
+                            ("min".into(), Json::Num(h.min)),
+                            ("max".into(), Json::Num(h.max)),
+                            ("p50".into(), Json::Num(h.quantile(0.50))),
+                            ("p90".into(), Json::Num(h.quantile(0.90))),
+                            ("p99".into(), Json::Num(h.quantile(0.99))),
+                        ]),
+                    )
+                })),
+            ),
+            (
+                "slowest".into(),
+                Json::Arr(self.slowest.iter().take(top_k).map(point_json).collect()),
+            ),
+            (
+                "retry_hot".into(),
+                Json::Arr(self.retry_hot.iter().take(top_k).map(point_json).collect()),
+            ),
+            (
+                "traces".into(),
+                Json::Arr(
+                    self.traces
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("key".into(), Json::Str(t.key.clone())),
+                                ("outcome".into(), Json::Str(t.outcome.clone())),
+                                ("seconds".into(), Json::Num(t.seconds)),
+                                ("recorded".into(), Json::Num(t.recorded as f64)),
+                                ("retained".into(), Json::Num(t.samples.len() as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -688,6 +983,26 @@ mod tests {
                 retries: 1,
                 iterations: 400,
             }],
+            traces: vec![TraceSummary {
+                key: "df16/cs1 @ fs/1.0V/125C".into(),
+                outcome: "budget-exhausted".into(),
+                seconds: 4.5,
+                recorded: 1200,
+                samples: vec![
+                    TraceSampleSummary {
+                        stage: "plain".into(),
+                        attempt: 0,
+                        residual: 1.25e-3,
+                        alpha: 1.0,
+                    },
+                    TraceSampleSummary {
+                        stage: "gmin-stepping".into(),
+                        attempt: 1,
+                        residual: 6.0e-4,
+                        alpha: 0.5,
+                    },
+                ],
+            }],
         }
     }
 
@@ -734,6 +1049,61 @@ mod tests {
         let text = m.render_summary(5);
         assert!(text.contains("(none recorded)"));
         assert!(!text.contains("coverage:"));
+    }
+
+    #[test]
+    fn traces_render_and_survive_missing_field() {
+        let m = sample();
+        let text = m.render_traces(10);
+        assert!(text.contains("df16/cs1 @ fs/1.0V/125C"));
+        assert!(text.contains("budget-exhausted after 1200 iterations"));
+        assert!(text.contains("gmin-stepping"));
+        assert!(text.contains("… 1198 earlier iterations"));
+        // A pre-traces manifest parses with an empty list.
+        let mut doc = m.to_json_string();
+        let cut = doc.find("\"traces\"").expect("traces serialized");
+        doc.truncate(cut);
+        doc.truncate(doc.rfind(',').expect("trailing comma"));
+        doc.push_str("\n}");
+        let back = RunManifest::parse(&doc).expect("parses without traces");
+        assert!(back.traces.is_empty());
+        assert!(back.render_traces(10).contains("(none recorded"));
+    }
+
+    #[test]
+    fn summary_json_is_parseable_and_has_derived_stats() {
+        let m = sample();
+        let doc = crate::json::parse(&m.summary_json(5).to_pretty()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("lp-sram-suite/summary/v1")
+        );
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("anasim.solve.iterations"))
+            .expect("histogram digest");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(4));
+        assert!(h.get("p50").and_then(Json::as_f64).is_some());
+        let traces = doc.get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("outcome").and_then(Json::as_str),
+            Some("budget-exhausted")
+        );
+        let c = doc.get("coverage").expect("coverage");
+        assert_eq!(c.get("completed").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn histogram_summary_quantiles_match_the_histogram() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record(f64::from(i));
+        }
+        let s = HistogramSummary::from(&h);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), h.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, OnceLock};
 
+use crate::flight::{PointTrajectory, TraceSample};
 use crate::hist::Histogram;
 
 /// Buffered operations accumulated before an automatic fold into the
@@ -21,6 +22,13 @@ const FLUSH_THRESHOLD: usize = 1024;
 
 /// Bounded lengths of the slowest-point / retry-hot-spot lists.
 const MAX_POINTS: usize = 64;
+
+/// Retained flight-recorder trajectories: every failed point up to
+/// this many…
+const MAX_FAILED_TRACES: usize = 32;
+
+/// …and the slowest-k points that succeeded.
+const MAX_SLOW_TRACES: usize = 8;
 
 /// Aggregated timing of one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -54,6 +62,22 @@ pub struct PointRecord {
     pub iterations: u64,
 }
 
+/// One retained flight-recorder trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Stable point key, e.g. `df16/cs1 @ fs/1.0V/125C`.
+    pub key: String,
+    /// `"ok"`, `"failed"`, `"budget-exhausted"` or `"panicked"`.
+    pub outcome: String,
+    /// Wall-clock spent on the point, seconds.
+    pub seconds: f64,
+    /// Total Newton iterations recorded (the trajectory keeps the
+    /// last `samples.len()` of them).
+    pub recorded: u64,
+    /// Per-iteration samples, chronological.
+    pub samples: Vec<TraceSample>,
+}
+
 /// A consistent copy of the registry contents.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -70,6 +94,9 @@ pub struct Snapshot {
     /// Points with the most retries, descending (bounded; only points
     /// that retried at all).
     pub retry_hot: Vec<PointRecord>,
+    /// Retained convergence trajectories: failed points first, then
+    /// the slowest successes (both bounded).
+    pub traces: Vec<TraceRecord>,
 }
 
 #[derive(Default)]
@@ -80,6 +107,8 @@ struct Inner {
     spans: BTreeMap<String, SpanStat>,
     slowest: Vec<PointRecord>,
     retry_hot: Vec<PointRecord>,
+    traces_failed: Vec<TraceRecord>,
+    traces_slow: Vec<TraceRecord>,
 }
 
 /// Inserts into a bounded list kept sorted descending by `rank`.
@@ -166,9 +195,42 @@ impl Registry {
         bounded_insert(&mut inner.slowest, record, |r| r.seconds);
     }
 
+    /// Retains a point's convergence trajectory: every failed point
+    /// (up to [`MAX_FAILED_TRACES`]) and the slowest
+    /// [`MAX_SLOW_TRACES`] successes.
+    pub fn record_trace(&self, key: &str, outcome: &str, seconds: f64, traj: PointTrajectory) {
+        let record = TraceRecord {
+            key: key.to_string(),
+            outcome: outcome.to_string(),
+            seconds,
+            recorded: traj.recorded,
+            samples: traj.samples,
+        };
+        let mut inner = self.lock();
+        if outcome == "ok" {
+            let pos = inner
+                .traces_slow
+                .binary_search_by(|r| {
+                    record
+                        .seconds
+                        .partial_cmp(&r.seconds)
+                        .expect("seconds are finite")
+                })
+                .unwrap_or_else(|p| p);
+            if pos < MAX_SLOW_TRACES {
+                inner.traces_slow.insert(pos, record);
+                inner.traces_slow.truncate(MAX_SLOW_TRACES);
+            }
+        } else if inner.traces_failed.len() < MAX_FAILED_TRACES {
+            inner.traces_failed.push(record);
+        }
+    }
+
     /// A consistent copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
+        let mut traces = inner.traces_failed.clone();
+        traces.extend(inner.traces_slow.iter().cloned());
         Snapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
@@ -176,6 +238,7 @@ impl Registry {
             spans: inner.spans.clone(),
             slowest: inner.slowest.clone(),
             retry_hot: inner.retry_hot.clone(),
+            traces,
         }
     }
 
@@ -272,6 +335,13 @@ pub fn record_span(path: &str, seconds: f64) {
 /// Records one campaign point's cost (unbuffered).
 pub fn record_point(key: &str, seconds: f64, retries: u64, iterations: u64) {
     global().record_point(key, seconds, retries, iterations);
+}
+
+/// Retains a point's convergence trajectory in the global registry
+/// (unbuffered; see [`Registry::record_trace`] for the retention
+/// policy).
+pub fn record_trace(key: &str, outcome: &str, seconds: f64, traj: PointTrajectory) {
+    global().record_trace(key, outcome, seconds, traj);
 }
 
 /// Cumulative per-thread solver work: monotonic within a thread, so a
@@ -377,6 +447,41 @@ mod tests {
             s.histograms["campaign.point_seconds"].count(),
             (MAX_POINTS + 20) as u64
         );
+    }
+
+    #[test]
+    fn trace_retention_keeps_failures_and_slowest_successes() {
+        let traj = |n: u64| PointTrajectory {
+            samples: vec![
+                TraceSample {
+                    stage: "plain",
+                    attempt: 0,
+                    residual: 1.0,
+                    alpha: 1.0,
+                };
+                n as usize
+            ],
+            recorded: n,
+        };
+        let r = Registry::new();
+        for i in 0..(MAX_SLOW_TRACES + 5) {
+            r.record_trace(&format!("ok{i}"), "ok", i as f64, traj(3));
+        }
+        for i in 0..(MAX_FAILED_TRACES + 5) {
+            r.record_trace(&format!("bad{i}"), "failed", 0.1, traj(2));
+        }
+        let s = r.snapshot();
+        let failed: Vec<&TraceRecord> = s.traces.iter().filter(|t| t.outcome == "failed").collect();
+        let ok: Vec<&TraceRecord> = s.traces.iter().filter(|t| t.outcome == "ok").collect();
+        assert_eq!(failed.len(), MAX_FAILED_TRACES);
+        assert_eq!(ok.len(), MAX_SLOW_TRACES);
+        // Failures come first, successes sorted slowest-first.
+        assert_eq!(s.traces[0].outcome, "failed");
+        assert!(ok.windows(2).all(|w| w[0].seconds >= w[1].seconds));
+        assert_eq!(ok[0].key, format!("ok{}", MAX_SLOW_TRACES + 4));
+        assert_eq!(ok[0].samples.len(), 3);
+        r.reset();
+        assert!(r.snapshot().traces.is_empty());
     }
 
     #[test]

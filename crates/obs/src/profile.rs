@@ -1,0 +1,337 @@
+//! Profile aggregation over a `--trace` JSONL span stream.
+//!
+//! [`Profile::from_jsonl`] folds the `span_end` events of a trace file
+//! into a calling-context forest keyed by the hierarchical span path:
+//! per path, the call count, total (inclusive) wall-clock, self
+//! (exclusive) wall-clock, and the solver work (Newton iterations /
+//! retries) attributed to spans that closed at that path. The forest
+//! renders as a top-down tree plus a self-time hotlist
+//! ([`Profile::render`]) and exports collapsed-stack format
+//! ([`Profile::to_collapsed`]) consumable by `inferno` / speedscope.
+//!
+//! Span paths are `/`-joined per thread, so each worker thread
+//! contributes its own roots (e.g. `context`, `characterize`) next to
+//! the main thread's artifact root (e.g. `table2`). Concurrent roots
+//! overlap in wall-clock and are deliberately never summed together.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// One aggregated calling-context node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Hierarchical span path (`table2/context`).
+    pub path: String,
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Inclusive wall-clock, seconds.
+    pub total_s: f64,
+    /// Exclusive wall-clock: `total_s` minus direct children's totals,
+    /// clamped at zero.
+    pub self_s: f64,
+    /// Newton iterations run while spans at this path were innermost
+    /// on their thread (attributed at span close).
+    pub iterations: u64,
+    /// Whole-solve retries, same attribution.
+    pub retries: u64,
+}
+
+/// An aggregated profile of one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Nodes keyed by path (sorted, so rendering is deterministic).
+    pub nodes: BTreeMap<String, ProfileNode>,
+    /// Spans opened but never closed (a crash mid-span, or a truncated
+    /// trace): `span_start` events minus `span_end` events.
+    pub unclosed: i64,
+    /// Distinct producing threads seen in the stream.
+    pub threads: u64,
+    /// Event lines parsed.
+    pub events: u64,
+    /// Lines that were not valid JSON (e.g. a torn final line).
+    pub skipped: u64,
+}
+
+impl Profile {
+    /// Aggregates a JSONL trace. Unparseable lines are counted in
+    /// [`skipped`](Profile::skipped) rather than failing the whole
+    /// file — a killed process leaves a torn last line.
+    pub fn from_jsonl(text: &str) -> Profile {
+        let mut p = Profile::default();
+        let mut starts: u64 = 0;
+        let mut ends: u64 = 0;
+        let mut tids = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(doc) = json::parse(line) else {
+                p.skipped += 1;
+                continue;
+            };
+            p.events += 1;
+            if let Some(tid) = doc.get("tid").and_then(Json::as_u64) {
+                tids.insert(tid);
+            }
+            match doc.get("kind").and_then(Json::as_str) {
+                Some("span_start") => starts += 1,
+                Some("span_end") => {
+                    ends += 1;
+                    let Some(path) = doc.get("path").and_then(Json::as_str) else {
+                        continue;
+                    };
+                    let node = p.nodes.entry(path.to_string()).or_default();
+                    if node.path.is_empty() {
+                        node.path = path.to_string();
+                    }
+                    node.count += 1;
+                    node.total_s += doc.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+                    node.iterations += doc.get("iterations").and_then(Json::as_u64).unwrap_or(0);
+                    node.retries += doc.get("retries").and_then(Json::as_u64).unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+        p.threads = tids.len() as u64;
+        p.unclosed = starts as i64 - ends as i64;
+        // Self time: total minus the totals of *direct* children.
+        let child_totals: Vec<(String, f64)> = p
+            .nodes
+            .values()
+            .filter_map(|n| parent_of(&n.path).map(|parent| (parent.to_string(), n.total_s)))
+            .collect();
+        for node in p.nodes.values_mut() {
+            node.self_s = node.total_s;
+        }
+        for (parent, child_total) in child_totals {
+            if let Some(node) = p.nodes.get_mut(&parent) {
+                node.self_s = (node.self_s - child_total).max(0.0);
+            }
+        }
+        p
+    }
+
+    /// Root paths (no `/`), slowest first.
+    pub fn roots(&self) -> Vec<&ProfileNode> {
+        let mut roots: Vec<&ProfileNode> = self
+            .nodes
+            .values()
+            .filter(|n| parent_of(&n.path).is_none())
+            .collect();
+        roots.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite"));
+        roots
+    }
+
+    /// Inclusive wall-clock of the node at `path`, when present.
+    pub fn total_s(&self, path: &str) -> Option<f64> {
+        self.nodes.get(path).map(|n| n.total_s)
+    }
+
+    /// Renders the top-down tree (every root, children sorted by total
+    /// descending) followed by the top-`top_k` self-time hotlist.
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile — {} span paths, {} events, {} threads{}{}",
+            self.nodes.len(),
+            self.events,
+            self.threads,
+            if self.skipped > 0 {
+                format!(", {} unparseable lines skipped", self.skipped)
+            } else {
+                String::new()
+            },
+            if self.unclosed != 0 {
+                format!(", {} spans never closed", self.unclosed)
+            } else {
+                String::new()
+            },
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<52} {:>10} {:>10} {:>8} {:>12}",
+            "calling-context tree", "total_s", "self_s", "count", "iterations"
+        );
+        for root in self.roots() {
+            self.render_subtree(&mut out, &root.path, 0);
+        }
+        let mut hot: Vec<&ProfileNode> = self.nodes.values().collect();
+        hot.sort_by(|a, b| b.self_s.partial_cmp(&a.self_s).expect("finite"));
+        let _ = writeln!(out, "\nhotlist (self wall-clock):");
+        for n in hot.iter().take(top_k) {
+            let _ = writeln!(
+                out,
+                "  {:<50} {:>10.4}s ×{:<8} {} iterations",
+                n.path, n.self_s, n.count, n.iterations
+            );
+        }
+        out
+    }
+
+    fn render_subtree(&self, out: &mut String, path: &str, depth: usize) {
+        let Some(node) = self.nodes.get(path) else {
+            return;
+        };
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{:<52} {:>10.4} {:>10.4} {:>8} {:>12}",
+            label, node.total_s, node.self_s, node.count, node.iterations
+        );
+        let mut children: Vec<&ProfileNode> = self
+            .nodes
+            .values()
+            .filter(|n| parent_of(&n.path) == Some(path))
+            .collect();
+        children.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite"));
+        for child in children {
+            self.render_subtree(out, &child.path, depth + 1);
+        }
+    }
+
+    /// Collapsed-stack export: one `frame;frame;frame µs` line per
+    /// node with positive self time, weights in integer microseconds.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for node in self.nodes.values() {
+            let us = (node.self_s * 1.0e6).round() as u64;
+            if us == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", node.path.replace('/', ";"), us);
+        }
+        out
+    }
+
+    /// Machine-readable form of the aggregation.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("events".into(), Json::Num(self.events as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("skipped".into(), Json::Num(self.skipped as f64)),
+            ("unclosed".into(), Json::Num(self.unclosed as f64)),
+            (
+                "nodes".into(),
+                Json::Arr(
+                    self.nodes
+                        .values()
+                        .map(|n| {
+                            Json::obj([
+                                ("path".into(), Json::Str(n.path.clone())),
+                                ("count".into(), Json::Num(n.count as f64)),
+                                ("total_s".into(), Json::Num(n.total_s)),
+                                ("self_s".into(), Json::Num(n.self_s)),
+                                ("iterations".into(), Json::Num(n.iterations as f64)),
+                                ("retries".into(), Json::Num(n.retries as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The parent path of a `/`-joined span path (`None` for roots).
+fn parent_of(path: &str) -> Option<&str> {
+    path.rsplit_once('/').map(|(parent, _)| parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(kind: &str, path: &str, seconds: f64, iters: u64, tid: u64) -> String {
+        format!(
+            r#"{{"ts": 0.1, "tid": {tid}, "kind": "{kind}", "path": "{path}", "seconds": {seconds}, "iterations": {iters}, "retries": 0}}"#
+        )
+    }
+
+    fn sample_trace() -> String {
+        let mut t = String::new();
+        // Main thread: root with two children; worker: its own root.
+        for path in ["table2", "table2/context", "table2/search", "context"] {
+            t.push_str(&line("span_start", path, 0.0, 0, 1));
+            t.push('\n');
+        }
+        t.push_str(&line("span_end", "table2/context", 2.0, 100, 1));
+        t.push('\n');
+        t.push_str(&line("span_end", "table2/search", 3.0, 200, 1));
+        t.push('\n');
+        t.push_str(&line("span_end", "table2", 10.0, 0, 1));
+        t.push('\n');
+        t.push_str(&line("span_end", "context", 1.5, 50, 2));
+        t.push('\n');
+        t
+    }
+
+    #[test]
+    fn builds_the_forest_with_self_times() {
+        let p = Profile::from_jsonl(&sample_trace());
+        assert_eq!(p.nodes.len(), 4);
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.unclosed, 0);
+        let root = &p.nodes["table2"];
+        assert!((root.total_s - 10.0).abs() < 1e-12);
+        assert!((root.self_s - 5.0).abs() < 1e-12, "10 - (2 + 3)");
+        // Worker roots stay separate from the main root.
+        let roots: Vec<&str> = p.roots().iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(roots, vec!["table2", "context"]);
+        assert_eq!(p.nodes["table2/search"].iterations, 200);
+    }
+
+    #[test]
+    fn self_time_clamps_at_zero_for_overlapping_children() {
+        // Children's totals can exceed the parent when they ran on
+        // other threads; self time must not go negative.
+        let mut t = String::new();
+        t.push_str(&line("span_end", "a", 1.0, 0, 1));
+        t.push('\n');
+        t.push_str(&line("span_end", "a/b", 0.8, 0, 1));
+        t.push('\n');
+        t.push_str(&line("span_end", "a/c", 0.9, 0, 1));
+        t.push('\n');
+        let p = Profile::from_jsonl(&t);
+        assert_eq!(p.nodes["a"].self_s, 0.0);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_and_unclosed_spans_reported() {
+        let mut t = sample_trace();
+        t.push_str(&line("span_start", "table2/extra", 0.0, 0, 1));
+        t.push('\n');
+        t.push_str(r#"{"ts": 9.9, "kind": "span_e"#); // torn tail
+        let p = Profile::from_jsonl(&t);
+        assert_eq!(p.skipped, 1);
+        assert_eq!(p.unclosed, 1);
+    }
+
+    #[test]
+    fn renders_tree_and_hotlist() {
+        let p = Profile::from_jsonl(&sample_trace());
+        let text = p.render(3);
+        assert!(text.contains("calling-context tree"));
+        assert!(text.contains("hotlist"));
+        // Children render indented under the root, sorted by total.
+        let tree_pos = |needle: &str| text.find(needle).expect(needle);
+        assert!(tree_pos("table2") < tree_pos("  search"));
+        assert!(tree_pos("  search") < tree_pos("  context"));
+    }
+
+    #[test]
+    fn collapsed_export_uses_semicolons_and_microseconds() {
+        let p = Profile::from_jsonl(&sample_trace());
+        let collapsed = p.to_collapsed();
+        assert!(collapsed.contains("table2;search 3000000"));
+        assert!(collapsed.contains("table2;context 2000000"));
+        assert!(collapsed.contains("table2 5000000"));
+        for l in collapsed.lines() {
+            let (_, weight) = l.rsplit_once(' ').expect("two columns");
+            weight.parse::<u64>().expect("integer weight");
+        }
+    }
+}

@@ -24,6 +24,23 @@ pub fn epoch_seconds() -> f64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
 }
 
+/// A small stable id for the calling thread (assigned on first use),
+/// so trace consumers can separate concurrent span streams.
+pub fn thread_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    TID.try_with(|tid| {
+        if tid.get() == 0 {
+            tid.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        tid.get()
+    })
+    .unwrap_or(0)
+}
+
 fn sink_lock() -> std::sync::MutexGuard<'static, Option<Box<dyn Write + Send>>> {
     SINK.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -70,6 +87,7 @@ pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
     }
     let mut pairs = vec![
         ("ts".to_string(), Json::Num(epoch_seconds())),
+        ("tid".to_string(), Json::Num(thread_id() as f64)),
         ("kind".to_string(), Json::Str(kind.to_string())),
     ];
     pairs.extend(fields);

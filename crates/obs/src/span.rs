@@ -25,6 +25,9 @@ pub struct Span {
     path: String,
     depth: usize,
     start: Instant,
+    /// Thread solver tally at open, so `span_end` can attribute the
+    /// Newton iterations / retries run inside the span to its path.
+    tally0: metrics::SolverTally,
 }
 
 /// Opens a span named `name` nested under the calling thread's current
@@ -51,6 +54,7 @@ pub fn span(name: &str) -> Span {
         path,
         depth,
         start: Instant::now(),
+        tally0: metrics::tally(),
     }
 }
 
@@ -81,11 +85,14 @@ impl Drop for Span {
         }
         metrics::record_span(&self.path, seconds);
         if sink::sink_installed() {
+            let work = metrics::tally().since(&self.tally0);
             sink::emit(
                 "span_end",
                 vec![
                     ("path".to_string(), Json::Str(self.path.clone())),
                     ("seconds".to_string(), Json::Num(seconds)),
+                    ("iterations".to_string(), Json::Num(work.iterations as f64)),
+                    ("retries".to_string(), Json::Num(work.retries as f64)),
                 ],
             );
         }

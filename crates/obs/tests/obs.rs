@@ -20,8 +20,15 @@ impl Write for Shared {
     }
 }
 
+/// The sink is process-global; tests that install one must not overlap.
+fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn full_run_produces_a_parseable_manifest_and_trace() {
+    let _guard = sink_lock();
     let trace = Arc::new(Mutex::new(Vec::new()));
     obs::install_writer(Box::new(Shared(trace.clone())));
 
@@ -87,4 +94,112 @@ fn full_run_produces_a_parseable_manifest_and_trace() {
     let parsed = obs::RunManifest::parse(&manifest.to_json_string()).expect("round-trips");
     assert_eq!(parsed, manifest);
     assert!(parsed.render_summary(3).contains("e2e.table2/point"));
+}
+
+#[test]
+fn histogram_quantiles_are_exact_at_bucket_boundaries() {
+    // Values exactly at power-of-two bucket edges: 2^e opens bucket e,
+    // so a population of exact boundary values must never report a
+    // quantile outside the observed range, and the extreme quantiles
+    // must be exact.
+    let mut h = obs::Histogram::new();
+    for v in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        h.record(v);
+    }
+    // p0's rank lands in the minimum's own bucket e=0 ([1, 2)): the
+    // estimate is the geometric midpoint √2, clamped to ≥ min.
+    let p0 = h.quantile(0.0);
+    assert!(
+        (p0 - std::f64::consts::SQRT_2).abs() < 1e-12,
+        "p0 = {p0} should be the e=0 bucket midpoint"
+    );
+    assert_eq!(h.quantile(1.0), 16.0, "p100 is the exact maximum");
+    // Interior quantiles are geometric bucket midpoints, clamped to
+    // the observed range — always within [min, max].
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let v = h.quantile(q);
+        assert!((1.0..=16.0).contains(&v), "p{q} = {v} escaped [min, max]");
+    }
+    // The median rank (2 of 0..=4) lands in bucket e=2 ([4, 8)): the
+    // geometric midpoint 4√2 is the documented estimate.
+    let p50 = h.quantile(0.5);
+    assert!(
+        (p50 - 4.0 * std::f64::consts::SQRT_2).abs() < 1e-12,
+        "p50 = {p50}"
+    );
+
+    // A zeros-heavy population: ranks inside the zeros bucket are
+    // exact, and the transition out of it happens at the right rank.
+    let mut z = obs::Histogram::new();
+    for _ in 0..9 {
+        z.record(0.0);
+    }
+    z.record(1024.0);
+    assert_eq!(z.quantile(0.0), 0.0);
+    assert_eq!(z.quantile(0.5), 0.0, "rank 4 of 10 sits in the zeros");
+    assert_eq!(z.quantile(0.88), 0.0, "rank 8 is still a zero");
+    assert_eq!(z.quantile(1.0), 1024.0, "top rank is the exact max");
+
+    // Single observation: every quantile is that observation.
+    let mut one = obs::Histogram::new();
+    one.record(3.5);
+    for q in [0.0, 0.25, 0.5, 1.0] {
+        assert_eq!(one.quantile(q), 3.5);
+    }
+}
+
+#[test]
+fn jsonl_lines_stay_atomic_under_concurrent_emitters() {
+    let _guard = sink_lock();
+    const THREADS: u64 = 8;
+    const EVENTS_PER_THREAD: u64 = 200;
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    obs::install_writer(Box::new(Shared(trace.clone())));
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            scope.spawn(move || {
+                for seq in 0..EVENTS_PER_THREAD {
+                    obs::emit(
+                        "atomicity_probe",
+                        vec![
+                            ("worker".to_string(), obs::Json::Num(worker as f64)),
+                            ("seq".to_string(), obs::Json::Num(seq as f64)),
+                        ],
+                    );
+                }
+            });
+        }
+    });
+    obs::close_sink();
+
+    // Every line must parse on its own — a torn or interleaved write
+    // would corrupt at least one line — and each worker's events must
+    // all be present exactly once, in that worker's emit order.
+    let text = String::from_utf8(trace.lock().unwrap().clone()).unwrap();
+    let mut next_seq = vec![0u64; THREADS as usize];
+    let mut probes = 0u64;
+    for line in text.lines() {
+        let doc = obs::parse_json(line).expect("every sink line is valid JSON");
+        if doc.get("kind").and_then(obs::Json::as_str) != Some("atomicity_probe") {
+            continue; // another test's stragglers
+        }
+        probes += 1;
+        let worker = doc
+            .get("worker")
+            .and_then(obs::Json::as_u64)
+            .expect("worker field") as usize;
+        let seq = doc.get("seq").and_then(obs::Json::as_u64).expect("seq");
+        assert_eq!(
+            seq, next_seq[worker],
+            "worker {worker}: events must appear in emit order"
+        );
+        next_seq[worker] += 1;
+        assert!(
+            doc.get("tid")
+                .and_then(obs::Json::as_u64)
+                .is_some_and(|t| t > 0),
+            "events carry the emitting thread's id"
+        );
+    }
+    assert_eq!(probes, THREADS * EVENTS_PER_THREAD, "no event lost or torn");
 }

@@ -48,6 +48,7 @@ pub use anasim;
 pub use drftest;
 pub use erc;
 pub use march;
+pub use obs;
 pub use process;
 pub use regulator;
 pub use sram;

@@ -4,7 +4,10 @@
 //! ```text
 //! lp-sram-suite <artifact> [--paper|--reduced] [--jobs <n>] [--checkpoint <file>]
 //!               [--trace <file.jsonl>] [--metrics <file.json>] [--progress]
-//! lp-sram-suite summary <manifest.json> [--top <k>]
+//! lp-sram-suite summary <manifest.json> [--top <k>] [--json] [--traces]
+//! lp-sram-suite profile <trace.jsonl> [--top <k>] [--collapsed <out.txt>] [--json]
+//! lp-sram-suite compare <old.json> <new.json> [--fail-over <name>=<pct>%]…
+//!               [--json] [--all]
 //! lp-sram-suite lint [--deny-warnings] [--json] [--rules]
 //! lp-sram-suite fuzz-functional [--cases <n>] [--fuzz-seed <u64>]
 //! lp-sram-suite fuzz-netlist   [--cases <n>] [--fuzz-seed <u64>]
@@ -44,7 +47,25 @@
 //!   histograms, coverage);
 //! * `--progress` prints human-readable progress lines on stderr;
 //! * `summary <manifest.json>` renders a previously written manifest:
-//!   top-k slowest points, retry hot spots, and histogram sketches.
+//!   top-k slowest points, retry hot spots, and histogram sketches;
+//!   `--traces` appends the convergence flight-recorder digest and
+//!   `--json` emits the whole digest machine-readably.
+//!
+//! `--trace`/`--metrics` also arm the convergence flight recorder:
+//! each grid point's per-iteration residual/damping trajectory is
+//! ring-buffered and the slowest and all failed points are retained in
+//! the manifest.
+//!
+//! `profile <trace.jsonl>` folds a `--trace` stream into a
+//! calling-context tree (self/total wall-clock, call counts, solver
+//! iteration attribution) with a self-time hotlist; `--collapsed`
+//! additionally writes a collapsed-stack file for flamegraph tooling.
+//!
+//! `compare <old.json> <new.json>` diffs two run manifests or two
+//! bench-baseline files metric-by-metric. `--fail-over
+//! iterations_total=10%` turns growth beyond a threshold into exit
+//! code 1, making CI regression gates one command; exit 2 is reserved
+//! for usage/parse errors.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -65,7 +86,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: lp-sram-suite <artifact> [--paper|--reduced] [--jobs <n>] [--checkpoint <file>]\n\
          \x20                            [--trace <file.jsonl>] [--metrics <file.json>] [--progress]\n\
-         \x20      lp-sram-suite summary <manifest.json> [--top <k>]\n\
+         \x20      lp-sram-suite summary <manifest.json> [--top <k>] [--json] [--traces]\n\
+         \x20      lp-sram-suite profile <trace.jsonl> [--top <k>] [--collapsed <out.txt>] [--json]\n\
+         \x20      lp-sram-suite compare <old.json> <new.json> [--fail-over <name>=<pct>%]... [--json] [--all]\n\
          artifacts:\n\
            fig4          DRV vs single-transistor Vth variation\n\
            fig5          defect classification (colour coding)\n\
@@ -84,6 +107,12 @@ fn usage() -> ExitCode {
          --metrics <file.json>: write the run manifest at exit\n\
          --progress:            human-readable progress on stderr\n\
          summary <manifest.json>: render a manifest written by --metrics\n\
+         \x20    (--traces: convergence flight-recorder digest; --json: machine-readable)\n\
+         profile <trace.jsonl>: fold a --trace stream into a call tree + hotlist\n\
+         \x20    (--collapsed <out.txt>: flamegraph collapsed-stack export)\n\
+         compare <old.json> <new.json>: diff two manifests or bench baselines;\n\
+         \x20    --fail-over <metric>=<pct>% exits 1 when growth exceeds the\n\
+         \x20    threshold (repeatable; exit 2 = usage/parse error)\n\
          lint [--deny-warnings] [--json] [--rules]:\n\
          \x20    static ERC over the suite's netlists (exit 1 on errors,\n\
          \x20    2 on warnings with --deny-warnings); --rules lists the\n\
@@ -248,14 +277,114 @@ fn lint(deny_warnings: bool, json: bool, rules: bool) -> ExitCode {
     }
 }
 
-/// Renders a `--metrics` manifest back as a human-readable digest.
-fn summarize(path: &str, top_k: usize) -> Result<(), Box<dyn std::error::Error>> {
+/// Renders a `--metrics` manifest back as a human-readable digest
+/// (or, with `json`, as a machine-readable summary document).
+fn summarize(
+    path: &str,
+    top_k: usize,
+    json: bool,
+    traces: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest `{path}`: {e}"))?;
     let manifest = obs::RunManifest::parse(&text)
         .map_err(|e| format!("`{path}` is not a run manifest: {e}"))?;
+    if json {
+        println!("{}", manifest.summary_json(top_k).to_pretty());
+        return Ok(());
+    }
     print!("{}", manifest.render_summary(top_k));
+    if traces {
+        print!("{}", manifest.render_traces(8));
+    }
     Ok(())
+}
+
+/// Folds a `--trace` JSONL stream into a calling-context profile.
+fn profile(
+    path: &str,
+    top_k: usize,
+    collapsed: Option<&str>,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let prof = obs::Profile::from_jsonl(&text);
+    if let Some(out) = collapsed {
+        std::fs::write(out, prof.to_collapsed())
+            .map_err(|e| format!("cannot write collapsed stacks `{out}`: {e}"))?;
+    }
+    if json {
+        println!("{}", prof.to_json().to_pretty());
+    } else {
+        print!("{}", prof.render(top_k));
+    }
+    Ok(())
+}
+
+/// Diffs two metric files (`--metrics` manifests or bench baselines).
+/// Exit codes: 0 = within thresholds, 1 = regression, 2 = usage or
+/// parse error — the contract CI gates build on.
+fn compare(args: &[String]) -> ExitCode {
+    const USAGE_ERROR: u8 = 2;
+    let json = args.iter().any(|a| a == "--json");
+    let all = args.iter().any(|a| a == "--all");
+    let mut paths: Vec<&str> = Vec::new();
+    let mut thresholds: Vec<obs::Threshold> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail-over" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("error: --fail-over needs <metric>=<pct>%");
+                    return ExitCode::from(USAGE_ERROR);
+                };
+                match obs::Threshold::parse(spec) {
+                    Ok(t) => thresholds.push(t),
+                    Err(e) => {
+                        eprintln!("error: bad --fail-over `{spec}`: {e}");
+                        return ExitCode::from(USAGE_ERROR);
+                    }
+                }
+                i += 2;
+            }
+            "--json" | "--all" => i += 1,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown compare flag `{flag}`");
+                return ExitCode::from(USAGE_ERROR);
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "error: compare needs exactly two files (old, new), got {}",
+            paths.len()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
+    let load = |p: &str| -> Result<obs::MetricSet, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+        obs::MetricSet::from_json_str(&text).map_err(|e| format!("`{p}`: {e}"))
+    };
+    let (old, new) = match (load(paths[0]), load(paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    };
+    let report = obs::Report::build(&old, &new, &thresholds);
+    if json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render_text(all));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    ExitCode::from(report.exit_code() as u8)
 }
 
 /// The option value following `flag`, if present.
@@ -325,13 +454,36 @@ fn main() -> ExitCode {
         let top_k = flag_value(&args, "--top")
             .and_then(|v| v.parse().ok())
             .unwrap_or(10);
-        return match summarize(path, top_k) {
+        let json = args.iter().any(|a| a == "--json");
+        let traces = args.iter().any(|a| a == "--traces");
+        return match summarize(path, top_k, json, traces) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
             }
         };
+    }
+    if artifact == "profile" {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("error: profile needs a trace (JSONL) path");
+            return usage();
+        };
+        let top_k = flag_value(&args, "--top")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let collapsed = flag_value(&args, "--collapsed");
+        let json = args.iter().any(|a| a == "--json");
+        return match profile(path, top_k, collapsed, json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if artifact == "compare" {
+        return compare(&args[1..]);
     }
     let paper = args.iter().any(|a| a == "--paper");
     let reduced = args.iter().any(|a| a == "--reduced");
@@ -377,6 +529,12 @@ fn main() -> ExitCode {
             eprintln!("error: cannot open trace file `{path}`: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // Observability runs arm the convergence flight recorder: per-point
+    // residual trajectories for the slowest and all failed points land
+    // in the manifest (`summary --traces` renders them).
+    if trace.is_some() || metrics.is_some() {
+        obs::flight_enable(obs::DEFAULT_CAPACITY);
     }
     let started = Instant::now();
     let outcome = run(artifact, paper, reduced, jobs, checkpoint, fuzz);

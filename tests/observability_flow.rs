@@ -1,0 +1,203 @@
+//! End-to-end exercise of the observability toolchain added on top of
+//! the span/metrics layer: a traced campaign run feeding the profiler,
+//! the run-comparison engine's exit-code contract, and the convergence
+//! flight recorder surfacing a budget-exhausted point's trajectory.
+//!
+//! Everything here shares the process-global obs registry and sink, so
+//! every test takes the same lock and resets state up front.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use lp_sram_suite::anasim;
+use lp_sram_suite::drftest;
+use lp_sram_suite::obs;
+
+use anasim::devices::mosfet::MosParams;
+use anasim::mna::AnalysisMode;
+use anasim::newton::{solve_with_retry, RetryPolicy, SolveBudget};
+use anasim::{Netlist, NewtonOptions};
+use drftest::campaign::PointTimer;
+use drftest::experiments::table2;
+use drftest::Table2Options;
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A Write backed by a shared byte buffer, for capturing the JSONL
+/// trace in memory.
+#[derive(Clone)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn profile_reproduces_campaign_wall_clock_from_the_trace() {
+    let _guard = obs_lock();
+    obs::reset();
+    obs::flight_enable(obs::DEFAULT_CAPACITY);
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    obs::install_writer(Box::new(Shared(trace.clone())));
+
+    let mut opts = Table2Options::quick();
+    opts.jobs = 1;
+    let report = table2::run(&opts).expect("quick campaign solves");
+    obs::flush();
+    obs::close_sink();
+    obs::flight_disable();
+
+    let text = String::from_utf8(trace.lock().unwrap().clone()).unwrap();
+    let profile = obs::Profile::from_jsonl(&text);
+    assert_eq!(profile.unclosed, 0, "every span closed");
+
+    // The `table2` root span brackets exactly the campaign the
+    // coverage footer timed; folding the span stream back must land
+    // within 1% of the recorded wall-clock.
+    let span_total = profile
+        .total_s("table2")
+        .expect("the campaign root span is in the trace");
+    let elapsed = report.table.coverage.elapsed_s;
+    assert!(elapsed > 0.0, "coverage carries wall-clock");
+    let rel = (span_total - elapsed).abs() / elapsed;
+    assert!(
+        rel < 0.01,
+        "profile total {span_total:.4}s vs coverage {elapsed:.4}s ({:.2}% off)",
+        rel * 100.0
+    );
+
+    // The collapsed-stack export carries the same tree, one line per
+    // weighted node, flamegraph-ready.
+    let collapsed = profile.to_collapsed();
+    assert!(
+        collapsed.lines().any(|l| l.starts_with("table2 ")),
+        "collapsed export:\n{collapsed}"
+    );
+}
+
+#[test]
+fn compare_passes_on_self_and_fails_on_injected_regression() {
+    let bench = |iterations_total: f64| {
+        format!(
+            r#"{{
+  "schema": "lp-sram-suite/bench-baseline/v3",
+  "artifact": "table2",
+  "variants": {{
+    "sequential_warm": {{
+      "jobs": 1,
+      "points_attempted": 240,
+      "points_completed": 240,
+      "elapsed_s": 10.0,
+      "points_per_sec": 24.0,
+      "allocs_per_iteration": 0,
+      "solver": {{ "solves": 900, "iterations_total": {iterations_total} }}
+    }}
+  }}
+}}"#
+        )
+    };
+    let old = obs::MetricSet::from_json_str(&bench(1000.0)).expect("baseline parses");
+    let thresholds = [obs::Threshold::parse("iterations_total=10%").expect("spec parses")];
+
+    // Identical inputs: empty delta, exit 0 — the CI self-smoke.
+    let same = obs::MetricSet::from_json_str(&bench(1000.0)).expect("parses");
+    let self_report = obs::Report::build(&old, &same, &thresholds);
+    assert!(!self_report.failed());
+    assert_eq!(self_report.exit_code(), 0);
+    assert!(
+        self_report.deltas.iter().all(|d| d.rel == 0.0),
+        "self-compare must be an empty delta: {:?}",
+        self_report.deltas
+    );
+
+    // +15% iteration growth against a 10% gate: exit 1, and the
+    // offending metric is named in the report.
+    let regressed = obs::MetricSet::from_json_str(&bench(1150.0)).expect("parses");
+    let fail_report = obs::Report::build(&old, &regressed, &thresholds);
+    assert!(fail_report.failed());
+    assert_eq!(fail_report.exit_code(), 1);
+    assert!(fail_report
+        .deltas
+        .iter()
+        .any(|d| d.failed && d.name.ends_with("iterations_total")));
+    assert!(fail_report.render_text(false).contains("FAIL"));
+
+    // Shrinkage is an improvement, never a failure.
+    let improved = obs::MetricSet::from_json_str(&bench(850.0)).expect("parses");
+    assert_eq!(
+        obs::Report::build(&old, &improved, &thresholds).exit_code(),
+        0
+    );
+}
+
+#[test]
+fn budget_exhausted_point_trajectory_lands_in_the_summary() {
+    let _guard = obs_lock();
+    obs::reset();
+    obs::flight_enable(obs::DEFAULT_CAPACITY);
+
+    // A threshold-biased inverter under a starved iteration budget:
+    // plain Newton burns its 3 iterations, the budget trips before any
+    // rescue rung, and the flight recorder holds those iterations.
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let input = nl.node("in");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, Netlist::GND, 1.1);
+    nl.vsource("VIN", input, Netlist::GND, 0.55);
+    nl.mosfet("MP", out, input, vdd, MosParams::pmos(4.0e-4, 0.45))
+        .expect("library PMOS card validates");
+    nl.mosfet(
+        "MN",
+        out,
+        input,
+        Netlist::GND,
+        MosParams::nmos(4.0e-4, 0.45),
+    )
+    .expect("library NMOS card validates");
+    let opts = NewtonOptions {
+        max_iterations: 3,
+        ..NewtonOptions::plain()
+    };
+    let policy = RetryPolicy::ladder().with_budget(SolveBudget::iterations(3));
+
+    let timer = PointTimer::start("df16/cs1 @ tt, 0.30V, 25°C");
+    let err = solve_with_retry(&nl, &opts, None, AnalysisMode::Dc, &policy)
+        .expect_err("starved budget must trip");
+    assert!(matches!(err, anasim::Error::BudgetExceeded { .. }));
+    timer.finish_failed("budget-exhausted");
+    obs::flight_disable();
+    obs::flush();
+
+    let snap = obs::snapshot();
+    let trace = snap
+        .traces
+        .iter()
+        .find(|t| t.key.starts_with("df16/cs1"))
+        .expect("failed point retained its trajectory");
+    assert_eq!(trace.outcome, "budget-exhausted");
+    assert!(trace.recorded >= 3, "every Newton iteration sampled");
+
+    // The manifest renders it, round-trips it, and the summary digest
+    // names it.
+    let manifest =
+        obs::RunManifest::from_snapshot("table2", std::collections::BTreeMap::new(), &snap, 0.1);
+    let rendered = manifest.render_traces(8);
+    assert!(rendered.contains("df16/cs1"), "rendered:\n{rendered}");
+    assert!(rendered.contains("budget-exhausted"));
+    assert!(rendered.contains("residual"));
+
+    let reparsed = obs::RunManifest::parse(&manifest.to_json_string()).expect("round-trips");
+    assert_eq!(reparsed, manifest);
+    let digest = reparsed.summary_json(5).to_compact();
+    assert!(digest.contains("budget-exhausted"));
+}
