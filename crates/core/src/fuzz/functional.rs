@@ -512,6 +512,194 @@ pub fn fuzz_functional(cases: u64, seed: u64) -> FuzzSummary {
     summary
 }
 
+/// One functional-fuzzer claim mapped onto symbolic-prover
+/// expectations: the named claim holds iff, for every listed test and
+/// fault class, the prover's verdict has the expected polarity *and*
+/// is state-independent (the fuzzer asserts its claims under
+/// arbitrary preambles, so a state-dependent proof would not back
+/// them).
+#[derive(Debug, Clone, Copy)]
+pub struct ClaimExpectation {
+    /// The claim's label, exactly as printed in the fuzz report.
+    pub label: &'static str,
+    /// Library test names the claim quantifies over.
+    pub tests: &'static [&'static str],
+    /// Fault-class codes (see `mprove::FaultClass::code`).
+    pub classes: &'static [&'static str],
+    /// Whether the claim is about the standard background *family*
+    /// (intra-word coupling) rather than a single background.
+    pub family: bool,
+    /// `true` → must be Proven-Detected; `false` → Proven-Escaped.
+    pub expect_detected: bool,
+}
+
+const CLASSIC: &[&str] = &["MATS+", "March C-", "March SS"];
+
+/// The fuzzer's detection claims (properties 3–12 above) as prover
+/// expectations. Property 1 is a pure simulator-consistency check and
+/// property 2 maps onto the prover's clean-memory proof; neither is a
+/// per-class claim.
+pub fn claim_expectations() -> Vec<ClaimExpectation> {
+    vec![
+        ClaimExpectation {
+            label: "stuck-at caught by every test",
+            tests: &["MATS+", "March C-", "March SS", "March LZ", "March m-LZ"],
+            classes: &["SAF0", "SAF1"],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "retention loss caught by March m-LZ",
+            tests: &["March m-LZ"],
+            classes: &["DRF0", "DRF1"],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "wake-up write fault caught by m-LZ and LZ",
+            tests: &["March m-LZ", "March LZ"],
+            classes: &["WUF"],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "retention loss escapes MATS+/C-/SS",
+            tests: CLASSIC,
+            classes: &["DRF0", "DRF1"],
+            family: false,
+            expect_detected: false,
+        },
+        ClaimExpectation {
+            label: "wake-up write fault escapes MATS+/C-/SS",
+            tests: CLASSIC,
+            classes: &["WUF"],
+            family: false,
+            expect_detected: false,
+        },
+        ClaimExpectation {
+            label: "transition fault caught by C- and SS",
+            tests: &["March C-", "March SS"],
+            classes: &["TF_R", "TF_F"],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "inter-word CFin/CFid caught by C- and SS",
+            tests: &["March C-", "March SS"],
+            classes: &[
+                "CFIN_LO",
+                "CFIN_HI",
+                "CFID_LO_R0",
+                "CFID_LO_R1",
+                "CFID_LO_F0",
+                "CFID_LO_F1",
+                "CFID_HI_R0",
+                "CFID_HI_R1",
+                "CFID_HI_F0",
+                "CFID_HI_F1",
+            ],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "address alias caught by MATS+/C-/SS",
+            tests: CLASSIC,
+            classes: &["AF_LO", "AF_HI"],
+            family: false,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "separable intra-word CFst caught by C-",
+            tests: &["March C-"],
+            classes: &[
+                "CFST_IW_SEP_S0F0",
+                "CFST_IW_SEP_S0F1",
+                "CFST_IW_SEP_S1F0",
+                "CFST_IW_SEP_S1F1",
+            ],
+            family: true,
+            expect_detected: true,
+        },
+        ClaimExpectation {
+            label: "non-separable intra-word CFst escapes",
+            tests: &["March C-"],
+            classes: &["CFST_IW_NSEP_S0F0", "CFST_IW_NSEP_S1F1"],
+            family: true,
+            expect_detected: false,
+        },
+    ]
+}
+
+/// Cross-checks the symbolic prover's claims matrix against the
+/// fuzzer's claim table: every detection claim the fuzzer samples must
+/// be Proven-Detected (state-independently), every escape claim
+/// Proven-Escaped, and every library test proven to never false-fail a
+/// clean memory. Returns one problem string per disagreement; empty
+/// means the two oracles agree.
+pub fn cross_check(matrix: &mprove::ClaimsMatrix) -> Vec<String> {
+    let mut problems = Vec::new();
+    for test in &matrix.tests {
+        if test.clean != mprove::CleanVerdict::ProvenClean {
+            problems.push(format!(
+                "`clean memory passes every test`: {} is not proven clean ({})",
+                test.name,
+                test.clean.code()
+            ));
+        }
+    }
+    for exp in claim_expectations() {
+        let scope = if exp.family { "family" } else { "solid" };
+        for test in exp.tests {
+            for class in exp.classes {
+                let Some(claim) = matrix.claim(test, class) else {
+                    problems.push(format!(
+                        "`{}`: no claim for {} / {class} in the matrix",
+                        exp.label, test
+                    ));
+                    continue;
+                };
+                let verdict = if exp.family {
+                    claim.family.as_ref()
+                } else {
+                    Some(&claim.solid)
+                };
+                let Some(verdict) = verdict else {
+                    problems.push(format!(
+                        "`{}`: {} / {class} has no {scope} verdict",
+                        exp.label, test
+                    ));
+                    continue;
+                };
+                let ok = if exp.expect_detected {
+                    verdict.is_detected()
+                } else {
+                    verdict.is_escaped()
+                };
+                if !ok {
+                    problems.push(format!(
+                        "`{}`: fuzzer claims {} / {class} ({scope}) is {}, prover says {}",
+                        exp.label,
+                        test,
+                        if exp.expect_detected {
+                            "detected"
+                        } else {
+                            "an escape"
+                        },
+                        verdict.code()
+                    ));
+                } else if verdict.state_independent() != Some(true) {
+                    problems.push(format!(
+                        "`{}`: fuzzer asserts {} / {class} under arbitrary preambles but the \
+                         prover's {scope} verdict is state-dependent",
+                        exp.label, test
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,7 @@
 pub mod functional;
 pub mod netlist;
 
-pub use functional::fuzz_functional;
+pub use functional::{claim_expectations, cross_check, fuzz_functional, ClaimExpectation};
 pub use netlist::{fuzz_netlists, random_netlist};
 
 /// Default fuzz seed: the DATE 2013 session date, matching the Monte

@@ -81,7 +81,80 @@ pub enum FaultKind {
     },
 }
 
+/// A fault primitive in the ⟨S/F/R⟩ notation of the memory-test
+/// literature: `S` is the sensitizing condition, `F` the faulty value
+/// the victim then holds, and `R` the (wrong) read result where the
+/// fault is read-observable directly (`-` when observation needs a
+/// later read of the corrupted cell).
+///
+/// The fields are display strings, not a machine model — the symbolic
+/// prover in `mprove` carries the operational semantics; this triple is
+/// the stable, human- and JSON-facing description attached to every
+/// claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPrimitive {
+    /// The sensitizing condition `S` (e.g. `0w1` for a rising TF,
+    /// `↑a` for a CFid triggered by a rising aggressor write).
+    pub sensitization: String,
+    /// The faulty victim value `F` (e.g. `0`, `¬v`).
+    pub faulty: String,
+    /// The read result `R`, or `-` when the fault corrupts state
+    /// without changing the current read.
+    pub read: String,
+}
+
+impl fmt::Display for FaultPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}/{}/{}⟩", self.sensitization, self.faulty, self.read)
+    }
+}
+
 impl FaultKind {
+    /// The fault's ⟨S/F/R⟩ primitive.
+    pub fn primitive(&self) -> FaultPrimitive {
+        let (s, fv, r) = match self {
+            FaultKind::StuckAt(v) => {
+                let v = u8::from(*v).to_string();
+                ("∀".to_string(), v.clone(), v)
+            }
+            FaultKind::TransitionFault { rising } => {
+                let (s, f) = if *rising { ("0w1", "0") } else { ("1w0", "1") };
+                (s.to_string(), f.to_string(), "-".to_string())
+            }
+            FaultKind::CouplingInversion { .. } => {
+                ("↕a".to_string(), "¬v".to_string(), "-".to_string())
+            }
+            FaultKind::CouplingIdempotent { rising, forces, .. } => (
+                format!("{}a", if *rising { "↑" } else { "↓" }),
+                u8::from(*forces).to_string(),
+                "-".to_string(),
+            ),
+            FaultKind::RetentionLoss { weak } => (
+                format!("{}·DS", u8::from(*weak)),
+                u8::from(!*weak).to_string(),
+                "-".to_string(),
+            ),
+            FaultKind::WakeUpWriteFault => {
+                ("WUP;w(¬v)".to_string(), "v".to_string(), "-".to_string())
+            }
+            FaultKind::AddressAlias { aliases_to } => (
+                "decode".to_string(),
+                format!("word[{aliases_to}]"),
+                format!("word[{aliases_to}]"),
+            ),
+            FaultKind::CouplingState { when, forces, .. } => (
+                format!("a={}", u8::from(*when)),
+                u8::from(*forces).to_string(),
+                "-".to_string(),
+            ),
+        };
+        FaultPrimitive {
+            sensitization: s,
+            faulty: fv,
+            read: r,
+        }
+    }
+
     /// The aggressor cell for coupling faults.
     pub fn aggressor(&self) -> Option<CellRef> {
         match self {
@@ -266,6 +339,38 @@ mod tests {
         assert!(Fault::retention_loss(v, true).kind.needs_deep_sleep());
         assert!(!Fault::stuck_at(v, true).kind.needs_deep_sleep());
         assert!(!Fault::transition(v, true).kind.needs_deep_sleep());
+    }
+
+    #[test]
+    fn primitives_are_stable() {
+        let v = CellRef { addr: 0, bit: 0 };
+        let a = CellRef { addr: 0, bit: 1 };
+        assert_eq!(
+            Fault::stuck_at(v, false).kind.primitive().to_string(),
+            "⟨∀/0/0⟩"
+        );
+        assert_eq!(
+            Fault::transition(v, true).kind.primitive().to_string(),
+            "⟨0w1/0/-⟩"
+        );
+        assert_eq!(
+            Fault::retention_loss(v, true).kind.primitive().to_string(),
+            "⟨1·DS/0/-⟩"
+        );
+        assert_eq!(
+            Fault::coupling_state(a, v, true, false)
+                .kind
+                .primitive()
+                .to_string(),
+            "⟨a=1/0/-⟩"
+        );
+        assert_eq!(
+            Fault::coupling_idempotent(a, v, false, true)
+                .kind
+                .primitive()
+                .to_string(),
+            "⟨↓a/1/-⟩"
+        );
     }
 
     #[test]

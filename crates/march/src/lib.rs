@@ -38,7 +38,7 @@ pub use background::DataBackground;
 pub use coverage::{grade, grade_with_backgrounds, CoverageReport};
 pub use element::MarchElement;
 pub use engine::{run, run_with_background, FailureRecord, TestOutcome};
-pub use fault::{CellRef, Fault, FaultKind};
+pub use fault::{CellRef, Fault, FaultKind, FaultPrimitive};
 pub use op::{AddressOrder, Op};
 pub use target::{SimpleMemory, TestTarget};
 pub use test::{MarchTest, ParseNotationError, ValidateTestError};

@@ -13,15 +13,41 @@ pub struct MarchTest {
 }
 
 /// Error from parsing March notation.
+///
+/// Besides the human-readable message, the error pins down *where* the
+/// parse failed: `offset` is the byte offset of the offending token in
+/// the original notation string (arrows are multi-byte UTF-8, so this
+/// is a byte index, not a character column) and `token` is the exact
+/// slice that failed to parse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseNotationError {
     /// What went wrong.
     pub message: String,
+    /// Byte offset of `token` in the notation string handed to
+    /// [`MarchTest::parse`].
+    pub offset: usize,
+    /// The offending token. Empty only when the input itself had no
+    /// token to blame (e.g. an empty element list).
+    pub token: String,
+}
+
+impl ParseNotationError {
+    fn new(message: impl Into<String>, offset: usize, token: &str) -> Self {
+        ParseNotationError {
+            message: message.into(),
+            offset,
+            token: token.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ParseNotationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid march notation: {}", self.message)
+        write!(
+            f,
+            "invalid march notation at byte {} near `{}`: {}",
+            self.offset, self.token, self.message
+        )
     }
 }
 
@@ -65,6 +91,23 @@ impl MarchTest {
         (per_word, constant)
     }
 
+    /// Op-level iteration over the test's sweeps: yields
+    /// `(element index, op index, op)` for every operation, in element
+    /// order. `DSM`/`WUP` elements carry no per-address operations and
+    /// contribute nothing; use [`MarchTest::elements`] when those
+    /// matter. This is the hook the symbolic prover uses to map a
+    /// detecting `(element, op)` witness back to the concrete
+    /// operation.
+    pub fn flat_ops(&self) -> impl Iterator<Item = (usize, usize, Op)> + '_ {
+        self.elements.iter().enumerate().flat_map(|(ei, e)| {
+            let ops: &[Op] = match e {
+                MarchElement::Sweep { ops, .. } => ops,
+                _ => &[],
+            };
+            ops.iter().enumerate().map(move |(oi, &op)| (ei, oi, op))
+        })
+    }
+
     /// Whether the test exercises deep-sleep retention (contains a
     /// DSM/WUP pair followed by a read).
     pub fn exercises_retention(&self) -> bool {
@@ -94,14 +137,22 @@ impl MarchTest {
     /// Returns [`ParseNotationError`] on malformed input.
     pub fn parse(name: &str, notation: &str, dwell: f64) -> Result<Self, ParseNotationError> {
         let trimmed = notation.trim();
+        let lead = notation.len() - notation.trim_start().len();
         let inner = trimmed
             .strip_prefix('{')
             .and_then(|s| s.strip_suffix('}'))
-            .ok_or_else(|| ParseNotationError {
-                message: "notation must be wrapped in { }".to_string(),
+            .ok_or_else(|| {
+                let token = trimmed.split_whitespace().next().unwrap_or("");
+                ParseNotationError::new("notation must be wrapped in { }", lead, token)
             })?;
+        // Byte offset of `inner` within `notation`: past the leading
+        // whitespace and the `{`.
+        let base = lead + '{'.len_utf8();
         let mut elements = Vec::new();
+        let mut cursor = base;
         for raw in inner.split(';') {
+            let start = cursor + (raw.len() - raw.trim_start().len());
+            cursor += raw.len() + 1; // +1 for the `;` the split consumed
             let part = raw.trim();
             if part.is_empty() {
                 continue;
@@ -117,44 +168,60 @@ impl MarchTest {
                 }
                 _ => {}
             }
-            let (order, rest) = Self::parse_order(part)?;
+            let (order, rest) = Self::parse_order(part, start)?;
             let ops_str = rest
                 .trim()
                 .strip_prefix('(')
                 .and_then(|s| s.strip_suffix(')'))
-                .ok_or_else(|| ParseNotationError {
-                    message: format!("expected (ops) in element `{part}`"),
+                .ok_or_else(|| {
+                    ParseNotationError::new(
+                        format!("expected (ops) in element `{part}`"),
+                        start,
+                        part,
+                    )
                 })?;
+            // Order markers never contain a paren, so the first `(` of
+            // the element is the one opening `ops_str`.
+            let ops_base = start + part.find('(').expect("ops imply a paren") + 1;
             let mut ops = Vec::new();
+            let mut op_cursor = ops_base;
             for op in ops_str.split(',') {
+                let op_start = op_cursor + (op.len() - op.trim_start().len());
+                op_cursor += op.len() + 1;
                 ops.push(match op.trim() {
                     "w0" => Op::W0,
                     "w1" => Op::W1,
                     "r0" => Op::R0,
                     "r1" => Op::R1,
                     other => {
-                        return Err(ParseNotationError {
-                            message: format!("unknown operation `{other}`"),
-                        })
+                        return Err(ParseNotationError::new(
+                            format!("unknown operation `{other}`"),
+                            op_start,
+                            other,
+                        ))
                     }
                 });
             }
             if ops.is_empty() {
-                return Err(ParseNotationError {
-                    message: format!("element `{part}` has no operations"),
-                });
+                return Err(ParseNotationError::new(
+                    format!("element `{part}` has no operations"),
+                    start,
+                    part,
+                ));
             }
             elements.push(MarchElement::Sweep { order, ops });
         }
         if elements.is_empty() {
-            return Err(ParseNotationError {
-                message: "test has no elements".to_string(),
-            });
+            return Err(ParseNotationError::new(
+                "test has no elements",
+                lead,
+                trimmed,
+            ));
         }
         Ok(MarchTest::new(name, elements))
     }
 
-    fn parse_order(part: &str) -> Result<(AddressOrder, &str), ParseNotationError> {
+    fn parse_order(part: &str, offset: usize) -> Result<(AddressOrder, &str), ParseNotationError> {
         for (prefix, order) in [
             ("⇑", AddressOrder::Up),
             ("⇓", AddressOrder::Down),
@@ -168,9 +235,11 @@ impl MarchTest {
                 return Ok((order, rest));
             }
         }
-        Err(ParseNotationError {
-            message: format!("element `{part}` has no address-order marker"),
-        })
+        Err(ParseNotationError::new(
+            format!("element `{part}` has no address-order marker"),
+            offset,
+            part,
+        ))
     }
 }
 
@@ -365,6 +434,43 @@ mod tests {
         assert!(MarchTest::parse("x", "{}", 1e-3).is_err());
         let e = MarchTest::parse("x", "{⇑ w0}", 1e-3).expect_err("missing parens must not parse");
         assert!(e.to_string().contains("invalid march notation"));
+    }
+
+    #[test]
+    fn parse_errors_carry_offset_and_token() {
+        let notation = "{⇕(w1); ⇑(r1,wx,r0)}";
+        let e = MarchTest::parse("x", notation, 1e-3).expect_err("wx is not an op");
+        assert_eq!(e.token, "wx");
+        assert_eq!(&notation[e.offset..e.offset + e.token.len()], "wx");
+        assert!(e.to_string().contains("invalid march notation"), "{e}");
+
+        let e = MarchTest::parse("x", "  {⇑ w0}", 1e-3).expect_err("missing parens");
+        assert_eq!(e.token, "⇑ w0");
+        assert_eq!(e.offset, 3, "leading whitespace and `{{` are 3 bytes");
+
+        let e = MarchTest::parse("x", "no braces", 1e-3).expect_err("no braces");
+        assert_eq!(e.token, "no");
+        assert_eq!(e.offset, 0);
+
+        let e = MarchTest::parse("x", "{sideways(w0)}", 1e-3).expect_err("bad order marker");
+        assert_eq!(e.token, "sideways(w0)");
+        assert_eq!(e.offset, 1);
+    }
+
+    #[test]
+    fn flat_ops_iterates_sweep_operations() {
+        let t = MarchTest::parse("March m-LZ", MLZ, 1e-3).expect("m-LZ notation is valid");
+        let ops: Vec<_> = t.flat_ops().collect();
+        assert_eq!(
+            ops,
+            vec![
+                (0, 0, Op::W1),
+                (3, 0, Op::R1),
+                (3, 1, Op::W0),
+                (3, 2, Op::R0),
+                (6, 0, Op::R0),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Symbolic march-test coverage prover.
+//!
+//! This crate abstractly interprets a [`march::test::MarchTest`] over
+//! a tiny per-cell symbolic state (value ∈ {0, 1, ⊤} plus fault-local
+//! bookkeeping) parameterized over the fault primitives of
+//! `march::fault`, with the aggressor/victim *positions* treated
+//! symbolically: one run covers every address and bit placement of a
+//! fault class at once, so coverage claims become machine-checked
+//! proofs instead of sampled observations.
+//!
+//! For every `(test, fault class)` pair in the library the prover
+//! returns a [`verdict::Verdict`]:
+//!
+//! * **Proven-Detected** — with a witness `(element, op)` read that
+//!   observes the fault and the event chain leading to it;
+//! * **Proven-Escaped** — with a concrete minimal counterexample
+//!   (geometry + fault + backgrounds) the simulation can replay;
+//! * **Unknown** — with the blind spot named, never silently.
+//!
+//! The [`differential`] module closes the loop: escapes are replayed
+//! through `march::coverage` and detections cross-checked against an
+//! exhaustive fault enumeration, so the symbolic machine and the
+//! concrete simulator must agree or the build fails.
+//!
+//! The crate is zero-dependency beyond the workspace's own `march`
+//! and `obs` crates.
+
+pub mod class;
+pub mod differential;
+pub mod machine;
+pub mod prove;
+pub mod sym;
+pub mod verdict;
+
+pub use class::{FaultClass, Instance, Pos, Sep};
+pub use machine::{Init, Layout, Phases, RunOutcome, RunResult, Semantics, Witness};
+pub use prove::{
+    check_paper_claims, family_instance_detected, paper_claims, prove_clean, prove_library,
+    prove_test, PaperClaim,
+};
+pub use sym::Sym;
+pub use verdict::{
+    Claim, ClaimsMatrix, CleanVerdict, Counterexample, TestSummary, Verdict, VerdictCounts,
+};

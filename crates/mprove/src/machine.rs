@@ -1,0 +1,589 @@
+//! The symbolic two-cell march machine.
+//!
+//! Instead of simulating a concrete memory, the prover runs a march
+//! test over at most two modeled cells — the victim and (for pair
+//! faults) the aggressor — with values in the [`Sym`] lattice. The
+//! machine's transfer functions mirror `march::target::SimpleMemory`
+//! operation for operation (store, coupling edge effects, victim-write
+//! faults, armed wake-up consumption, state enforcement, in that
+//! order), and the *relative* visiting order of the two sites is
+//! derived from the layout and the sweep's address order. Because
+//! detection only depends on that relative order and on the per-cell
+//! expected data (the phases), one run stands for every concrete
+//! placement; the exhaustive differential harness checks exactly that
+//! claim against the simulator.
+
+use march::element::MarchElement;
+use march::op::{AddressOrder, Op};
+use march::test::MarchTest;
+
+use crate::sym::Sym;
+
+/// Where the modeled cells sit relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Only the victim is modeled (single-cell faults).
+    Single,
+    /// Aggressor at a lower address than the victim.
+    AggrBelow,
+    /// Aggressor at a higher address than the victim.
+    AggrAbove,
+    /// Aggressor and victim are two bits of one word: every operation
+    /// acts on both at once.
+    Intra,
+    /// Address-decoder alias: two logical addresses map onto one
+    /// physical cell, which therefore sees every sweep's operations
+    /// twice.
+    Alias,
+}
+
+/// The per-cell expected-data phase: the bit the background pattern
+/// assigns to the cell (`w1` writes the phase, `w0` its complement,
+/// reads expect accordingly). Solid backgrounds have both phases
+/// `true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phases {
+    /// Aggressor phase.
+    pub a: bool,
+    /// Victim phase.
+    pub v: bool,
+}
+
+impl Phases {
+    /// The solid-background phases.
+    pub fn solid() -> Phases {
+        Phases { a: true, v: true }
+    }
+}
+
+/// Initial symbolic values of the two cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Init {
+    /// Aggressor initial value.
+    pub a: Sym,
+    /// Victim initial value.
+    pub v: Sym,
+}
+
+impl Init {
+    /// Both cells zero — the simulator's power-on state.
+    pub fn zeroed() -> Init {
+        Init {
+            a: Sym::Zero,
+            v: Sym::Zero,
+        }
+    }
+}
+
+/// The fault semantics the machine applies, mirroring
+/// `march::fault::FaultKind` with positions abstracted away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// No fault (used for the never-false-fail proof).
+    Clean,
+    /// Victim always holds the value.
+    StuckAt(bool),
+    /// One victim write transition fails.
+    Transition {
+        /// Whether the 0→1 write is the failing one.
+        rising: bool,
+    },
+    /// Deep-sleep drains the victim's weak value.
+    Retention {
+        /// The value lost in deep-sleep.
+        weak: bool,
+    },
+    /// The first victim write after each wake-up is lost.
+    WakeUpWrite,
+    /// Two addresses share one cell (no further misbehaviour).
+    Alias,
+    /// Any aggressor transition inverts the victim.
+    Inversion,
+    /// A specific aggressor write transition forces the victim.
+    Idempotent {
+        /// Whether the trigger is the rising transition.
+        rising: bool,
+        /// The value forced.
+        forces: bool,
+    },
+    /// While the aggressor holds `when`, the victim is forced.
+    State {
+        /// The activating aggressor state.
+        when: bool,
+        /// The value forced.
+        forces: bool,
+    },
+}
+
+/// The cell(s) a visit acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Aggr,
+    Victim,
+    Both,
+}
+
+/// The detecting observation: which `(element, op)` read failed, on
+/// which modeled cell, and what it saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// Element index in the test.
+    pub element: usize,
+    /// Op index within the element.
+    pub op_index: usize,
+    /// The failing read operation.
+    pub op: Op,
+    /// `"victim"` or `"aggressor"`.
+    pub cell: &'static str,
+    /// The bit the read expected.
+    pub expected: bool,
+    /// The bit the faulty machine holds.
+    pub observed: bool,
+}
+
+/// Outcome of one symbolic run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunResult {
+    /// Every read matched: the fault escapes this run.
+    Pass,
+    /// A read mismatched: the fault is detected, with the witness.
+    Fail(Witness),
+    /// The abstraction could not decide (e.g. a read or transition on
+    /// ⊤). Named so the verdict can report the blind spot.
+    Inconclusive(String),
+}
+
+/// A run result plus the event chain that led to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Pass / fail / inconclusive.
+    pub result: RunResult,
+    /// Human-readable fault-activation events, in order.
+    pub events: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Whether the run proved detection.
+    pub fn failed(&self) -> bool {
+        matches!(self.result, RunResult::Fail(_))
+    }
+}
+
+fn visit_plan(layout: Layout, order: AddressOrder) -> &'static [Site] {
+    use AddressOrder::{Any, Down, Up};
+    match (layout, order) {
+        (Layout::Single, _) => &[Site::Victim],
+        (Layout::Intra, _) => &[Site::Both],
+        // Both logical addresses hit the same physical cell; the two
+        // visits are identical either way around, so order is moot.
+        (Layout::Alias, _) => &[Site::Victim, Site::Victim],
+        // `Any` executes ascending (see `AddressOrder::addresses`).
+        (Layout::AggrBelow, Up | Any) => &[Site::Aggr, Site::Victim],
+        (Layout::AggrBelow, Down) => &[Site::Victim, Site::Aggr],
+        (Layout::AggrAbove, Up | Any) => &[Site::Victim, Site::Aggr],
+        (Layout::AggrAbove, Down) => &[Site::Aggr, Site::Victim],
+    }
+}
+
+struct Machine {
+    sem: Semantics,
+    phases: Phases,
+    a: Sym,
+    v: Sym,
+    armed: bool,
+    events: Vec<String>,
+}
+
+impl Machine {
+    /// The value an op with background bit `high` stores into / expects
+    /// from a cell with phase `phase`.
+    fn data(high: bool, phase: bool) -> bool {
+        if high {
+            phase
+        } else {
+            !phase
+        }
+    }
+
+    fn write(&mut self, ei: usize, op: Op, site: Site) -> Option<RunResult> {
+        let high = op.background();
+        let val_a = Sym::from_bool(Self::data(high, self.phases.a));
+        let val_v = Sym::from_bool(Self::data(high, self.phases.v));
+        match site {
+            Site::Aggr => {
+                let old = self.a;
+                self.a = val_a;
+                if let Err(stuck) = self.aggressor_edge(ei, old) {
+                    return Some(stuck);
+                }
+            }
+            Site::Victim => self.victim_write(ei, val_v),
+            Site::Both => {
+                // SimpleMemory stores the whole word first, then applies
+                // the coupling edge effect on the just-stored victim.
+                let old_a = self.a;
+                self.a = val_a;
+                self.v = val_v;
+                if let Err(stuck) = self.aggressor_edge(ei, old_a) {
+                    return Some(stuck);
+                }
+            }
+        }
+        self.enforce_state(ei);
+        None
+    }
+
+    fn victim_write(&mut self, ei: usize, val: Sym) {
+        let old = self.v;
+        match self.sem {
+            Semantics::StuckAt(s) => {
+                // The stored value is immediately overridden.
+                self.v = Sym::from_bool(s);
+            }
+            Semantics::Transition { rising } => {
+                let want = val.as_bool().expect("writes store constants");
+                // `old` may be ⊤ only before the first write of a valid
+                // test; a blocked transition needs old != want, and from
+                // ⊤ both concretizations agree with the outcome below.
+                match old.as_bool() {
+                    Some(was) if was != want && want == rising => {
+                        self.events.push(format!(
+                            "element {ei}: TF blocks the {}→{} write, victim keeps {}",
+                            u8::from(was),
+                            u8::from(want),
+                            u8::from(was),
+                        ));
+                    }
+                    Some(_) => self.v = val,
+                    None => {
+                        // From ⊤: if the cell held `want` the write is a
+                        // no-op, if it held `!want` and the transition is
+                        // the failing one it keeps `!want` — the result
+                        // is only known when the transition direction is
+                        // not the failing one.
+                        if want == rising {
+                            self.v = Sym::Top;
+                        } else {
+                            self.v = val;
+                        }
+                    }
+                }
+            }
+            Semantics::WakeUpWrite => {
+                if self.armed {
+                    self.armed = false;
+                    self.events.push(format!(
+                        "element {ei}: first write after WUP lost, victim keeps {old}"
+                    ));
+                } else {
+                    self.v = val;
+                }
+            }
+            _ => self.v = val,
+        }
+    }
+
+    /// Applies coupling effects triggered by an aggressor transition
+    /// from `old` to the just-stored `self.a`.
+    fn aggressor_edge(&mut self, ei: usize, old: Sym) -> Result<(), RunResult> {
+        let triggered = match self.sem {
+            Semantics::Inversion | Semantics::Idempotent { .. } => {
+                let new = self.a.as_bool().expect("writes store constants");
+                match old.as_bool() {
+                    Some(was) => was != new,
+                    None => {
+                        return Err(RunResult::Inconclusive(
+                            "aggressor transition from an unknown value".to_string(),
+                        ))
+                    }
+                }
+            }
+            _ => false,
+        };
+        if !triggered {
+            return Ok(());
+        }
+        match self.sem {
+            Semantics::Inversion => {
+                self.v = !self.v;
+                self.events.push(format!(
+                    "element {ei}: aggressor transition inverts victim to {}",
+                    self.v
+                ));
+            }
+            Semantics::Idempotent { rising, forces } => {
+                if self.a.is(rising) {
+                    self.v = Sym::from_bool(forces);
+                    self.events.push(format!(
+                        "element {ei}: {} aggressor write forces victim to {}",
+                        if rising { "0→1" } else { "1→0" },
+                        u8::from(forces),
+                    ));
+                }
+            }
+            _ => unreachable!("only coupling semantics trigger"),
+        }
+        Ok(())
+    }
+
+    /// CFst level enforcement — SimpleMemory runs it after *every*
+    /// write to any address; the machine's invariant (`a == when`
+    /// implies `v == forces` after each modeled write) makes the
+    /// unmodeled third-party writes no-ops.
+    fn enforce_state(&mut self, ei: usize) {
+        if let Semantics::State { when, forces } = self.sem {
+            match self.a.as_bool() {
+                Some(b) if b == when => {
+                    if self.v != Sym::from_bool(forces) {
+                        self.events.push(format!(
+                            "element {ei}: aggressor holds {} — victim forced to {}",
+                            u8::from(when),
+                            u8::from(forces),
+                        ));
+                    }
+                    self.v = Sym::from_bool(forces);
+                }
+                Some(_) => {}
+                // Unknown aggressor: the victim may or may not be
+                // forced. Sound, but never reached from concrete inits.
+                None => self.v = Sym::Top,
+            }
+        }
+    }
+
+    fn read(&mut self, ei: usize, oi: usize, op: Op, site: Site) -> Option<RunResult> {
+        let high = op.background();
+        let check = |cell: &'static str, value: Sym, phase: bool| -> Option<RunResult> {
+            let expected = Self::data(high, phase);
+            match value.as_bool() {
+                None => Some(RunResult::Inconclusive(format!(
+                    "{op} at element {ei} observes an unknown {cell} value"
+                ))),
+                Some(observed) if observed != expected => Some(RunResult::Fail(Witness {
+                    element: ei,
+                    op_index: oi,
+                    op,
+                    cell,
+                    expected,
+                    observed,
+                })),
+                Some(_) => None,
+            }
+        };
+        match site {
+            Site::Victim => check("victim", self.v, self.phases.v),
+            Site::Aggr => check("aggressor", self.a, self.phases.a),
+            Site::Both => check("victim", self.v, self.phases.v)
+                .or_else(|| check("aggressor", self.a, self.phases.a)),
+        }
+    }
+
+    fn deep_sleep(&mut self, ei: usize) {
+        if let Semantics::Retention { weak } = self.sem {
+            let settled = Sym::from_bool(!weak);
+            if self.v != settled {
+                self.events.push(format!(
+                    "element {ei}: deep-sleep drains the stored {} to {}",
+                    u8::from(weak),
+                    u8::from(!weak),
+                ));
+            }
+            // Exact even from ⊤: a cell holding the weak value flips,
+            // one already at !weak stays — both land on !weak.
+            self.v = settled;
+        }
+    }
+
+    fn wake_up(&mut self, ei: usize) {
+        if matches!(self.sem, Semantics::WakeUpWrite) {
+            self.armed = true;
+            self.events
+                .push(format!("element {ei}: wake-up arms the lost-write fault"));
+        }
+    }
+}
+
+/// Runs `test` over the symbolic machine. Stops at the first failing
+/// read (the witness) or the first abstraction blind spot.
+pub fn run(
+    test: &MarchTest,
+    sem: Semantics,
+    layout: Layout,
+    phases: Phases,
+    init: Init,
+) -> RunOutcome {
+    let mut m = Machine {
+        sem,
+        phases,
+        a: init.a,
+        v: init.v,
+        armed: false,
+        events: Vec::new(),
+    };
+    for (ei, element) in test.elements().iter().enumerate() {
+        match element {
+            MarchElement::DeepSleep { .. } => m.deep_sleep(ei),
+            MarchElement::WakeUp => m.wake_up(ei),
+            MarchElement::Sweep { order, ops } => {
+                for site in visit_plan(layout, *order) {
+                    for (oi, op) in ops.iter().enumerate() {
+                        let result = if op.is_read() {
+                            m.read(ei, oi, *op, *site)
+                        } else {
+                            m.write(ei, *op, *site)
+                        };
+                        if let Some(result) = result {
+                            return RunOutcome {
+                                result,
+                                events: m.events,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    RunOutcome {
+        result: RunResult::Pass,
+        events: m.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march::library;
+
+    const DWELL: f64 = 1.0e-3;
+
+    fn solid_zero(test: &MarchTest, sem: Semantics, layout: Layout) -> RunOutcome {
+        run(test, sem, layout, Phases::solid(), Init::zeroed())
+    }
+
+    #[test]
+    fn clean_machine_passes_every_library_test_from_any_state() {
+        for test in library::all(DWELL) {
+            for phase in [false, true] {
+                let out = run(
+                    &test,
+                    Semantics::Clean,
+                    Layout::Single,
+                    Phases { a: true, v: phase },
+                    Init {
+                        a: Sym::Top,
+                        v: Sym::Top,
+                    },
+                );
+                assert_eq!(out.result, RunResult::Pass, "{} phase {phase}", test.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mlz_detects_retention_and_wakeup() {
+        let mlz = library::march_mlz(DWELL);
+        for weak in [false, true] {
+            let out = solid_zero(&mlz, Semantics::Retention { weak }, Layout::Single);
+            assert!(out.failed(), "m-LZ must detect DRF{}", u8::from(weak));
+        }
+        let out = solid_zero(&mlz, Semantics::WakeUpWrite, Layout::Single);
+        assert!(out.failed(), "m-LZ must detect the wake-up write fault");
+        // The witness is the r0 closing ME4 (element 3, op 2).
+        if let RunResult::Fail(w) = &out.result {
+            assert_eq!((w.element, w.op_index), (3, 2));
+            assert_eq!(w.op, Op::R0);
+        }
+    }
+
+    #[test]
+    fn lz_misses_drf0_but_catches_drf1() {
+        let lz = library::march_lz(DWELL);
+        let drf0 = solid_zero(&lz, Semantics::Retention { weak: false }, Layout::Single);
+        assert_eq!(
+            drf0.result,
+            RunResult::Pass,
+            "LZ lets the weak-0 DRF escape"
+        );
+        let drf1 = solid_zero(&lz, Semantics::Retention { weak: true }, Layout::Single);
+        assert!(drf1.failed());
+    }
+
+    #[test]
+    fn mats_plus_transition_coverage_is_state_dependent() {
+        let mats = library::mats_plus();
+        // Zero-initialised memory: the falling TF escapes MATS+ …
+        let out = solid_zero(
+            &mats,
+            Semantics::Transition { rising: false },
+            Layout::Single,
+        );
+        assert_eq!(out.result, RunResult::Pass);
+        // … but a cell that powered up at 1 is caught.
+        let out = run(
+            &mats,
+            Semantics::Transition { rising: false },
+            Layout::Single,
+            Phases::solid(),
+            Init {
+                a: Sym::Zero,
+                v: Sym::One,
+            },
+        );
+        assert!(out.failed());
+        // March C- catches both transitions from any initial state.
+        let cminus = library::march_cminus();
+        for rising in [false, true] {
+            for init in [Sym::Zero, Sym::One] {
+                let out = run(
+                    &cminus,
+                    Semantics::Transition { rising },
+                    Layout::Single,
+                    Phases::solid(),
+                    Init {
+                        a: Sym::Zero,
+                        v: init,
+                    },
+                );
+                assert!(out.failed(), "C- TF rising={rising} init={init}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_detected_by_every_test_with_event_chain() {
+        for test in library::all(DWELL) {
+            for value in [false, true] {
+                let out = solid_zero(&test, Semantics::StuckAt(value), Layout::Single);
+                assert!(out.failed(), "{} SAF{}", test.name(), u8::from(value));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_word_state_coupling_needs_opposite_phases() {
+        let cminus = library::march_cminus();
+        let sem = Semantics::State {
+            when: true,
+            forces: true,
+        };
+        // Equal phases (any solid-like background): v tracks a, the
+        // forcing is invisible.
+        let eq = run(
+            &cminus,
+            sem,
+            Layout::Intra,
+            Phases { a: true, v: true },
+            Init::zeroed(),
+        );
+        assert_eq!(eq.result, RunResult::Pass);
+        // Opposite phases (checkerboard on a separable pair) expose it.
+        let opp = run(
+            &cminus,
+            sem,
+            Layout::Intra,
+            Phases { a: true, v: false },
+            Init::zeroed(),
+        );
+        assert!(opp.failed());
+    }
+}

@@ -1,0 +1,559 @@
+//! The prover: per-(test, fault-class) verdicts over the march
+//! library, plus the paper's claim table as a checkable artifact.
+//!
+//! ## Soundness in one paragraph
+//!
+//! Detection by a march test depends only on (a) the *relative* order
+//! in which the sweeps visit the modeled cells and (b) the expected
+//! data (phase) at each cell — not on the absolute addresses or bit
+//! positions. Writes to unmodeled third-party cells cannot change the
+//! modeled state: single-cell faults ignore other addresses entirely,
+//! edge-triggered couplings only fire on modeled aggressor writes, and
+//! the CFst level rule is idempotent (after every modeled write the
+//! machine restores `a == when ⇒ v == forces`, so re-enforcement at
+//! third-party writes is a no-op). Valid tests write a cell before
+//! they first read it, so the pre-first-write state the machine does
+//! not track is never observable. The exhaustive differential harness
+//! (`crate::differential`) re-checks this generalization placement by
+//! placement against the simulation engine.
+
+use march::background::DataBackground;
+use march::fault::{CellRef, Fault};
+use march::library;
+use march::test::MarchTest;
+
+use crate::class::{FaultClass, Sep};
+use crate::machine::{self, Init, Layout, Phases, RunOutcome, RunResult, Semantics};
+use crate::sym::Sym;
+use crate::verdict::{Claim, ClaimsMatrix, CleanVerdict, Counterexample, TestSummary, Verdict};
+
+fn semantics_and_layout(class: &FaultClass) -> (Semantics, Layout) {
+    use crate::class::Pos;
+    let layout_of = |pos: Pos| match pos {
+        Pos::Below => Layout::AggrBelow,
+        Pos::Above => Layout::AggrAbove,
+        Pos::Intra => Layout::Intra,
+    };
+    match class {
+        FaultClass::StuckAt { value } => (Semantics::StuckAt(*value), Layout::Single),
+        FaultClass::Transition { rising } => {
+            (Semantics::Transition { rising: *rising }, Layout::Single)
+        }
+        FaultClass::Retention { weak } => (Semantics::Retention { weak: *weak }, Layout::Single),
+        FaultClass::WakeUpWrite => (Semantics::WakeUpWrite, Layout::Single),
+        FaultClass::AddressAlias { .. } => (Semantics::Alias, Layout::Alias),
+        FaultClass::CouplingInversion { pos } => (Semantics::Inversion, layout_of(*pos)),
+        FaultClass::CouplingIdempotent {
+            pos,
+            rising,
+            forces,
+            ..
+        } => (
+            Semantics::Idempotent {
+                rising: *rising,
+                forces: *forces,
+            },
+            layout_of(*pos),
+        ),
+        FaultClass::CouplingState {
+            pos, when, forces, ..
+        } => (
+            Semantics::State {
+                when: *when,
+                forces: *forces,
+            },
+            layout_of(*pos),
+        ),
+    }
+}
+
+/// Every initial-value assignment of the modeled cells; the
+/// simulator's zeroed power-on state comes first (it is the one the
+/// headline verdict is keyed to — `march::coverage` always grades
+/// from a fresh memory).
+fn init_combos(layout: Layout) -> Vec<Init> {
+    let zero = Init::zeroed();
+    match layout {
+        Layout::Single | Layout::Alias => vec![
+            zero,
+            Init {
+                a: Sym::Zero,
+                v: Sym::One,
+            },
+        ],
+        _ => vec![
+            zero,
+            Init {
+                a: Sym::Zero,
+                v: Sym::One,
+            },
+            Init {
+                a: Sym::One,
+                v: Sym::Zero,
+            },
+            Init {
+                a: Sym::One,
+                v: Sym::One,
+            },
+        ],
+    }
+}
+
+fn build_verdict(
+    zero: RunOutcome,
+    state_independent: bool,
+    class: &FaultClass,
+    backgrounds: &[DataBackground],
+) -> Verdict {
+    match zero.result {
+        RunResult::Fail(witness) => Verdict::Detected {
+            witness,
+            chain: zero.events,
+            state_independent,
+        },
+        RunResult::Pass => {
+            let inst = class.canonical_instance();
+            Verdict::Escaped {
+                counterexample: Counterexample {
+                    words: inst.words,
+                    bits: inst.bits,
+                    fault: inst.fault,
+                    backgrounds: backgrounds.to_vec(),
+                },
+                state_independent,
+            }
+        }
+        RunResult::Inconclusive(reason) => Verdict::Unknown { reason },
+    }
+}
+
+/// The solid-background verdict: one symbolic run per initial-value
+/// combination; the zero-init run carries the headline outcome and the
+/// others decide state independence.
+pub fn solid_verdict(test: &MarchTest, class: &FaultClass) -> Verdict {
+    let (sem, layout) = semantics_and_layout(class);
+    let mut zero: Option<RunOutcome> = None;
+    let mut state_independent = true;
+    for init in init_combos(layout) {
+        let out = machine::run(test, sem, layout, Phases::solid(), init);
+        if let RunResult::Inconclusive(reason) = &out.result {
+            return Verdict::Unknown {
+                reason: format!("from init a={} v={}: {}", init.a, init.v, reason),
+            };
+        }
+        match &zero {
+            None => zero = Some(out),
+            Some(z) => {
+                if out.failed() != z.failed() {
+                    state_independent = false;
+                }
+            }
+        }
+    }
+    build_verdict(
+        zero.expect("at least one init combo"),
+        state_independent,
+        class,
+        &[DataBackground::Solid],
+    )
+}
+
+/// The intra-word bit pairs the family analysis must distinguish.
+///
+/// Under the standard backgrounds a bit's data depends only on its
+/// index modulo 4 (checkerboard reads bit parity, pair stripes read
+/// pair parity, solid and row stripes read neither), so bits 0..4 are
+/// exhaustive representatives of the four equivalence classes, and
+/// `c + 4` is the same-class partner needed for non-separable pairs.
+fn family_pairs(class: &FaultClass) -> Vec<(usize, usize)> {
+    let separable: Vec<(usize, usize)> = (0..4)
+        .flat_map(|a| (0..4).filter_map(move |v| (a != v).then_some((a, v))))
+        .collect();
+    // Same-class pairs see identical phases both ways around, so one
+    // orientation per class suffices.
+    let non_separable: Vec<(usize, usize)> = (0..4).map(|c| (c, c + 4)).collect();
+    match class.sep() {
+        Some(Sep::Separable) => separable,
+        Some(Sep::NonSeparable) => non_separable,
+        // CFin intra has no separability split: quantify over all.
+        None => separable.into_iter().chain(non_separable).collect(),
+    }
+}
+
+fn instantiate_pair(class: &FaultClass, a_bit: usize, v_bit: usize, addr: usize) -> Fault {
+    let a = CellRef { addr, bit: a_bit };
+    let v = CellRef { addr, bit: v_bit };
+    match class {
+        FaultClass::CouplingInversion { .. } => Fault::coupling_inversion(a, v),
+        FaultClass::CouplingIdempotent { rising, forces, .. } => {
+            Fault::coupling_idempotent(a, v, *rising, *forces)
+        }
+        FaultClass::CouplingState { when, forces, .. } => {
+            Fault::coupling_state(a, v, *when, *forces)
+        }
+        _ => unreachable!("family analysis only instantiates intra-word pairs"),
+    }
+}
+
+/// Runs one concrete intra-word placement under every standard
+/// background from the given initial state. `Ok(Some(..))` carries
+/// the first failing run and its background; `Ok(None)` means the
+/// placement escapes all four backgrounds.
+fn instance_family_run(
+    test: &MarchTest,
+    sem: Semantics,
+    a_bit: usize,
+    v_bit: usize,
+    parity: usize,
+    bits: usize,
+    init: Init,
+) -> Result<Option<(RunOutcome, DataBackground)>, String> {
+    for bg in DataBackground::ALL {
+        let pattern = bg.pattern(parity, bits);
+        let phases = Phases {
+            a: (pattern >> a_bit) & 1 == 1,
+            v: (pattern >> v_bit) & 1 == 1,
+        };
+        let out = machine::run(test, sem, Layout::Intra, phases, init);
+        match out.result {
+            RunResult::Inconclusive(ref reason) => {
+                return Err(format!("bits ({a_bit},{v_bit}) under {bg}: {reason}"))
+            }
+            RunResult::Fail(_) => return Ok(Some((out, bg))),
+            RunResult::Pass => {}
+        }
+    }
+    Ok(None)
+}
+
+/// The prover's per-placement prediction for an intra-word class:
+/// does the test, run under all four standard backgrounds from the
+/// zeroed state, catch the fault at this concrete bit pair and
+/// address parity? `None` for non-intra classes or an inconclusive
+/// symbolic run. The differential harness checks this prediction
+/// against the simulator fault by fault.
+pub fn family_instance_detected(
+    test: &MarchTest,
+    class: &FaultClass,
+    a_bit: usize,
+    v_bit: usize,
+    addr_parity: usize,
+    bits: usize,
+) -> Option<bool> {
+    let (sem, layout) = semantics_and_layout(class);
+    if layout != Layout::Intra {
+        return None;
+    }
+    instance_family_run(test, sem, a_bit, v_bit, addr_parity, bits, Init::zeroed())
+        .ok()
+        .map(|run| run.is_some())
+}
+
+/// The background-family verdict for an intra-word class, quantified
+/// universally over placements: Proven-Detected only when *every* bit
+/// placement and address parity is caught by some standard background
+/// (from the zeroed state); the moment one placement survives all
+/// four backgrounds the class is Proven-Escaped, with that placement
+/// as the concrete counterexample. Other initial values decide state
+/// independence.
+pub fn family_verdict(test: &MarchTest, class: &FaultClass) -> Verdict {
+    let (sem, layout) = semantics_and_layout(class);
+    debug_assert_eq!(layout, Layout::Intra);
+    let combos = init_combos(layout);
+    let mut first_detect: Option<(RunOutcome, DataBackground, (usize, usize), usize)> = None;
+    let mut first_escape: Option<((usize, usize), usize)> = None;
+    let mut state_independent = true;
+    for (a_bit, v_bit) in family_pairs(class) {
+        for parity in [0usize, 1] {
+            let mut zero_detected: Option<bool> = None;
+            for init in &combos {
+                let run = match instance_family_run(test, sem, a_bit, v_bit, parity, 8, *init) {
+                    Ok(run) => run,
+                    Err(reason) => {
+                        return Verdict::Unknown {
+                            reason: format!("family analysis: {reason}"),
+                        }
+                    }
+                };
+                let detected = run.is_some();
+                match zero_detected {
+                    None => {
+                        zero_detected = Some(detected);
+                        match run {
+                            Some((out, bg)) if first_detect.is_none() => {
+                                first_detect = Some((out, bg, (a_bit, v_bit), parity));
+                            }
+                            None if first_escape.is_none() => {
+                                first_escape = Some(((a_bit, v_bit), parity));
+                            }
+                            _ => {}
+                        }
+                    }
+                    Some(z) => {
+                        if detected != z {
+                            state_independent = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(((a_bit, v_bit), parity)) = first_escape {
+        Verdict::Escaped {
+            counterexample: Counterexample {
+                words: parity + 1,
+                bits: 8,
+                fault: instantiate_pair(class, a_bit, v_bit, parity),
+                backgrounds: DataBackground::ALL.to_vec(),
+            },
+            state_independent,
+        }
+    } else {
+        let (out, bg, (a_bit, v_bit), parity) =
+            first_detect.expect("no escape means every placement detected");
+        let RunResult::Fail(witness) = out.result else {
+            unreachable!("first_detect only records failing runs")
+        };
+        let mut chain = vec![format!(
+            "{} background sensitizes bits ({a_bit},{v_bit}) at {} addresses",
+            bg,
+            if parity == 0 { "even" } else { "odd" }
+        )];
+        chain.extend(out.events);
+        Verdict::Detected {
+            witness,
+            chain,
+            state_independent,
+        }
+    }
+}
+
+/// Proves a test never fails a fault-free memory, from any initial
+/// state and under any background phase.
+pub fn prove_clean(test: &MarchTest) -> CleanVerdict {
+    for phase in [false, true] {
+        let out = machine::run(
+            test,
+            Semantics::Clean,
+            Layout::Single,
+            Phases { a: true, v: phase },
+            Init {
+                a: Sym::Top,
+                v: Sym::Top,
+            },
+        );
+        match out.result {
+            RunResult::Pass => {}
+            RunResult::Fail(witness) => return CleanVerdict::FalseFail { witness },
+            RunResult::Inconclusive(reason) => return CleanVerdict::Unknown { reason },
+        }
+    }
+    CleanVerdict::ProvenClean
+}
+
+/// Proves one test against every standard fault class.
+pub fn prove_test(test: &MarchTest) -> (TestSummary, Vec<Claim>) {
+    let notation = {
+        let shown = test.to_string();
+        shown
+            .split_once(" = ")
+            .map(|(_, rhs)| rhs)
+            .unwrap_or(&shown)
+            .to_string()
+    };
+    let summary = TestSummary {
+        name: test.name().to_string(),
+        notation,
+        formula: test.length_formula(),
+        clean: prove_clean(test),
+    };
+    let claims = FaultClass::all_standard()
+        .into_iter()
+        .map(|class| {
+            let solid = solid_verdict(test, &class);
+            let family = class.is_intra().then(|| family_verdict(test, &class));
+            Claim {
+                test: test.name().to_string(),
+                instance: class.canonical_instance(),
+                class,
+                solid,
+                family,
+            }
+        })
+        .collect();
+    (summary, claims)
+}
+
+/// Proves the whole `march::library` and emits the
+/// `prove.verdicts.{detected,escaped,unknown}` counters.
+pub fn prove_library(dwell: f64) -> ClaimsMatrix {
+    let span = obs::span("prove.library");
+    let mut tests = Vec::new();
+    let mut claims = Vec::new();
+    for test in library::all(dwell) {
+        let (summary, mut test_claims) = prove_test(&test);
+        tests.push(summary);
+        claims.append(&mut test_claims);
+    }
+    let matrix = ClaimsMatrix {
+        dwell,
+        tests,
+        claims,
+    };
+    let counts = matrix.counts();
+    obs::counter_add("prove.claims", matrix.claims.len() as u64);
+    obs::counter_add("prove.verdicts.detected", counts.detected as u64);
+    obs::counter_add("prove.verdicts.escaped", counts.escaped as u64);
+    obs::counter_add("prove.verdicts.unknown", counts.unknown as u64);
+    drop(span);
+    matrix
+}
+
+/// One entry of the paper's detection-claim table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperClaim {
+    /// Test name (as in `march::library`).
+    pub test: &'static str,
+    /// Fault-class code.
+    pub class: &'static str,
+    /// Whether the claim is about the background family rather than
+    /// the solid background.
+    pub family: bool,
+    /// `true` → must be Proven-Detected; `false` → Proven-Escaped.
+    pub expect_detected: bool,
+}
+
+/// The paper's claim table (DATE 2013, Table of detection claims for
+/// March m-LZ vs March LZ vs the standard tests), as machine-checkable
+/// expectations.
+pub fn paper_claims() -> Vec<PaperClaim> {
+    let mut out = Vec::new();
+    let mut push = |test: &'static str, classes: &[&'static str], family: bool, det: bool| {
+        for class in classes {
+            out.push(PaperClaim {
+                test,
+                class,
+                family,
+                expect_detected: det,
+            });
+        }
+    };
+    const CFID_INTER: [&str; 8] = [
+        "CFID_LO_R0",
+        "CFID_LO_R1",
+        "CFID_LO_F0",
+        "CFID_LO_F1",
+        "CFID_HI_R0",
+        "CFID_HI_R1",
+        "CFID_HI_F0",
+        "CFID_HI_F1",
+    ];
+    const CFST_INTER: [&str; 8] = [
+        "CFST_LO_S0F0",
+        "CFST_LO_S0F1",
+        "CFST_LO_S1F0",
+        "CFST_LO_S1F1",
+        "CFST_HI_S0F0",
+        "CFST_HI_S0F1",
+        "CFST_HI_S1F0",
+        "CFST_HI_S1F1",
+    ];
+
+    // March m-LZ: the paper's contribution — full SAF coverage plus
+    // both deep-sleep retention polarities and the wake-up write
+    // fault.
+    push("March m-LZ", &["SAF0", "SAF1"], false, true);
+    push("March m-LZ", &["DRF0", "DRF1"], false, true);
+    push("March m-LZ", &["WUF"], false, true);
+    // March LZ: catches the wake-up fault and the weak-1 DRF, but the
+    // weak-0 DRF escapes (the gap m-LZ closes with its second DSM/WUP
+    // episode on the inverted background).
+    push("March LZ", &["DRF1", "WUF"], false, true);
+    push("March LZ", &["DRF0"], false, false);
+    // Standard tests never enter deep-sleep: all retention and
+    // wake-up faults escape.
+    for test in ["MATS+", "March C-", "March SS"] {
+        push(test, &["SAF0", "SAF1"], false, true);
+        push(test, &["AF_LO", "AF_HI"], false, true);
+        push(test, &["DRF0", "DRF1", "WUF"], false, false);
+    }
+    // March C- and March SS: transition and coupling coverage.
+    for test in ["March C-", "March SS"] {
+        push(test, &["TF_R", "TF_F"], false, true);
+        push(test, &["CFIN_LO", "CFIN_HI"], false, true);
+        push(test, &CFID_INTER, false, true);
+        push(test, &CFST_INTER, false, true);
+    }
+    // Intra-word state coupling under the standard background family
+    // (van de Goor's data-background argument): separable pairs are
+    // caught, and so are non-separable pairs whose forced value
+    // contradicts the shared data — but a non-separable pair forced
+    // to the value it is co-written with can never be sensitized.
+    push(
+        "March C-",
+        &[
+            "CFST_IW_SEP_S0F0",
+            "CFST_IW_SEP_S0F1",
+            "CFST_IW_SEP_S1F0",
+            "CFST_IW_SEP_S1F1",
+            "CFST_IW_NSEP_S0F1",
+            "CFST_IW_NSEP_S1F0",
+        ],
+        true,
+        true,
+    );
+    push(
+        "March C-",
+        &["CFST_IW_NSEP_S0F0", "CFST_IW_NSEP_S1F1"],
+        true,
+        false,
+    );
+    out
+}
+
+/// Checks the matrix against the paper's claim table; returns one
+/// problem string per disagreement (empty = all claims proven).
+pub fn check_paper_claims(matrix: &ClaimsMatrix) -> Vec<String> {
+    let mut problems = Vec::new();
+    for pc in paper_claims() {
+        let scope = if pc.family { "family" } else { "solid" };
+        let Some(claim) = matrix.claim(pc.test, pc.class) else {
+            problems.push(format!(
+                "{} / {}: claim missing from matrix",
+                pc.test, pc.class
+            ));
+            continue;
+        };
+        let verdict = if pc.family {
+            claim.family.as_ref()
+        } else {
+            Some(&claim.solid)
+        };
+        let Some(verdict) = verdict else {
+            problems.push(format!(
+                "{} / {}: paper expects a {scope} verdict but none was computed",
+                pc.test, pc.class
+            ));
+            continue;
+        };
+        let ok = if pc.expect_detected {
+            verdict.is_detected()
+        } else {
+            verdict.is_escaped()
+        };
+        if !ok {
+            problems.push(format!(
+                "{} / {} ({scope}): paper claims {}, prover says {}",
+                pc.test,
+                pc.class,
+                if pc.expect_detected {
+                    "Proven-Detected"
+                } else {
+                    "Proven-Escaped"
+                },
+                verdict.code()
+            ));
+        }
+    }
+    problems
+}

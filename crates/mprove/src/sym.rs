@@ -1,0 +1,86 @@
+//! The symbolic cell-value lattice.
+//!
+//! A cell holds `Zero`, `One`, or `Top` (⊤ — unknown, either value).
+//! `Top` only arises from an uninitialised cell; every march element
+//! that writes refines the value to a constant, and the abstract
+//! transformers in [`crate::machine`] only ever *lose* precision on
+//! paths a valid test cannot observe (validated tests write before
+//! they read, see `MarchTest::validate`).
+
+use std::fmt;
+
+/// A symbolic cell value: a flat lattice over `bool` with ⊤ on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// Known `0`.
+    Zero,
+    /// Known `1`.
+    One,
+    /// Unknown — could be either value (⊤).
+    Top,
+}
+
+impl Sym {
+    /// Lifts a concrete bit.
+    pub fn from_bool(b: bool) -> Sym {
+        if b {
+            Sym::One
+        } else {
+            Sym::Zero
+        }
+    }
+
+    /// The concrete bit, if known.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Sym::Zero => Some(false),
+            Sym::One => Some(true),
+            Sym::Top => None,
+        }
+    }
+
+    /// Whether this value is known to equal the concrete bit `b`.
+    pub fn is(self, b: bool) -> bool {
+        self.as_bool() == Some(b)
+    }
+}
+
+impl std::ops::Not for Sym {
+    type Output = Sym;
+
+    /// Logical negation; ⊤ stays ⊤.
+    fn not(self) -> Sym {
+        match self {
+            Sym::Zero => Sym::One,
+            Sym::One => Sym::Zero,
+            Sym::Top => Sym::Top,
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Zero => write!(f, "0"),
+            Sym::One => write!(f, "1"),
+            Sym::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_basics() {
+        assert_eq!(Sym::from_bool(true), Sym::One);
+        assert_eq!(Sym::from_bool(false), Sym::Zero);
+        assert_eq!(!Sym::One, Sym::Zero);
+        assert_eq!(!Sym::Top, Sym::Top);
+        assert_eq!(Sym::Top.as_bool(), None);
+        assert!(Sym::One.is(true));
+        assert!(!Sym::Top.is(true));
+        assert_eq!(Sym::Top.to_string(), "⊤");
+    }
+}

@@ -15,6 +15,9 @@
 //!   resistive-open defect sites and characterization;
 //! * [`march`] — March test notation, engine, algorithm library and
 //!   fault-coverage grading;
+//! * [`mprove`] — symbolic coverage prover: per-(test, fault-class)
+//!   Proven-Detected / Proven-Escaped / Unknown verdicts over the
+//!   whole march library, behind the `prove` CLI;
 //! * [`drftest`] — the paper's methodology: case studies, DRF_DS fault
 //!   model, Fig. 4 / Table I / Table II / Table III experiments, the
 //!   optimized test flow.
@@ -48,6 +51,7 @@ pub use anasim;
 pub use drftest;
 pub use erc;
 pub use march;
+pub use mprove;
 pub use obs;
 pub use process;
 pub use regulator;

@@ -9,6 +9,7 @@
 //! lp-sram-suite compare <old.json> <new.json> [--fail-over <name>=<pct>%]…
 //!               [--json] [--all]
 //! lp-sram-suite lint [--deny-warnings] [--json] [--rules]
+//! lp-sram-suite prove [--json] [--deny-unknown] [--differential] [--metrics <file.json>]
 //! lp-sram-suite fuzz-functional [--cases <n>] [--fuzz-seed <u64>]
 //! lp-sram-suite fuzz-netlist   [--cases <n>] [--fuzz-seed <u64>]
 //!   artifacts: fig4, fig5, table1, table2, table3, march, power,
@@ -21,6 +22,18 @@
 //! (`--fuzz-seed <case_seed> --cases 1`). The seed and case count are
 //! echoed into the `--metrics` manifest so CI failures replay from the
 //! artifact alone.
+//!
+//! `prove` runs the symbolic coverage prover ([`mprove`]): one
+//! Proven-Detected / Proven-Escaped / Unknown verdict per (march test,
+//! fault class), cross-checked against the paper's claim table, the
+//! concrete simulator (escape-counterexample replay), and the
+//! functional fuzzer's claim list. `--differential` additionally
+//! grades every enumerable fault on 1×8, 2×8, and 16×8 memories and
+//! requires exact agreement. Exit code 0 = everything proven, 1 = any
+//! claimed-but-unproven result or oracle disagreement (or, under
+//! `--deny-unknown`, any Unknown verdict), 2 = usage errors. `--json`
+//! prints the claims matrix as JSON on stdout (failures go to
+//! stderr), which CI diffs against `results/claims_matrix.json`.
 //!
 //! `lint` runs the static electrical rule checks (`ERC001`… plus the
 //! regulator-family `ERC1xx` rules) over every netlist the campaigns
@@ -117,6 +130,12 @@ fn usage() -> ExitCode {
          \x20    static ERC over the suite's netlists (exit 1 on errors,\n\
          \x20    2 on warnings with --deny-warnings); --rules lists the\n\
          \x20    rule catalogue\n\
+         prove [--json] [--deny-unknown] [--differential] [--metrics <file.json>]:\n\
+         \x20    symbolic coverage prover over the march library, with the\n\
+         \x20    verdicts cross-checked against the paper's claim table, the\n\
+         \x20    simulator, and the fuzzer's claims (exit 1 on any unproven\n\
+         \x20    claim or disagreement; --deny-unknown also fails Unknowns;\n\
+         \x20    --differential grades every enumerable fault exhaustively)\n\
          fuzz-functional [--cases <n>] [--fuzz-seed <u64>]:\n\
          \x20    randomized march-claim tester (n cases per property)\n\
          fuzz-netlist [--cases <n>] [--fuzz-seed <u64>]:\n\
@@ -126,13 +145,14 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Default `--cases` per fuzz subcommand: ≥ 500 functional sequences
-/// (12 properties × 48) and 200 netlists, the fuzz-smoke floor.
+/// Default `--cases` per fuzz subcommand: ≥ 1000 functional sequences
+/// (12 properties × 96) and 400 netlists, the fuzz-smoke floor now
+/// that the fuzzers gate CI by default.
 fn default_fuzz_cases(artifact: &str) -> u64 {
     if artifact == "fuzz-netlist" {
-        200
+        400
     } else {
-        48
+        96
     }
 }
 
@@ -387,6 +407,84 @@ fn compare(args: &[String]) -> ExitCode {
     ExitCode::from(report.exit_code() as u8)
 }
 
+/// Runs the symbolic coverage prover over the march library and
+/// cross-checks the resulting claims matrix against the paper's claim
+/// table, the concrete simulator (counterexample replay + witness
+/// validation), and the functional fuzzer's claim list. Exit codes:
+/// 0 = everything proven and all oracles agree, 1 = any
+/// claimed-but-unproven result, disagreement, or (with
+/// `--deny-unknown`) Unknown verdict, 2 = usage error.
+fn prove(args: &[String]) -> ExitCode {
+    const USAGE_ERROR: u8 = 2;
+    let json = args.iter().any(|a| a == "--json");
+    let deny_unknown = args.iter().any(|a| a == "--deny-unknown");
+    let differential = args.iter().any(|a| a == "--differential");
+    let metrics = flag_value(args, "--metrics");
+    for flag in args {
+        if flag.starts_with("--")
+            && !matches!(
+                flag.as_str(),
+                "--json" | "--deny-unknown" | "--differential" | "--metrics"
+            )
+        {
+            eprintln!("error: unknown prove flag `{flag}`");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+    let started = Instant::now();
+    let dwell = 1.0e-3;
+    let matrix = mprove::prove_library(dwell);
+    let tests = library::all(dwell);
+    let mut problems = mprove::check_paper_claims(&matrix);
+    problems.extend(mprove::differential::check_replays(&matrix, &tests));
+    problems.extend(drftest::fuzz::cross_check(&matrix));
+    if differential {
+        for (words, bits) in [(1, 8), (2, 8), (16, 8)] {
+            for test in &tests {
+                problems.extend(mprove::differential::exhaustive(test, &matrix, words, bits));
+            }
+        }
+    }
+    if json {
+        println!("{}", matrix.to_json().to_pretty());
+    } else {
+        print!("{matrix}");
+    }
+    for problem in &problems {
+        eprintln!("FAIL: {problem}");
+    }
+    let counts = matrix.counts();
+    let denied = deny_unknown && counts.unknown > 0;
+    if denied {
+        eprintln!(
+            "FAIL: {} Unknown verdict(s) with --deny-unknown",
+            counts.unknown
+        );
+    }
+    if let Some(path) = metrics {
+        obs::flush();
+        let mut config = BTreeMap::new();
+        config.insert("artifact".to_string(), "prove".to_string());
+        config.insert("prove.differential".to_string(), differential.to_string());
+        config.insert("prove.deny_unknown".to_string(), deny_unknown.to_string());
+        let manifest = obs::RunManifest::from_snapshot(
+            "prove",
+            config,
+            &obs::snapshot(),
+            started.elapsed().as_secs_f64(),
+        );
+        if let Err(e) = std::fs::write(path, manifest.to_json_string()) {
+            eprintln!("error: cannot write metrics file `{path}`: {e}");
+        }
+    }
+    obs::close_sink();
+    if problems.is_empty() && !denied {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// The option value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -484,6 +582,9 @@ fn main() -> ExitCode {
     }
     if artifact == "compare" {
         return compare(&args[1..]);
+    }
+    if artifact == "prove" {
+        return prove(&args[1..]);
     }
     let paper = args.iter().any(|a| a == "--paper");
     let reduced = args.iter().any(|a| a == "--reduced");

@@ -176,6 +176,35 @@ proptest! {
         let reparsed = MarchTest::parse("again", notation, 1e-3).unwrap();
         prop_assert_eq!(test.elements(), reparsed.elements());
     }
+
+    /// Full structural round-trip: rendering a test and parsing the
+    /// result under the same name reproduces the value exactly
+    /// (`parse(render(t)) == t`), not just element-wise.
+    #[test]
+    fn notation_roundtrip_is_exact(test in consistent_march_test()) {
+        let shown = test.to_string();
+        let notation = shown.split(" = ").nth(1).unwrap();
+        let reparsed = MarchTest::parse("generated", notation, 1e-3).unwrap();
+        prop_assert_eq!(&test, &reparsed);
+    }
+
+    /// Parse errors locate the offending token: the reported byte
+    /// offset must slice the original notation back to exactly the
+    /// reported token. Lowercase junk can never collide with the four
+    /// op mnemonics (w0/w1/r0/r1 all contain a digit).
+    #[test]
+    fn parse_errors_locate_the_offending_token(
+        junk in "[a-z]{2,4}",
+        lead_ws in 0usize..3,
+    ) {
+        let notation = format!("{}{{⇑(w0,{junk},r0)}}", " ".repeat(lead_ws));
+        let err = MarchTest::parse("bad", &notation, 1e-3).unwrap_err();
+        prop_assert_eq!(&err.token, &junk);
+        prop_assert_eq!(
+            &notation[err.offset..err.offset + err.token.len()],
+            junk.as_str()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------

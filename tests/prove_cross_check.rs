@@ -1,0 +1,111 @@
+//! Tier-1 gate for the symbolic coverage prover: the prover, the
+//! concrete simulator, and the functional fuzzer must all tell the
+//! same story, and the claims matrix committed under `results/` must
+//! match what the current code emits.
+
+use drftest::fuzz::{self, claim_expectations, cross_check};
+use mprove::{check_paper_claims, differential, prove_library};
+
+const DWELL: f64 = 1.0e-3;
+
+#[test]
+fn prover_matrix_is_decided_and_matches_the_paper() {
+    let matrix = prove_library(DWELL);
+    assert_eq!(
+        matrix.counts().unknown,
+        0,
+        "standard fault classes must all be decided:\n{}",
+        matrix.render_text()
+    );
+    let problems = check_paper_claims(&matrix);
+    assert!(
+        problems.is_empty(),
+        "paper claims unproven:\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn prover_agrees_with_the_fuzzer_claim_table() {
+    let matrix = prove_library(DWELL);
+    let problems = cross_check(&matrix);
+    assert!(
+        problems.is_empty(),
+        "prover and fuzzer disagree:\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn expectation_labels_name_real_fuzzer_properties() {
+    // One case per property is enough to enumerate the labels; a
+    // renamed or removed fuzzer claim must be renamed here too, or the
+    // cross-check silently checks nothing.
+    let summary = fuzz::fuzz_functional(1, fuzz::DEFAULT_SEED);
+    let labels: Vec<&str> = summary.reports.iter().map(|r| r.label.as_str()).collect();
+    for exp in claim_expectations() {
+        assert!(
+            labels.contains(&exp.label),
+            "claim expectation `{}` does not match any fuzzer property (have: {labels:?})",
+            exp.label
+        );
+    }
+}
+
+#[test]
+fn escape_counterexamples_replay_and_witnesses_are_real_reads() {
+    let matrix = prove_library(DWELL);
+    let tests = march::library::all(DWELL);
+    let problems = differential::check_replays(&matrix, &tests);
+    assert!(
+        problems.is_empty(),
+        "replay disagreements:\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn exhaustive_differential_on_a_multi_word_geometry() {
+    // mprove's own tests cover 1×8 and 2×8; 4×8 adds aggressor/victim
+    // distances the symbolic position argument claims are irrelevant.
+    // CI's prove job extends this to 16×8 in release mode.
+    let matrix = prove_library(DWELL);
+    for test in march::library::all(DWELL) {
+        let problems = differential::exhaustive(&test, &matrix, 4, 8);
+        assert!(
+            problems.is_empty(),
+            "{} on 4x8 disagrees with the prover:\n{}",
+            test.name(),
+            problems.join("\n")
+        );
+    }
+}
+
+#[test]
+fn committed_claims_matrix_is_current() {
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/claims_matrix.json"
+    ))
+    .expect("results/claims_matrix.json is committed");
+    let emitted = prove_library(DWELL).to_json().to_pretty();
+    assert_eq!(
+        committed.trim(),
+        emitted.trim(),
+        "results/claims_matrix.json is stale; regenerate it with \
+         `cargo run --release -- prove --json > results/claims_matrix.json`"
+    );
+}
+
+#[test]
+fn prove_emits_verdict_counters() {
+    let matrix = prove_library(DWELL);
+    let counts = matrix.counts();
+    obs::flush();
+    let snapshot = obs::snapshot();
+    let counter = |name: &str| *snapshot.counters.get(name).unwrap_or(&0);
+    assert!(counter("prove.claims") >= matrix.claims.len() as u64);
+    assert!(counter("prove.verdicts.detected") >= counts.detected as u64);
+    assert!(counter("prove.verdicts.escaped") >= counts.escaped as u64);
+    assert_eq!(counter("prove.verdicts.unknown"), 0);
+}
