@@ -1,0 +1,218 @@
+//! Thread-local, memcmp-verified LU factorization cache.
+//!
+//! Chained defect bisections re-solve bit-identical linear systems
+//! constantly: every search at one grid condition replays the same
+//! healthy probe from the same warm seed, so the same Jacobian bytes
+//! come back thousands of times. Caching the factorization is safe
+//! *only* if a hit is provably the factorization of the exact matrix
+//! at hand — a near-miss would silently change campaign output. The
+//! key is therefore three-layered:
+//!
+//! 1. the matrix order plus the [`StampPlan`](crate::mna::StampPlan)
+//!    *structural* fingerprint (cheap filter),
+//! 2. the *value* fingerprint over the touched entries' bit patterns
+//!    (the satellite fix: the structural fingerprint alone collides
+//!    across resistance values),
+//! 3. a full `==` compare of the stored matrix bytes before a hit is
+//!    trusted (FNV collisions are improbable, not impossible — this
+//!    makes a false hit structurally impossible, so a cached solve is
+//!    bit-identical to refactoring by construction).
+//!
+//! The cache is thread-local (no locks on the solver hot path) and
+//! holds a fixed number of slots evicted LRU; retained slots reuse
+//! their buffers, so steady-state operation does not allocate.
+
+use std::cell::RefCell;
+
+use crate::error::Error;
+use crate::matrix::{DenseMatrix, LuWorkspace};
+
+/// Fixed slot count. The campaign working set is small: per thread,
+/// the replayed healthy-probe trajectory dominates (a handful of
+/// distinct matrices); everything else is transient.
+const SLOTS: usize = 8;
+
+#[derive(Default)]
+struct Slot {
+    n: usize,
+    struct_fp: u64,
+    value_fp: u64,
+    /// The exact matrix bytes that were factored (hit verification).
+    matrix: Vec<f64>,
+    /// The packed LU factors of `matrix`.
+    lu: Vec<f64>,
+    /// The row permutation of the factorization.
+    perm: Vec<usize>,
+    /// LRU clock stamp; 0 = slot never filled.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct FactorCache {
+    slots: Vec<Slot>,
+    clock: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<FactorCache> = RefCell::new(FactorCache::default());
+}
+
+/// Outcome of a cached factorization attempt, for the caller's
+/// `refactor.cache.{hit,miss}` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheOutcome {
+    /// Factors installed from the cache — no elimination ran.
+    Hit,
+    /// Factored fresh and stored.
+    Miss,
+}
+
+/// Factors `matrix` into `ws`, consulting the thread-local cache.
+///
+/// On a verified hit the stored factors are copied into `ws`
+/// (bit-identical to refactoring); on a miss the matrix is factored
+/// through [`LuWorkspace::factor_from`] and the result stored.
+/// Singular matrices are never cached.
+///
+/// # Errors
+///
+/// Exactly the errors `factor_from` reports, with the same
+/// `pivot_row`.
+pub(crate) fn factor_cached(
+    ws: &mut LuWorkspace,
+    matrix: &DenseMatrix,
+    struct_fp: u64,
+    value_fp: u64,
+) -> Result<CacheOutcome, Error> {
+    let n = matrix.order();
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.clock += 1;
+        let tick = cache.clock;
+        // Hit path: fingerprint filter, then byte-exact verification.
+        if let Some(slot) = cache.slots.iter_mut().find(|s| {
+            s.tick > 0
+                && s.n == n
+                && s.struct_fp == struct_fp
+                && s.value_fp == value_fp
+                && s.matrix == matrix.raw_data()
+        }) {
+            slot.tick = tick;
+            ws.import_factors(n, &slot.lu, &slot.perm);
+            return Ok(CacheOutcome::Hit);
+        }
+        ws.factor_from(matrix)?;
+        // Store into the LRU slot, reusing its buffers.
+        if cache.slots.len() < SLOTS {
+            cache.slots.push(Slot::default());
+        }
+        let slot = cache
+            .slots
+            .iter_mut()
+            .min_by_key(|s| s.tick)
+            .expect("at least one slot exists");
+        slot.n = n;
+        slot.struct_fp = struct_fp;
+        slot.value_fp = value_fp;
+        slot.matrix.clear();
+        slot.matrix.extend_from_slice(matrix.raw_data());
+        ws.export_factors(&mut slot.lu, &mut slot.perm);
+        slot.tick = tick;
+        Ok(CacheOutcome::Miss)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(scale: f64) -> DenseMatrix {
+        DenseMatrix::from_rows(
+            3,
+            &[
+                2.0 * scale,
+                1.0,
+                0.0,
+                1.0,
+                3.0 * scale,
+                1.0,
+                0.0,
+                1.0,
+                4.0 * scale,
+            ],
+        )
+    }
+
+    #[test]
+    fn hit_is_bit_identical_to_refactoring() {
+        let a = test_matrix(1.0);
+        let mut ws = LuWorkspace::new();
+        assert_eq!(
+            factor_cached(&mut ws, &a, 7, 11).unwrap(),
+            CacheOutcome::Miss
+        );
+        let b = [1.0, 2.0, 3.0];
+        let mut x_miss = vec![0.0; 3];
+        ws.solve_into(&b, &mut x_miss);
+        let mut ws2 = LuWorkspace::new();
+        assert_eq!(
+            factor_cached(&mut ws2, &a, 7, 11).unwrap(),
+            CacheOutcome::Hit
+        );
+        let mut x_hit = vec![0.0; 3];
+        ws2.solve_into(&b, &mut x_hit);
+        assert_eq!(x_miss, x_hit);
+    }
+
+    #[test]
+    fn colliding_fingerprints_fall_back_to_byte_compare() {
+        // Same (struct_fp, value_fp) pair for two different matrices —
+        // a worst-case hash collision. The byte verification must
+        // reject the stale slot and refactor.
+        let a = test_matrix(1.0);
+        let b = test_matrix(2.0);
+        let mut ws = LuWorkspace::new();
+        factor_cached(&mut ws, &a, 99, 99).unwrap();
+        assert_eq!(
+            factor_cached(&mut ws, &b, 99, 99).unwrap(),
+            CacheOutcome::Miss,
+            "a colliding key must not produce a false hit"
+        );
+        let rhs = [1.0, 0.0, 0.0];
+        let mut x = vec![0.0; 3];
+        ws.solve_into(&rhs, &mut x);
+        let back = b.mul_vec(&x);
+        assert!((back[0] - 1.0).abs() < 1e-12, "solved the wrong matrix");
+    }
+
+    #[test]
+    fn distinct_value_fingerprints_occupy_distinct_slots() {
+        let a = test_matrix(1.0);
+        let b = test_matrix(2.0);
+        let mut ws = LuWorkspace::new();
+        factor_cached(&mut ws, &a, 1, 100).unwrap();
+        factor_cached(&mut ws, &b, 1, 200).unwrap();
+        assert_eq!(
+            factor_cached(&mut ws, &a, 1, 100).unwrap(),
+            CacheOutcome::Hit
+        );
+        assert_eq!(
+            factor_cached(&mut ws, &b, 1, 200).unwrap(),
+            CacheOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn singular_matrices_are_not_cached() {
+        let singular = DenseMatrix::zeros(2);
+        let mut ws = LuWorkspace::new();
+        assert!(factor_cached(&mut ws, &singular, 5, 5).is_err());
+        // The failed key must not have poisoned a slot: a later good
+        // matrix under the same key still factors (miss, not hit).
+        let good = DenseMatrix::from_rows(2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(
+            factor_cached(&mut ws, &good, 5, 5).unwrap(),
+            CacheOutcome::Miss
+        );
+    }
+}

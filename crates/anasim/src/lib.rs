@@ -14,8 +14,12 @@
 //!   backward-Euler / trapezoidal transient analysis ([`transient`]).
 //!
 //! The circuits it is used on (an SRAM 6T cell, a voltage regulator with a
-//! five-transistor error amplifier) have at most a few tens of nodes, so a
-//! dense factorization is the right tool; no sparse machinery is needed.
+//! five-transistor error amplifier) have at most a few tens of nodes, where
+//! a dense factorization is the right tool. For full-array simulations the
+//! solver switches automatically to a sparse LU backend ([`sparse`]) above
+//! [`sparse::SPARSE_THRESHOLD`] unknowns, and chained defect bisections
+//! reuse factorizations through a rank-1 update path and a memcmp-verified
+//! factorization cache (enabled via [`NewtonOptions`]).
 //!
 //! # Example
 //!
@@ -42,11 +46,14 @@ pub mod complex;
 pub mod dc;
 pub mod devices;
 pub mod error;
+mod factor_cache;
 pub mod matrix;
 pub mod mna;
 pub mod netlist;
 pub mod newton;
+mod rank1;
 pub mod scratch;
+pub mod sparse;
 pub mod transient;
 pub mod units;
 

@@ -6,6 +6,16 @@
 
 use crate::error::Error;
 
+/// Relative pivot-rejection threshold of [`factor_in_place`]: a pivot
+/// is usable only when it exceeds this fraction of the largest entry
+/// remaining in its own row. MNA matrices mix GΩ-leakage (1e-10 S) and
+/// mΩ-wire (1e3 S) stamps, so any *absolute* threshold either rejects
+/// healthy-but-tiny systems or accepts pivots that are pure
+/// cancellation noise against their row — the relative test tracks the
+/// matrix scale instead. ~50·ε leaves headroom above rounding noise
+/// while staying below the ~1e13 dynamic range of a legitimate row.
+pub(crate) const REL_PIVOT_TOL: f64 = 1.0e-14;
+
 /// A dense, row-major, square matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseMatrix {
@@ -108,6 +118,20 @@ impl DenseMatrix {
         self.data[offset] += value;
     }
 
+    /// Reads the entry at a precomputed flat (row-major) offset.
+    #[inline]
+    pub(crate) fn get_at_offset(&self, offset: usize) -> f64 {
+        debug_assert!(offset < self.data.len());
+        self.data[offset]
+    }
+
+    /// The raw row-major entries — the byte-level view the
+    /// factorization cache hashes and memcmp-verifies against.
+    #[inline]
+    pub(crate) fn raw_data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Computes `self * x`.
     ///
     /// # Panics
@@ -128,9 +152,9 @@ impl DenseMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SingularMatrix`] when no pivot above the absolute
-    /// threshold `1e-18` can be found in some column, which for MNA
-    /// systems almost always means a floating node.
+    /// Returns [`Error::SingularMatrix`] when some column's best pivot
+    /// is negligible relative to its own row (see [`REL_PIVOT_TOL`]),
+    /// which for MNA systems almost always means a floating node.
     pub fn into_lu(mut self) -> Result<LuFactors, Error> {
         let mut perm: Vec<usize> = (0..self.n).collect();
         factor_in_place(&mut self, &mut perm)?;
@@ -157,7 +181,24 @@ fn factor_in_place(lu: &mut DenseMatrix, perm: &mut [usize]) -> Result<(), Error
                 pivot_row = r;
             }
         }
-        if pivot_val < 1e-18 {
+        // Row-max-scaled rejection: the selected pivot must carry a
+        // meaningful fraction of its own row's remaining mass. The
+        // scan runs over the *pivot row's* active columns (k..n) in
+        // its pre-swap position, so no per-factorization scales buffer
+        // is needed and the zero-allocation contract holds. Written as
+        // a negated `>` so a 0-vs-0 row (all-zero matrix) stays
+        // singular at the same `pivot_row` the old absolute test
+        // reported.
+        let mut row_max = 0.0f64;
+        for c in k..n {
+            let v = lu.get(pivot_row, c).abs();
+            if v > row_max {
+                row_max = v;
+            }
+        }
+        // Negated on purpose: a NaN pivot must also reject.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(pivot_val > REL_PIVOT_TOL * row_max) {
             return Err(Error::SingularMatrix {
                 pivot_row: k,
                 unknown: None,
@@ -272,6 +313,29 @@ impl LuWorkspace {
     pub fn order(&self) -> usize {
         self.lu.n
     }
+
+    /// Copies the held factors out — the factorization cache's
+    /// store-on-miss path. The destination buffers are cleared and
+    /// refilled so a retained cache slot reuses its allocations.
+    pub(crate) fn export_factors(&self, lu: &mut Vec<f64>, perm: &mut Vec<usize>) {
+        lu.clear();
+        lu.extend_from_slice(&self.lu.data);
+        perm.clear();
+        perm.extend_from_slice(&self.perm);
+    }
+
+    /// Installs previously exported factors — the cache's hit path.
+    /// Bit-identical to refactoring the same matrix, because the
+    /// stored bytes *are* that factorization.
+    pub(crate) fn import_factors(&mut self, n: usize, lu: &[f64], perm: &[usize]) {
+        debug_assert_eq!(lu.len(), n * n);
+        debug_assert_eq!(perm.len(), n);
+        self.lu.n = n;
+        self.lu.data.clear();
+        self.lu.data.extend_from_slice(lu);
+        self.perm.clear();
+        self.perm.extend_from_slice(perm);
+    }
 }
 
 /// The result of [`DenseMatrix::into_lu`]: packed L and U factors plus
@@ -357,6 +421,71 @@ mod tests {
             solve_dense(a, &[0.0; 3]),
             Err(Error::SingularMatrix { pivot_row: 0, .. })
         ));
+    }
+
+    #[test]
+    fn uniformly_tiny_system_is_not_falsely_singular() {
+        // A well-conditioned system scaled down to 1e-20 — every entry
+        // sits far below the old absolute 1e-18 pivot floor, yet the
+        // system is perfectly solvable. The row-relative test must
+        // accept it.
+        let s = 1.0e-20;
+        let a = DenseMatrix::from_rows(2, &[2.0 * s, 1.0 * s, 1.0 * s, 3.0 * s]);
+        let x = solve_dense(a, &[5.0 * s, 10.0 * s]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivot_lost_in_row_scale_is_rejected() {
+        // The best column-0 pivot (1e-17) passed the old absolute
+        // threshold but is 22 orders of magnitude below its own row's
+        // 1e5 entry — pure noise against the elimination that row
+        // participates in. The scaled test reports it singular instead
+        // of producing garbage.
+        let a = DenseMatrix::from_rows(2, &[1.0e-17, 1.0e5, 0.0, 1.0]);
+        match solve_dense(a, &[1.0, 1.0]) {
+            Err(Error::SingularMatrix { pivot_row: 0, .. }) => {}
+            other => panic!("expected singular at pivot row 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_scale_mna_like_system_still_factors() {
+        // GΩ leakage next to mΩ wiring (1e-10 S vs 1e3 S stamps) is
+        // the legitimate dynamic range the relative threshold must not
+        // reject: a two-node ladder with one stiff and one leaky
+        // branch.
+        let g_wire = 1.0e3;
+        let g_leak = 1.0e-10;
+        let a = DenseMatrix::from_rows(2, &[g_wire + g_leak, -g_wire, -g_wire, g_wire + g_leak]);
+        let x = solve_dense(a.clone(), &[1.0e-3, 0.0]).unwrap();
+        // The system is ill-conditioned by construction (κ ≈ g/g_leak
+        // = 1e13), so the achievable residual is eps·‖A‖·‖x‖, not an
+        // absolute 1e-12: assert backward stability, not exactness.
+        let xmax = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let bound = 1e-13 * g_wire * xmax;
+        let back = a.mul_vec(&x);
+        assert!((back[0] - 1.0e-3).abs() < bound, "residual {}", back[0]);
+        assert!(back[1].abs() < bound);
+    }
+
+    #[test]
+    fn factor_export_import_round_trips_bitwise() {
+        let a = DenseMatrix::from_rows(3, &[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let mut ws = LuWorkspace::new();
+        ws.factor_from(&a).unwrap();
+        let mut lu = Vec::new();
+        let mut perm = Vec::new();
+        ws.export_factors(&mut lu, &mut perm);
+        let mut ws2 = LuWorkspace::new();
+        ws2.import_factors(3, &lu, &perm);
+        let b = [5.0, 2.0, 1.0];
+        let mut x1 = vec![0.0; 3];
+        let mut x2 = vec![0.0; 3];
+        ws.solve_into(&b, &mut x1);
+        ws2.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
     }
 
     #[test]

@@ -6,6 +6,32 @@
 use crate::matrix::{DenseMatrix, LuWorkspace};
 use crate::mna::StampPlan;
 use crate::netlist::Netlist;
+use crate::rank1::Rank1State;
+use crate::sparse::SparseLu;
+
+/// Per-solve fast-path accounting, accumulated while the Newton loop
+/// runs and flushed to the `obs` counters (`refactor.cache.{hit,miss}`,
+/// `rank1.{applied,fallback}`) once per retry-ladder solve, keeping the
+/// per-iteration hot path free of atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounters {
+    /// Factorizations served bit-exactly from the thread-local cache.
+    pub cache_hit: u64,
+    /// Factorizations that ran the full elimination (and were stored).
+    pub cache_miss: u64,
+    /// Newton iterations answered by a Woodbury chord step instead of
+    /// a fresh factorization.
+    pub rank1_applied: u64,
+    /// Chord attempts abandoned for a full refactorization (residual
+    /// growth or an ill-conditioned update).
+    pub rank1_fallback: u64,
+}
+
+impl SolveCounters {
+    pub(crate) fn take(&mut self) -> SolveCounters {
+        std::mem::take(self)
+    }
+}
 
 /// Scratch buffers for [`solve_with_scratch`](crate::newton::solve_with_scratch).
 ///
@@ -35,12 +61,30 @@ pub struct SolveScratch {
     pub(crate) best: Vec<f64>,
     pub(crate) lu: LuWorkspace,
     pub(crate) plan: Option<StampPlan>,
+    /// Sparse backend, engaged above
+    /// [`SPARSE_THRESHOLD`](crate::sparse::SPARSE_THRESHOLD) unknowns.
+    pub(crate) sparse: SparseLu,
+    /// Held base factorization for the rank-1/chord fast path.
+    pub(crate) rank1: Rank1State,
+    /// Fast-path accounting since the last flush.
+    pub(crate) counters: SolveCounters,
 }
 
 impl SolveScratch {
     /// Creates an empty scratch; buffers grow on first solve.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Nonzero count (L + U including the diagonal) of the sparse LU
+    /// factors held from the most recent solve, or `None` when every
+    /// solve so far ran on the dense backend. Benchmarks record this
+    /// as a deterministic fill-in fingerprint of the sparse path.
+    pub fn sparse_lu_nnz(&self) -> Option<usize> {
+        match self.sparse.lu_nnz() {
+            0 => None,
+            n => Some(n),
+        }
     }
 
     /// Sizes every buffer for `netlist` and (re)builds the stamp plan
@@ -53,6 +97,8 @@ impl SolveScratch {
             return;
         }
         self.plan = Some(StampPlan::build(netlist));
+        // A structural change orphans any held chord base.
+        self.rank1.invalidate();
         // Full zeroing re-establishes the planned-clear invariant that
         // untouched entries are zero.
         self.matrix.resize_clear(n);

@@ -9,7 +9,7 @@
 //! passed: a baseline stamped `-dirty` cannot be reproduced from any
 //! commit, so it must never be the committed reference.
 //!
-//! Four variants of the same campaign are timed back to back:
+//! Five variants of the same campaign are timed back to back:
 //!
 //! * `sequential_cold` — one worker, every Newton solve starts from the
 //!   cold DC guess (`jobs: 1`, `warm_start: false`, no chained seeds);
@@ -22,7 +22,22 @@
 //! * `parallel_warm_chained` — warm starts plus bisection-chained
 //!   seeding: inside every resistance search each probe seeds Newton
 //!   from the *nearest previously converged probe* in log-resistance
-//!   (`chain_seeds: true`, the library default).
+//!   (`chain_seeds: true`, the library default);
+//! * `rank1_chained` — chained seeding plus the rank-1/chord fast path
+//!   (`rank1: true`, the campaign default): chained probes advance on
+//!   chord steps against a held LU factorization instead of
+//!   refactoring, and full factorizations consult a bit-exact cache.
+//!   Its solver block adds the `cache_hits`/`cache_misses`/
+//!   `rank1_applied`/`rank1_fallbacks` counters the CI gate
+//!   thresholds. The first four variants pin `rank1: false` so their
+//!   numbers stay comparable to the v3 history.
+//!
+//! A sixth, fully deterministic `sparse_ladder` pseudo-variant solves a
+//! 150-segment resistor ladder (above `anasim::sparse::SPARSE_THRESHOLD`
+//! unknowns, so the Newton path auto-selects the sparse backend) and
+//! records `unknowns`, `iterations` and `lu_nnz` — a host-independent
+//! fill-in fingerprint that catches ordering or pivoting regressions in
+//! the sparse factorization.
 //!
 //! The file records per-variant points/sec and solver iteration totals
 //! so a future change that regresses the campaign (more Newton
@@ -131,6 +146,45 @@ struct Variant {
     jobs: usize,
     warm_start: bool,
     chain_seeds: bool,
+    rank1: bool,
+}
+
+/// The deterministic sparse-backend fingerprint: a uniform 150-segment
+/// ladder crosses `SPARSE_THRESHOLD`, so the Newton path factors it
+/// through the CSR backend; the fill-in count is a pure function of
+/// the ordering and pivoting code, independent of host speed.
+fn run_sparse_ladder() -> Json {
+    let mut nl = Netlist::new();
+    let top = nl.node("n0");
+    nl.vsource("V", top, Netlist::GND, 1.0);
+    let mut prev = top;
+    const SEGMENTS: usize = 150;
+    for k in 0..SEGMENTS {
+        let next = nl.node(&format!("n{}", k + 1));
+        nl.resistor(&format!("R{k}"), prev, next, 1.0e3)
+            .expect("valid resistance, unique name");
+        prev = next;
+    }
+    nl.resistor("RT", prev, Netlist::GND, 1.0e3)
+        .expect("valid resistance, unique name");
+    let opts = NewtonOptions::default();
+    let mut scratch = SolveScratch::new();
+    let sol = solve_with_scratch(&nl, &opts, None, AnalysisMode::Dc, &mut scratch)
+        .expect("ladder solves");
+    let lu_nnz = scratch
+        .sparse_lu_nnz()
+        .expect("a 151-unknown system runs on the sparse backend");
+    eprintln!(
+        "sparse_ladder: {} unknowns, {} iterations, {} LU nonzeros",
+        nl.num_unknowns(),
+        sol.iterations,
+        lu_nnz
+    );
+    Json::obj([
+        ("unknowns".to_string(), Json::Num(nl.num_unknowns() as f64)),
+        ("iterations".to_string(), Json::Num(sol.iterations as f64)),
+        ("lu_nnz".to_string(), Json::Num(lu_nnz as f64)),
+    ])
 }
 
 fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
@@ -139,6 +193,7 @@ fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
     opts.jobs = v.jobs;
     opts.warm_start = v.warm_start;
     opts.characterize.chain_seeds = v.chain_seeds;
+    opts.characterize.rank1 = v.rank1;
     let report = table2::run(&opts).expect("quick campaign solves");
     obs::flush();
     let snapshot = obs::snapshot();
@@ -163,6 +218,7 @@ fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
         ("jobs".to_string(), Json::Num(v.jobs as f64)),
         ("warm_start".to_string(), Json::Bool(v.warm_start)),
         ("chain_seeds".to_string(), Json::Bool(v.chain_seeds)),
+        ("rank1".to_string(), Json::Bool(v.rank1)),
         (
             "points_attempted".to_string(),
             Json::Num(coverage.attempted as f64),
@@ -231,6 +287,22 @@ fn run_variant(v: &Variant, allocs_per_iteration: f64) -> Json {
                     "transient_steps".to_string(),
                     Json::Num(counter("anasim.transient.steps") as f64),
                 ),
+                (
+                    "cache_hits".to_string(),
+                    Json::Num(counter("refactor.cache.hit") as f64),
+                ),
+                (
+                    "cache_misses".to_string(),
+                    Json::Num(counter("refactor.cache.miss") as f64),
+                ),
+                (
+                    "rank1_applied".to_string(),
+                    Json::Num(counter("rank1.applied") as f64),
+                ),
+                (
+                    "rank1_fallbacks".to_string(),
+                    Json::Num(counter("rank1.fallback") as f64),
+                ),
             ]),
         ),
     ])
@@ -271,34 +343,46 @@ fn main() {
             jobs: 1,
             warm_start: false,
             chain_seeds: false,
+            rank1: false,
         },
         Variant {
             name: "sequential_warm",
             jobs: 1,
             warm_start: true,
             chain_seeds: false,
+            rank1: false,
         },
         Variant {
             name: "parallel_warm",
             jobs: 0,
             warm_start: true,
             chain_seeds: false,
+            rank1: false,
         },
         Variant {
             name: "parallel_warm_chained",
             jobs: 0,
             warm_start: true,
             chain_seeds: true,
+            rank1: false,
+        },
+        Variant {
+            name: "rank1_chained",
+            jobs: 1,
+            warm_start: true,
+            chain_seeds: true,
+            rank1: true,
         },
     ];
-    let results: Vec<(String, Json)> = variants
+    let mut results: Vec<(String, Json)> = variants
         .iter()
         .map(|v| (v.name.to_string(), run_variant(v, allocs_per_iteration)))
         .collect();
+    results.push(("sparse_ladder".to_string(), run_sparse_ladder()));
     let doc = Json::obj([
         (
             "schema".to_string(),
-            Json::Str("lp-sram-suite/bench-baseline/v3".to_string()),
+            Json::Str("lp-sram-suite/bench-baseline/v4".to_string()),
         ),
         ("artifact".to_string(), Json::Str("table2".to_string())),
         ("mode".to_string(), Json::Str("quick".to_string())),

@@ -445,12 +445,19 @@ impl Heartbeat {
                         obs::Json::Num(snap.completed as f64),
                     ),
                     ("total".to_string(), obs::Json::Num(snap.total as f64)),
-                    ("elapsed_s".to_string(), obs::Json::Num(snap.elapsed_s)),
+                    (
+                        "elapsed_s".to_string(),
+                        obs::Json::finite_num(snap.elapsed_s),
+                    ),
+                    // Throughput and ETA are infinite (or, on a clock
+                    // with sub-tick resolution, NaN-prone) until the
+                    // first point lands; the event stream records that
+                    // honestly as null rather than a bogus number.
                     (
                         "points_per_sec".to_string(),
-                        obs::Json::Num(snap.points_per_sec),
+                        obs::Json::finite_num(snap.points_per_sec),
                     ),
-                    ("eta_s".to_string(), obs::Json::Num(snap.eta_s)),
+                    ("eta_s".to_string(), obs::Json::finite_num(snap.eta_s)),
                     ("stalled".to_string(), obs::Json::Bool(snap.stalled)),
                 ],
             );
@@ -790,6 +797,54 @@ mod tests {
         assert!((s.points_per_sec - 2.0).abs() < 1e-9);
         assert!((s.eta_s - 40.0).abs() < 1e-9, "80 left at 2/s");
         assert!(!s.stalled);
+    }
+
+    #[test]
+    fn heartbeat_event_stays_valid_json_on_sub_resolution_runs() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+        use std::time::Instant;
+
+        /// A Write backed by a shared byte buffer.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // Regression: a run that finishes inside one clock tick has
+        // elapsed_s == 0, so the snapshot's ETA is infinite. The
+        // emitted JSONL line used to carry Json::Num(inf); it must
+        // still parse, with eta_s degraded to null and the finite
+        // fields intact.
+        let t0 = Instant::now();
+        let mut hb = Heartbeat::new("test-hb-subres", 100);
+        hb.started = t0;
+        hb.last_change = (0, t0);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        obs::install_writer(Box::new(Shared(buf.clone())));
+        let s = hb.tick_at(0, t0).expect("first tick emits");
+        obs::close_sink();
+        assert!(s.eta_s.is_infinite(), "no throughput yet");
+        assert_eq!(s.points_per_sec, 0.0);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("test-hb-subres"))
+            .expect("heartbeat event written");
+        let doc = obs::json::parse(line).expect("line is valid JSON");
+        assert_eq!(doc.get("eta_s"), Some(&obs::Json::Null));
+        assert_eq!(
+            doc.get("points_per_sec").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+        assert_eq!(doc.get("total").and_then(|v| v.as_u64()), Some(100));
     }
 
     #[test]

@@ -1163,6 +1163,78 @@ mod tests {
     }
 
     #[test]
+    fn rank1_table2_is_deterministic_and_cuts_factorization_work() {
+        let mut opts = Table2Options::quick();
+        opts.defects = vec![Defect::new(16), Defect::new(29)];
+        opts.case_studies = vec![
+            CaseStudy::new(1, StoredBit::One),
+            CaseStudy::new(2, StoredBit::One),
+        ];
+        opts.jobs = 1;
+        assert!(
+            opts.characterize.rank1,
+            "quick campaigns characterize with the fast path on"
+        );
+
+        // jobs == 1 runs inline on this thread, so the thread-local
+        // solver tally isolates exactly this campaign's work even while
+        // sibling tests solve on other threads.
+        let t0 = obs::tally();
+        let fast_seq = table2(&opts).unwrap();
+        let work = obs::tally().since(&t0);
+        assert!(fast_seq.coverage.is_complete(), "{}", fast_seq.coverage);
+        assert!(work.chord_steps > 0, "chained probes never reused the LU");
+        // Without the fast path every Newton iteration performs one LU
+        // factorization, so the iteration count is the dense-equivalent
+        // factorization work. The chained campaign must do >5x less.
+        assert!(
+            work.iterations > 5 * work.factorizations,
+            "fast path factored too often: {} factorizations over {} iterations",
+            work.factorizations,
+            work.iterations
+        );
+
+        // Byte-identical output at any --jobs count with the fast path
+        // on: per-cell chord chains live in per-cell scratches and the
+        // factorization cache only returns bit-exact matches, so worker
+        // scheduling must not leak into any cell.
+        opts.jobs = 2;
+        let fast_par = table2(&opts).unwrap();
+        assert_eq!(
+            table_fingerprint(&fast_seq),
+            table_fingerprint(&fast_par),
+            "--jobs 2 must be byte-identical to --jobs 1 with rank1 on"
+        );
+
+        // Against the dense path: minimum resistances are probe-grid
+        // values selected by fault verdicts, so agreement is exact;
+        // the diagnostic rail voltage agrees to solver tolerance.
+        let mut dense_opts = opts.clone();
+        dense_opts.jobs = 1;
+        dense_opts.characterize.rank1 = false;
+        let dense = table2(&dense_opts).unwrap();
+        for (row_f, row_d) in fast_seq.rows.iter().zip(&dense.rows) {
+            for (cell_f, cell_d) in row_f.cells.iter().zip(&row_d.cells) {
+                assert_eq!(
+                    cell_f.min_ohms,
+                    cell_d.min_ohms,
+                    "Df{} verdict grid drifted off the dense path",
+                    row_f.defect.number()
+                );
+                assert_eq!(cell_f.pvt, cell_d.pvt);
+                assert_eq!(cell_f.failed_points, cell_d.failed_points);
+                if let (Some(a), Some(b)) = (cell_f.vddcc, cell_d.vddcc) {
+                    assert!(
+                        (a - b).abs() < 1.0e-4,
+                        "Df{} rail voltage drifted: {a} vs {b}",
+                        row_f.defect.number()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn table2_agrees_across_cold_warm_and_chained_seeding() {
         // Warm seeding (healthy-state, scratch reuse) and chained
         // bisection seeding are accelerators: every reported minimum

@@ -24,9 +24,17 @@ use std::fmt::Write as _;
 use crate::json::{self, Json};
 use crate::manifest::MANIFEST_SCHEMA;
 
-/// Schema tag of bench-baseline documents (written by
-/// `bench --bin table2_baseline`).
+/// Schema tag of legacy bench-baseline documents (four seeding
+/// variants, dense solver only). Still accepted for comparison so old
+/// committed baselines keep working.
 pub const BENCH_SCHEMA: &str = "lp-sram-suite/bench-baseline/v3";
+
+/// Schema tag of current bench-baseline documents (written by
+/// `bench --bin table2_baseline`): adds the `rank1_chained` variant,
+/// per-variant `rank1` flags with `cache_hits`/`cache_misses`/
+/// `rank1_applied`/`rank1_fallbacks` solver counters, and the
+/// `sparse_ladder` pseudo-variant (`unknowns`/`iterations`/`lu_nnz`).
+pub const BENCH_SCHEMA_V4: &str = "lp-sram-suite/bench-baseline/v4";
 
 /// Schema tag of the JSON compare report.
 pub const COMPARE_SCHEMA: &str = "lp-sram-suite/compare/v1";
@@ -51,7 +59,7 @@ impl MetricSet {
         let doc = json::parse(text).map_err(|e| e.to_string())?;
         match doc.get("schema").and_then(Json::as_str) {
             Some(MANIFEST_SCHEMA) => Ok(flatten_manifest(&doc)),
-            Some(BENCH_SCHEMA) => Ok(flatten_bench(&doc)),
+            Some(schema @ (BENCH_SCHEMA | BENCH_SCHEMA_V4)) => Ok(flatten_bench(&doc, schema)),
             Some(other) => Err(format!("unsupported schema `{other}`")),
             None => Err("document has no `schema` tag".to_string()),
         }
@@ -97,7 +105,7 @@ fn flatten_manifest(doc: &Json) -> MetricSet {
     }
 }
 
-fn flatten_bench(doc: &Json) -> MetricSet {
+fn flatten_bench(doc: &Json, schema: &str) -> MetricSet {
     let mut metrics = BTreeMap::new();
     if let Some(variants) = doc.get("variants").and_then(Json::as_obj) {
         for (variant, v) in variants {
@@ -107,6 +115,10 @@ fn flatten_bench(doc: &Json) -> MetricSet {
                 "elapsed_s",
                 "points_per_sec",
                 "allocs_per_iteration",
+                // v4 `sparse_ladder` pseudo-variant fields.
+                "unknowns",
+                "iterations",
+                "lu_nnz",
             ] {
                 if let Some(n) = v.get(field).and_then(Json::as_f64) {
                     metrics.insert(format!("{variant}.{field}"), n);
@@ -122,7 +134,7 @@ fn flatten_bench(doc: &Json) -> MetricSet {
         }
     }
     MetricSet {
-        schema: BENCH_SCHEMA.to_string(),
+        schema: schema.to_string(),
         metrics,
     }
 }
@@ -408,6 +420,38 @@ mod tests {
         assert_eq!(m.metrics["sequential_cold.allocs_per_iteration"], 0.0);
         // Provenance fields are not metrics.
         assert!(!m.metrics.keys().any(|k| k.contains("version")));
+    }
+
+    #[test]
+    fn v4_documents_flatten_fast_path_counters_and_sparse_ladder() {
+        let text = r#"{
+  "schema": "lp-sram-suite/bench-baseline/v4",
+  "artifact": "table2",
+  "variants": {
+    "rank1_chained": {
+      "jobs": 1, "rank1": true,
+      "points_completed": 85,
+      "solver": {"iterations_total": 9000, "cache_hits": 3, "cache_misses": 40,
+                 "rank1_applied": 700, "rank1_fallbacks": 2}
+    },
+    "sparse_ladder": {"unknowns": 151, "iterations": 2, "lu_nnz": 450}
+  }
+}"#;
+        let m = MetricSet::from_json_str(text).unwrap();
+        assert_eq!(m.schema, BENCH_SCHEMA_V4);
+        assert_eq!(m.metrics["rank1_chained.solver.cache_misses"], 40.0);
+        assert_eq!(m.metrics["rank1_chained.solver.rank1_fallbacks"], 2.0);
+        assert_eq!(m.metrics["sparse_ladder.lu_nnz"], 450.0);
+        // Last-segment thresholds govern the new counters like any
+        // other solver metric.
+        let t = Threshold::parse("cache_misses=10%").unwrap();
+        assert!(t.matches("rank1_chained.solver.cache_misses"));
+        // Both bench schemas compare against each other: shared metric
+        // names line up, new-only ones are informational.
+        let v3 = MetricSet::from_json_str(&bench_doc(29480)).unwrap();
+        let r = Report::build(&v3, &m, &[]);
+        assert_eq!(r.exit_code(), 0);
+        assert!(r.missing_in_old.contains(&"sparse_ladder.lu_nnz".into()));
     }
 
     #[test]

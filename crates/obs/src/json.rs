@@ -31,6 +31,22 @@ impl Json {
         Json::Obj(pairs.into_iter().collect())
     }
 
+    /// A number that degrades to [`Json::Null`] when `n` is NaN or
+    /// infinite. JSON has no non-finite literals, so a raw
+    /// `Json::Num(f64::INFINITY)` would serialize as `null` anyway;
+    /// this constructor makes the degradation explicit at the source
+    /// (`parse` then reads the value back exactly) instead of
+    /// smuggling an unrepresentable float through the value tree.
+    /// Rate and ETA emitters use it for quantities that are legitimately
+    /// infinite before throughput is measurable.
+    pub fn finite_num(n: f64) -> Json {
+        if n.is_finite() {
+            Json::Num(n)
+        } else {
+            Json::Null
+        }
+    }
+
     /// The value at `key`, for objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -479,6 +495,24 @@ mod tests {
             assert_eq!(back, n, "{text}");
         }
         assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn finite_num_degrades_non_finite_to_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = Json::finite_num(bad);
+            assert_eq!(v, Json::Null, "{bad}");
+            assert_eq!(parse(&v.to_compact()).unwrap(), Json::Null);
+        }
+        // Finite values pass through and round-trip exactly.
+        let v = Json::finite_num(976.5625);
+        assert_eq!(parse(&v.to_compact()).unwrap().as_f64(), Some(976.5625));
+        // The raw constructor serializes non-finite identically, so a
+        // value tree holding either form writes the same document.
+        assert_eq!(
+            Json::Num(f64::INFINITY).to_compact(),
+            Json::finite_num(f64::INFINITY).to_compact()
+        );
     }
 
     #[test]

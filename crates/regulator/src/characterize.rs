@@ -45,6 +45,16 @@ pub struct CharacterizeOptions {
     /// warm starts pay off inside the bisection ladder. On by default;
     /// turn off to reproduce the plain last-visited continuation.
     pub chain_seeds: bool,
+    /// Solve DC probes through the rank-1/chord fast path: chained
+    /// bisection steps reuse a held LU factorization
+    /// (Woodbury-corrected for the changed defect/load resistances)
+    /// instead of refactoring every Newton iteration, and full
+    /// factorizations consult a bit-exact cache. Answers stay within
+    /// solver tolerance of the dense path — far inside the mV-scale
+    /// margins of the retention criterion — so Table II output is
+    /// unchanged. On by default; turn off to reproduce the dense
+    /// solver exactly.
+    pub rank1: bool,
 }
 
 impl Default for CharacterizeOptions {
@@ -60,6 +70,7 @@ impl Default for CharacterizeOptions {
             retry: anasim::RetryPolicy::ladder(),
             preflight: true,
             chain_seeds: true,
+            rank1: true,
         }
     }
 }
@@ -141,6 +152,7 @@ pub fn drf_at(
     } else {
         let mut circuit = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         circuit.set_retry(opts.retry);
+        circuit.set_rank1(opts.rank1);
         if opts.preflight {
             circuit.preflight()?;
         }
@@ -234,6 +246,7 @@ pub fn healthy_seed(
     let _span = obs::span("healthy_seed");
     let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
     c.set_retry(opts.retry);
+    c.set_rank1(opts.rank1);
     c.solve(load)?;
     Ok(c.warm_state()
         .expect("a successful solve always stores its converged state")
@@ -297,6 +310,7 @@ pub fn min_resistance_seeded(
     } else {
         let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         c.set_retry(opts.retry);
+        c.set_rank1(opts.rank1);
         if let Some(state) = seed {
             if c.seed_warm(state) {
                 obs::counter_add("characterize.warm_seed.applied", 1);
@@ -481,6 +495,7 @@ pub fn classify_at_tap(
     let healthy = {
         let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
         c.set_retry(opts.retry);
+        c.set_rank1(opts.rank1);
         c.solve(load)?.vddcc
     };
     let probe = |ohms: f64| -> Result<f64, anasim::Error> {
@@ -500,6 +515,7 @@ pub fn classify_at_tap(
         } else {
             let mut c = RegulatorCircuit::new(design, pvt, tap, FeedMode::Static)?;
             c.set_retry(opts.retry);
+            c.set_rank1(opts.rank1);
             c.inject(defect, ohms);
             Ok(c.solve(load)?.vddcc)
         }
@@ -616,6 +632,50 @@ mod tests {
         .unwrap();
         assert!(!below, "no fault just below the minimum");
         assert!(at, "fault at the minimum");
+    }
+
+    #[test]
+    fn chained_bisection_runs_on_the_rank1_fast_path() {
+        // The whole point of CharacterizeOptions { rank1: true }: a
+        // minimum-resistance search perturbs one resistor per probe, so
+        // after the cold first factorization the chain should advance
+        // on chord steps, not fresh LU factorizations. The obs counters
+        // are process-global and other tests may add to them
+        // concurrently, so every assertion is a lower bound on the
+        // delta — inflation is harmless, absence is the bug.
+        let (pvt, load, stressed, drv) = setup();
+        let criterion = DrfCriterion {
+            stressed: &stressed,
+            stored: StoredBit::One,
+            drv,
+        };
+        let opts = CharacterizeOptions::coarse();
+        assert!(opts.rank1, "campaigns characterize with the fast path on");
+        let counter =
+            |snap: &obs::Snapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let before = obs::snapshot();
+        let r = min_resistance(
+            &RegulatorDesign::lp40nm(),
+            pvt,
+            VrefTap::V74,
+            Defect::new(16),
+            &load,
+            &criterion,
+            &opts,
+        )
+        .unwrap();
+        assert!(r.ohms.is_some(), "Df16 must cause DRFs");
+        let after = obs::snapshot();
+        let delta = |name: &str| counter(&after, name) - counter(&before, name);
+        assert!(
+            delta("rank1.applied") > 0,
+            "chained probes never took a chord step: {:?}",
+            after.counters
+        );
+        assert!(
+            delta("refactor.cache.miss") + delta("refactor.cache.hit") >= 1,
+            "the cold first solve must consult the factorization cache"
+        );
     }
 
     #[test]

@@ -509,6 +509,15 @@ impl RegulatorCircuit {
         self.dc = self.dc.clone().with_retry(retry);
     }
 
+    /// Enables or disables the DC solver's rank-1/chord fast path.
+    /// Bisection sweeps over this circuit change one or two resistor
+    /// parameters per solve — exactly the Woodbury-update shape — so
+    /// campaigns turn this on; see
+    /// [`anasim::NewtonOptions::rank1`] for the accuracy contract.
+    pub fn set_rank1(&mut self, rank1: bool) {
+        self.dc = self.dc.clone().with_rank1(rank1);
+    }
+
     /// The raw converged state vector of the last successful
     /// [`solve`](RegulatorCircuit::solve) — the warm-start format
     /// [`seed_warm`](RegulatorCircuit::seed_warm) accepts. Node build
