@@ -48,6 +48,10 @@ pub enum Error {
     InvalidTimeAxis(String),
     /// An analysis was asked to sweep an empty set of points.
     EmptySweep,
+    /// A block partition handed to the hierarchical Schur solver does
+    /// not describe the netlist: wrong dimension, malformed block
+    /// layout, or a device coupling two distinct blocks.
+    InvalidPartition(String),
     /// A campaign worker panicked while evaluating this point; the
     /// panic was caught by the executor's per-point isolation and the
     /// point recorded as lost instead of aborting the campaign.
@@ -143,6 +147,7 @@ impl fmt::Display for Error {
             ),
             Error::InvalidTimeAxis(what) => write!(f, "invalid time axis: {what}"),
             Error::EmptySweep => write!(f, "sweep requires at least one point"),
+            Error::InvalidPartition(what) => write!(f, "invalid block partition: {what}"),
             Error::Panicked { what } => write!(f, "worker panicked: {what}"),
             Error::BudgetExceeded {
                 iterations,

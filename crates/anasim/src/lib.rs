@@ -52,6 +52,7 @@ pub mod mna;
 pub mod netlist;
 pub mod newton;
 mod rank1;
+pub mod schur;
 pub mod scratch;
 pub mod sparse;
 pub mod transient;
@@ -60,6 +61,7 @@ pub mod units;
 pub use error::Error;
 pub use netlist::{Netlist, NodeId, SourceId};
 pub use newton::{NewtonOptions, RescueStage, RetryPolicy, Solution, SolveBudget, SolverStats};
+pub use schur::{solve_array, ArraySolveOptions, Partition};
 pub use scratch::SolveScratch;
 
 /// Boltzmann constant over elementary charge, in volts per kelvin.

@@ -27,11 +27,38 @@ pub enum AnalysisMode<'a> {
     },
 }
 
+/// Where a stamp's matrix entries land: the monolithic dense MNA matrix,
+/// or the partitioned interface/block stores of the hierarchical
+/// Schur path. Devices never see the distinction — they stamp global
+/// (row, col) coordinates and the sink routes them.
+#[derive(Debug)]
+pub(crate) enum MatrixSink<'a> {
+    /// The classic dense matrix; [`MatrixSink::add`] forwards to
+    /// [`DenseMatrix::add`] unchanged, keeping this path bit-identical
+    /// to pre-partitioned assembly.
+    Dense(&'a mut DenseMatrix),
+    /// Partitioned stores of the block-Schur reduction.
+    Partitioned {
+        plan: &'a crate::schur::PartitionPlan,
+        values: &'a mut crate::schur::PartitionedValues,
+    },
+}
+
+impl MatrixSink<'_> {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            MatrixSink::Dense(m) => m.add(row, col, value),
+            MatrixSink::Partitioned { plan, values } => values.add(plan, row, col, value),
+        }
+    }
+}
+
 /// Mutable view through which a device stamps its linearized companion
 /// model into the MNA system.
 #[derive(Debug)]
 pub struct StampContext<'a> {
-    matrix: &'a mut DenseMatrix,
+    sink: MatrixSink<'a>,
     rhs: &'a mut [f64],
     x: &'a [f64],
     sources: &'a [f64],
@@ -95,27 +122,27 @@ impl<'a> StampContext<'a> {
     /// Adds `value` at (row of `r`, column of `c`), skipping ground.
     pub fn mat_node_node(&mut self, r: NodeId, c: NodeId, value: f64) {
         if let (Some(ri), Some(ci)) = (r.unknown_index(), c.unknown_index()) {
-            self.matrix.add(ri, ci, value);
+            self.sink.add(ri, ci, value);
         }
     }
 
     /// Adds `value` at (row of `r`, column of this device's branch `k`).
     pub fn mat_node_branch(&mut self, r: NodeId, k: usize, value: f64) {
         if let Some(ri) = r.unknown_index() {
-            self.matrix.add(ri, self.branch_offset + k, value);
+            self.sink.add(ri, self.branch_offset + k, value);
         }
     }
 
     /// Adds `value` at (row of branch `k`, column of `c`).
     pub fn mat_branch_node(&mut self, k: usize, c: NodeId, value: f64) {
         if let Some(ci) = c.unknown_index() {
-            self.matrix.add(self.branch_offset + k, ci, value);
+            self.sink.add(self.branch_offset + k, ci, value);
         }
     }
 
     /// Adds `value` at (row of branch `k`, column of branch `j`).
     pub fn mat_branch_branch(&mut self, k: usize, j: usize, value: f64) {
-        self.matrix
+        self.sink
             .add(self.branch_offset + k, self.branch_offset + j, value);
     }
 
@@ -200,14 +227,15 @@ pub struct StampPlan {
     resistor_params: Vec<(usize, Option<usize>, Option<usize>)>,
 }
 
-/// FNV-1a fold step used by the structural fingerprint.
+/// FNV-1a fold step used by the structural fingerprint (and by the
+/// Schur macromodel cache, which keys on the same discipline).
 #[inline]
-fn fnv(h: u64, v: u64) -> u64 {
+pub(crate) fn fnv(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 /// The terminal nodes of an element, by value (no allocation).
-fn kind_terminals(kind: &ElementKind) -> ([NodeId; 4], usize) {
+pub(crate) fn kind_terminals(kind: &ElementKind) -> ([NodeId; 4], usize) {
     match *kind {
         ElementKind::Resistor { p, n, .. }
         | ElementKind::VoltageSource { p, n, .. }
@@ -396,7 +424,7 @@ pub fn assemble(
     rhs.iter_mut().for_each(|v| *v = 0.0);
     for (device, branch_offset) in netlist.devices_with_offsets() {
         let mut ctx = StampContext {
-            matrix,
+            sink: MatrixSink::Dense(matrix),
             rhs,
             x,
             sources: netlist.sources_slice(),
@@ -442,7 +470,7 @@ pub fn assemble_planned(
     rhs.iter_mut().for_each(|v| *v = 0.0);
     for (device, branch_offset) in netlist.devices_with_offsets() {
         let mut ctx = StampContext {
-            matrix,
+            sink: MatrixSink::Dense(matrix),
             rhs,
             x,
             sources: netlist.sources_slice(),
@@ -458,6 +486,48 @@ pub fn assemble_planned(
         for &k in &plan.gmin_diags {
             matrix.add_at_offset(k, gmin);
         }
+    }
+}
+
+/// As [`assemble`], but routes matrix entries into the block-Schur
+/// partitioned stores (`values`) instead of a dense monolith. The
+/// right-hand side stays global — block unknowns are contiguous there,
+/// so the reduction reads it by slice.
+///
+/// Requires `pplan` to have been built against this netlist's current
+/// structure (it embeds the validated no-cross-block-device guarantee).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_partitioned(
+    netlist: &Netlist,
+    pplan: &crate::schur::PartitionPlan,
+    values: &mut crate::schur::PartitionedValues,
+    x: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    mode: AnalysisMode<'_>,
+    rhs: &mut [f64],
+) {
+    values.clear(pplan);
+    rhs.iter_mut().for_each(|v| *v = 0.0);
+    for (device, branch_offset) in netlist.devices_with_offsets() {
+        let mut ctx = StampContext {
+            sink: MatrixSink::Partitioned {
+                plan: pplan,
+                values,
+            },
+            rhs,
+            x,
+            sources: netlist.sources_slice(),
+            params: netlist.params_slice(),
+            source_scale,
+            gmin,
+            branch_offset,
+            mode,
+        };
+        device.stamp(&mut ctx);
+    }
+    if gmin > 0.0 {
+        values.add_gmin(pplan, netlist.num_nodes() - 1, gmin);
     }
 }
 

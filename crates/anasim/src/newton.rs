@@ -52,6 +52,13 @@ pub struct NewtonOptions {
     /// the fast path is within solver tolerance of plain Newton but not
     /// bit-identical to it.
     pub rank1: bool,
+    /// Unknown count at or above which the linear solves switch from
+    /// the dense LU to the sparse Gilbert–Peierls backend. Applies to
+    /// the monolithic system and, on the partitioned path, to the
+    /// reduced interface system — whose order is far below the array's,
+    /// which is why this is tunable rather than the crate constant
+    /// ([`SPARSE_THRESHOLD`], the default).
+    pub sparse_threshold: usize,
 }
 
 impl Default for NewtonOptions {
@@ -64,6 +71,7 @@ impl Default for NewtonOptions {
             gmin_stepping: true,
             source_stepping: true,
             rank1: false,
+            sparse_threshold: SPARSE_THRESHOLD,
         }
     }
 }
@@ -287,6 +295,7 @@ fn newton_stage(
     gmin: f64,
     source_scale: f64,
     mode: AnalysisMode<'_>,
+    partitioned: bool,
 ) -> StageOutcome {
     // Field-level destructuring gives the loop disjoint borrows of
     // every buffer without moving anything out of the scratch.
@@ -300,21 +309,30 @@ fn newton_stage(
         plan,
         sparse,
         rank1,
+        schur,
         counters,
         ..
     } = scratch;
     let plan = plan.as_ref().expect("scratch ensured before stage");
-    let n = matrix.order();
+    // The partitioned path never sizes the dense matrix (a 512×8 array
+    // would need a ~10k-order monolith), so the system order must come
+    // from the iterate, which both paths size.
+    let n = x.len();
     // Backend / fast-path selection. The sparse backend takes over on
     // large systems; the rank-1 chord path applies only to unmodified
     // DC solves (continuation stages perturb gmin or the sources, so a
     // held base would not share their fixed point's Jacobian scale).
-    let use_sparse = n >= SPARSE_THRESHOLD;
+    // The partitioned path does its own backend selection on the
+    // reduced interface system, and assembles into the Schur stores
+    // where neither the chord residual nor the value fingerprint is
+    // available — so both fast paths stay monolithic-only.
+    let use_sparse = !partitioned && n >= opts.sparse_threshold;
     // The memcmp-verified cache is safe in any mode (a hit is the
     // factorization of those exact bytes); the chord path additionally
     // needs the DC fixed-point structure, so transient steps keep the
     // cache but never chord.
-    let cache_active = opts.rank1 && !use_sparse && gmin == 0.0 && source_scale == 1.0;
+    let cache_active =
+        opts.rank1 && !use_sparse && !partitioned && gmin == 0.0 && source_scale == 1.0;
     let rank1_active = cache_active && matches!(mode, AnalysisMode::Dc);
     let mut chord = false;
     if rank1_active {
@@ -342,7 +360,30 @@ fn newton_stage(
     let mut alpha = 1.0f64;
     prev_update.iter_mut().for_each(|v| *v = 0.0);
     for iter in 0..opts.max_iterations {
-        assemble_planned(netlist, plan, x, gmin, source_scale, mode, matrix, rhs);
+        if partitioned {
+            // Block-Schur replacement for the assemble/factor/solve
+            // triple below: partitioned assembly, per-block macromodel
+            // lookup, reduced interface solve, back-substitution. The
+            // surrounding damping/convergence logic is shared.
+            if let Err(e) = schur.step(
+                netlist,
+                x,
+                gmin,
+                source_scale,
+                mode,
+                opts.sparse_threshold,
+                rhs,
+                x_new,
+                counters,
+            ) {
+                return match e {
+                    Error::SingularMatrix { pivot_row, .. } => StageOutcome::Singular(pivot_row),
+                    _ => StageOutcome::Singular(0),
+                };
+            }
+        } else {
+            assemble_planned(netlist, plan, x, gmin, source_scale, mode, matrix, rhs);
+        }
         if chord {
             // Residual-form chord step: x_new = x − M̃⁻¹ F(x). The
             // fixed point is the exact circuit solution for any M̃;
@@ -360,7 +401,7 @@ fn newton_stage(
                 counters.rank1_applied += 1;
             }
         }
-        if !chord {
+        if !chord && !partitioned {
             let factored = if use_sparse {
                 sparse
                     .factor(matrix, plan.structural_fp(), plan.touched_offsets())
@@ -498,9 +539,43 @@ pub fn solve_with_scratch(
     mode: AnalysisMode<'_>,
     scratch: &mut SolveScratch,
 ) -> Result<Solution, Error> {
+    scratch.ensure(netlist);
+    solve_impl(netlist, opts, x0, mode, scratch, false)
+}
+
+/// As [`solve_with_scratch`], but running every linear solve through
+/// the block-Schur reduction described by `partition` (see
+/// [`crate::schur`]). The dense monolithic matrix is never allocated.
+///
+/// # Errors
+///
+/// As [`solve_with_scratch`]; additionally [`Error::InvalidPartition`]
+/// when the partition does not describe this netlist.
+pub(crate) fn solve_partitioned_with_scratch(
+    netlist: &Netlist,
+    opts: &NewtonOptions,
+    x0: Option<&[f64]>,
+    mode: AnalysisMode<'_>,
+    scratch: &mut SolveScratch,
+    partition: &crate::schur::Partition,
+) -> Result<Solution, Error> {
+    scratch.ensure_partitioned(netlist, partition)?;
+    solve_impl(netlist, opts, x0, mode, scratch, true)
+}
+
+/// Shared continuation-ladder body of the monolithic and partitioned
+/// entry points; expects the scratch to be ensured for the matching
+/// path already.
+fn solve_impl(
+    netlist: &Netlist,
+    opts: &NewtonOptions,
+    x0: Option<&[f64]>,
+    mode: AnalysisMode<'_>,
+    scratch: &mut SolveScratch,
+    partitioned: bool,
+) -> Result<Solution, Error> {
     let n = netlist.num_unknowns();
     let node_unknowns = netlist.num_nodes() - 1;
-    scratch.ensure(netlist);
     match x0 {
         Some(x) => {
             assert_eq!(x.len(), n, "warm start has wrong dimension");
@@ -515,7 +590,7 @@ pub fn solve_with_scratch(
     // Stage 1: plain Newton from the provided start.
     obs::flight_set_stage(RescueStage::Plain.label());
     scratch.load_start();
-    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
+    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode, partitioned) {
         StageOutcome::Converged(it) => {
             return Ok(
                 Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
@@ -538,7 +613,7 @@ pub fn solve_with_scratch(
         let mut ok = true;
         let mut gmin = 1.0e-2;
         while gmin > 1.0e-13 {
-            match newton_stage(netlist, opts, scratch, gmin, 1.0, mode) {
+            match newton_stage(netlist, opts, scratch, gmin, 1.0, mode, partitioned) {
                 StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
@@ -549,7 +624,7 @@ pub fn solve_with_scratch(
         }
         if ok {
             if let StageOutcome::Converged(it) =
-                newton_stage(netlist, opts, scratch, 0.0, 1.0, mode)
+                newton_stage(netlist, opts, scratch, 0.0, 1.0, mode, partitioned)
             {
                 return Ok(
                     Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
@@ -567,7 +642,7 @@ pub fn solve_with_scratch(
         let mut ok = true;
         for step in 1..=20 {
             let scale = step as f64 / 20.0;
-            match newton_stage(netlist, opts, scratch, 0.0, scale, mode) {
+            match newton_stage(netlist, opts, scratch, 0.0, scale, mode, partitioned) {
                 StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
@@ -593,7 +668,8 @@ pub fn solve_with_scratch(
             ..*opts
         };
         scratch.load_start();
-        if let StageOutcome::Converged(it) = newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode)
+        if let StageOutcome::Converged(it) =
+            newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode, partitioned)
         {
             return Ok(
                 Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
@@ -617,7 +693,7 @@ pub fn solve_with_scratch(
         let mut ok = true;
         let mut gmin = 1.0e-2;
         while gmin > 1.0e-13 {
-            match newton_stage(netlist, &damped, scratch, gmin, 1.0, mode) {
+            match newton_stage(netlist, &damped, scratch, gmin, 1.0, mode, partitioned) {
                 StageOutcome::Converged(it) => total_iters += it,
                 _ => {
                     ok = false;
@@ -628,7 +704,7 @@ pub fn solve_with_scratch(
         }
         if ok {
             if let StageOutcome::Converged(it) =
-                newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode)
+                newton_stage(netlist, &damped, scratch, 0.0, 1.0, mode, partitioned)
             {
                 return Ok(
                     Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
@@ -657,7 +733,7 @@ pub fn solve_with_scratch(
             // and let the next rung (or the final accept) retry.
             scratch.x.copy_from_slice(&scratch.best);
             if let StageOutcome::Converged(it) =
-                newton_stage(netlist, &damped, scratch, gmin, 1.0, mode)
+                newton_stage(netlist, &damped, scratch, gmin, 1.0, mode, partitioned)
             {
                 total_iters += it;
                 scratch.best.copy_from_slice(&scratch.x);
@@ -670,9 +746,15 @@ pub fn solve_with_scratch(
             ..*opts
         };
         scratch.x.copy_from_slice(&scratch.best);
-        if let StageOutcome::Converged(it) =
-            newton_stage(netlist, &final_damped, scratch, 1.0e-9, 1.0, mode)
-        {
+        if let StageOutcome::Converged(it) = newton_stage(
+            netlist,
+            &final_damped,
+            scratch,
+            1.0e-9,
+            1.0,
+            mode,
+            partitioned,
+        ) {
             return Ok(
                 Solution::new(scratch.x.clone(), node_unknowns, total_iters + it)
                     .rescued(RescueStage::GminRegularized, stages_tried),
@@ -683,7 +765,7 @@ pub fn solve_with_scratch(
     // Report failure with diagnostics from a final plain attempt.
     obs::flight_set_stage(RescueStage::Plain.label());
     scratch.load_start();
-    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode) {
+    match newton_stage(netlist, opts, scratch, 0.0, 1.0, mode, partitioned) {
         StageOutcome::Singular(row) => Err(Error::SingularMatrix {
             pivot_row: row,
             unknown: Some(netlist.unknown_label(row)),
@@ -901,7 +983,7 @@ pub fn solve_with_retry(
 /// Publishes the scratch's accumulated fast-path counters to `obs`
 /// and resets them. One flush per retry-ladder solve keeps the
 /// per-iteration hot path free of atomic traffic.
-fn flush_fast_path_counters(scratch: &mut SolveScratch) {
+pub(crate) fn flush_fast_path_counters(scratch: &mut SolveScratch) {
     let c = scratch.counters.take();
     if c.cache_hit > 0 {
         obs::counter_add("refactor.cache.hit", c.cache_hit);
@@ -914,6 +996,15 @@ fn flush_fast_path_counters(scratch: &mut SolveScratch) {
     }
     if c.rank1_fallback > 0 {
         obs::counter_add("rank1.fallback", c.rank1_fallback);
+    }
+    if c.schur_blocks_shared > 0 {
+        obs::counter_add("schur.blocks_shared", c.schur_blocks_shared);
+    }
+    if c.schur_blocks_rebuilt > 0 {
+        obs::counter_add("schur.blocks_rebuilt", c.schur_blocks_rebuilt);
+    }
+    if c.schur_interface_unknowns > 0 {
+        obs::counter_add("schur.interface_unknowns", c.schur_interface_unknowns);
     }
     // Thread-local mirror of the work counters: cache misses are the
     // factorizations actually performed; a hit imports stored factors
@@ -1568,6 +1659,65 @@ mod tests {
                 (got - want).abs() < 1e-9,
                 "node n{i}: sparse {got} vs analytic {want}"
             );
+        }
+    }
+
+    /// A uniform resistor ladder with `segments + 2` unknowns.
+    fn ladder(segments: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let top = nl.node("n0");
+        nl.vsource("V", top, Netlist::GND, 1.0);
+        let mut prev = top;
+        for i in 1..=segments {
+            let node = nl.node(&format!("n{i}"));
+            nl.resistor(&format!("R{i}"), prev, node, 1.0e3)
+                .expect("valid resistance, unique name");
+            prev = node;
+        }
+        nl.resistor("Rend", prev, Netlist::GND, 1.0e3)
+            .expect("valid resistance, unique name");
+        nl
+    }
+
+    #[test]
+    fn sparse_threshold_override_selects_the_backend() {
+        // Well above the default threshold, so the stock options pick
+        // the sparse backend; an effectively-infinite override forces
+        // the same system through the dense LU. Both must agree.
+        let nl = ladder(150);
+        assert!(nl.num_unknowns() >= crate::sparse::SPARSE_THRESHOLD);
+        let sparse_opts = NewtonOptions::default();
+        assert_eq!(
+            sparse_opts.sparse_threshold,
+            crate::sparse::SPARSE_THRESHOLD
+        );
+        let mut sparse_scratch = SolveScratch::new();
+        let via_sparse = solve_with_scratch(
+            &nl,
+            &sparse_opts,
+            None,
+            AnalysisMode::Dc,
+            &mut sparse_scratch,
+        )
+        .expect("sparse-backend solve converges");
+        assert!(
+            sparse_scratch.sparse_lu_nnz().is_some(),
+            "default threshold must engage the sparse backend here"
+        );
+        let dense_opts = NewtonOptions {
+            sparse_threshold: usize::MAX,
+            ..NewtonOptions::default()
+        };
+        let mut dense_scratch = SolveScratch::new();
+        let via_dense =
+            solve_with_scratch(&nl, &dense_opts, None, AnalysisMode::Dc, &mut dense_scratch)
+                .expect("dense-backend solve converges");
+        assert!(
+            dense_scratch.sparse_lu_nnz().is_none(),
+            "raised threshold must keep the solve on the dense backend"
+        );
+        for (i, (&s, &d)) in via_sparse.raw().iter().zip(via_dense.raw()).enumerate() {
+            assert!((s - d).abs() < 1e-9, "unknown {i}: sparse {s} vs dense {d}");
         }
     }
 

@@ -3,10 +3,12 @@
 //! rescue rungs, retry attempts — and, when the caller threads one
 //! through, across whole campaigns of solves.
 
+use crate::error::Error;
 use crate::matrix::{DenseMatrix, LuWorkspace};
 use crate::mna::StampPlan;
 use crate::netlist::Netlist;
 use crate::rank1::Rank1State;
+use crate::schur::{Partition, SchurState};
 use crate::sparse::SparseLu;
 
 /// Per-solve fast-path accounting, accumulated while the Newton loop
@@ -25,6 +27,14 @@ pub struct SolveCounters {
     /// Chord attempts abandoned for a full refactorization (residual
     /// growth or an ill-conditioned update).
     pub rank1_fallback: u64,
+    /// Schur block macromodels served from the content-addressed cache.
+    pub schur_blocks_shared: u64,
+    /// Schur block macromodels built (factored) fresh.
+    pub schur_blocks_rebuilt: u64,
+    /// Order of the reduced interface system of the most recent
+    /// partitioned solve (assigned, not accumulated — deterministic
+    /// across retry-ladder attempts).
+    pub schur_interface_unknowns: u64,
 }
 
 impl SolveCounters {
@@ -66,6 +76,9 @@ pub struct SolveScratch {
     pub(crate) sparse: SparseLu,
     /// Held base factorization for the rank-1/chord fast path.
     pub(crate) rank1: Rank1State,
+    /// Block-Schur reduction state (partition plan, macromodel cache,
+    /// reduced-system buffers). Empty until the first partitioned solve.
+    pub(crate) schur: SchurState,
     /// Fast-path accounting since the last flush.
     pub(crate) counters: SolveCounters,
 }
@@ -113,6 +126,62 @@ impl SolveScratch {
             buf.clear();
             buf.resize(n, 0.0);
         }
+    }
+
+    /// Sizes every buffer for a *partitioned* solve of `netlist`. Same
+    /// staleness discipline as [`ensure`](SolveScratch::ensure), with
+    /// one deliberate difference: the dense MNA matrix is left alone —
+    /// the partitioned path assembles into the Schur state's interface
+    /// matrix and block stores instead, so a 512×8 array never
+    /// allocates the ~10k-order dense monolith.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPartition`] when `partition` does not describe
+    /// `netlist` (see [`Partition`]).
+    pub(crate) fn ensure_partitioned(
+        &mut self,
+        netlist: &Netlist,
+        partition: &Partition,
+    ) -> Result<(), Error> {
+        let n = netlist.num_unknowns();
+        let plan_ok = self.plan.as_ref().is_some_and(|p| p.matches(netlist));
+        if !plan_ok || self.x.len() != n {
+            self.plan = Some(StampPlan::build(netlist));
+            self.rank1.invalidate();
+            for buf in [
+                &mut self.rhs,
+                &mut self.x,
+                &mut self.x_new,
+                &mut self.prev_update,
+                &mut self.start,
+                &mut self.best,
+            ] {
+                buf.clear();
+                buf.resize(n, 0.0);
+            }
+        }
+        let plan = self.plan.as_ref().expect("stamp plan just ensured");
+        self.schur.ensure(netlist, plan, partition)
+    }
+
+    /// Fast-path counter totals since the last flush or `take`.
+    pub fn counters(&self) -> SolveCounters {
+        self.counters
+    }
+
+    /// Order of the reduced interface system of the held partition
+    /// plan, or `None` when no partitioned solve has run yet.
+    pub fn schur_interface_unknowns(&self) -> Option<usize> {
+        self.schur.interface_unknowns()
+    }
+
+    /// Flushes the accumulated fast-path counters to the `obs` layer
+    /// (`refactor.cache.*`, `rank1.*`, `schur.*`). Exposed for callers
+    /// that drive [`crate::schur::solve_array`] directly instead of
+    /// going through the retry ladder, which flushes per attempt.
+    pub fn flush_obs_counters(&mut self) {
+        crate::newton::flush_fast_path_counters(self);
     }
 
     /// Copies the stored start vector into the current iterate.

@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use anasim::devices::mosfet::MosParams;
 use anasim::mna::AnalysisMode;
 use anasim::newton::solve_with_scratch;
-use anasim::{Netlist, NewtonOptions, SolveScratch};
+use anasim::{
+    solve_array, ArraySolveOptions, Netlist, NewtonOptions, NodeId, Partition, SolveScratch,
+};
 
 struct CountingAllocator;
 
@@ -109,6 +111,114 @@ fn plain_newton_path_allocates_nothing_per_iteration() {
     assert!(
         cold_allocs <= 2,
         "a scratch solve may only allocate its result, got {cold_allocs}"
+    );
+}
+
+/// A chain of cross-coupled latches sharing one supply rail — the
+/// pure-`anasim` miniature of the SRAM array netlist: every cell past
+/// `active` is a 2-unknown Schur block with the rail as its boundary.
+fn latch_chain(cells: usize, active: usize) -> (Netlist, Vec<NodeId>, Partition) {
+    let mut nl = Netlist::new();
+    let supply = nl.node("vdd_supply");
+    let rail = nl.node("vdd_rail");
+    nl.vsource("VDD", supply, Netlist::GND, 1.1);
+    nl.resistor("Rsup", supply, rail, 5.0).expect("valid");
+    let mut highs = Vec::new();
+    let mut blocks = Vec::new();
+    for i in 0..cells {
+        let a = nl.node(&format!("a{i}"));
+        let b = nl.node(&format!("b{i}"));
+        if i >= active {
+            blocks.push((a.index() - 1, 2));
+        }
+        nl.mosfet(
+            &format!("MPa{i}"),
+            a,
+            b,
+            rail,
+            MosParams::pmos(1.0e-4, 0.55),
+        )
+        .expect("valid card");
+        nl.mosfet(
+            &format!("MNa{i}"),
+            a,
+            b,
+            Netlist::GND,
+            MosParams::nmos(2.0e-4, 0.55),
+        )
+        .expect("valid card");
+        nl.mosfet(
+            &format!("MPb{i}"),
+            b,
+            a,
+            rail,
+            MosParams::pmos(1.0e-4, 0.55),
+        )
+        .expect("valid card");
+        nl.mosfet(
+            &format!("MNb{i}"),
+            b,
+            a,
+            Netlist::GND,
+            MosParams::nmos(2.0e-4, 0.55),
+        )
+        .expect("valid card");
+        highs.push(a);
+    }
+    let partition = Partition::new(nl.num_unknowns(), blocks).expect("valid partition");
+    (nl, highs, partition)
+}
+
+#[test]
+fn warm_partitioned_array_resolve_allocates_nothing_per_iteration() {
+    // Steady-state contract of the block-Schur path: once the scratch
+    // is sized and the macromodel cache holds every value class of the
+    // converged operating point, a re-solve allocates only its returned
+    // Solution — assembly, cache lookups, interface factorization and
+    // block back-substitution all run in held buffers.
+    let (nl, highs, partition) = latch_chain(8, 1);
+    let opts = ArraySolveOptions::default();
+    let mut scratch = SolveScratch::new();
+
+    let mut guess = nl.zero_state();
+    nl.set_guess(&mut guess, nl.find_node("vdd_supply").expect("node"), 1.1);
+    nl.set_guess(&mut guess, nl.find_node("vdd_rail").expect("node"), 1.1);
+    for &a in &highs {
+        nl.set_guess(&mut guess, a, 1.1);
+    }
+
+    // Cold solve sizes the scratch and seeds the macromodel cache;
+    // pre-roll warm re-solves until the iterate is a bitwise fixed
+    // point, so the measured solve's every assembly is a cache hit.
+    let mut x = solve_array(&nl, &partition, &opts, Some(&guess), &mut scratch)
+        .expect("latch chain solves")
+        .raw()
+        .to_vec();
+    for _ in 0..4 {
+        x = solve_array(&nl, &partition, &opts, Some(&x), &mut scratch)
+            .expect("latch chain re-solves")
+            .raw()
+            .to_vec();
+    }
+    // Drain the pre-roll counter history so the assertions below see
+    // only the measured solve.
+    scratch.flush_obs_counters();
+
+    let before = allocations();
+    let warm = solve_array(&nl, &partition, &opts, Some(&x), &mut scratch)
+        .expect("latch chain re-solves warm");
+    let warm_allocs = allocations() - before;
+
+    assert!(warm.iterations >= 1, "a solve runs at least one iteration");
+    let counters = scratch.counters();
+    assert_eq!(
+        counters.schur_blocks_rebuilt, 0,
+        "at the fixed point every macromodel must come from the cache"
+    );
+    assert!(counters.schur_blocks_shared > 0);
+    assert!(
+        warm_allocs <= 2,
+        "a warm partitioned re-solve may only allocate its result, got {warm_allocs}"
     );
 }
 

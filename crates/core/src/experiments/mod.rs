@@ -2,6 +2,7 @@
 //! paper's evaluation, each returning a displayable report that pairs
 //! measured values with the published ones.
 
+pub mod array;
 pub mod fig4;
 pub mod table1;
 pub mod table2;

@@ -75,6 +75,7 @@ pub use ds_time::{ds_time_sweep, DsTimeOptions, DsTimeReport};
 pub use executor::{
     available_jobs, effective_jobs, parallel_map_isolated, parallel_map_ordered, WorkOutcome,
 };
+pub use experiments::array::{ArrayRetentionOptions, ArrayRetentionReport, ArrayScenario};
 pub use fault_model::DrfDs;
 pub use fuzz::{fuzz_functional, fuzz_netlists, random_netlist, FuzzSummary};
 pub use lint::{lint_all, rule_catalogue, LintRun, LintTarget};

@@ -36,6 +36,14 @@ pub const BENCH_SCHEMA: &str = "lp-sram-suite/bench-baseline/v3";
 /// `sparse_ladder` pseudo-variant (`unknowns`/`iterations`/`lu_nnz`).
 pub const BENCH_SCHEMA_V4: &str = "lp-sram-suite/bench-baseline/v4";
 
+/// Schema tag of current bench-baseline documents: adds the
+/// `full_array` pseudo-variant benchmarking the hierarchical
+/// block-Schur array solve against the monolithic sparse path
+/// (`interface_unknowns`, `schur_blocks_shared`/`schur_blocks_rebuilt`,
+/// `factorized_unknowns_schur`/`factorized_unknowns_monolithic`, and
+/// the headline `reduction_ratio`).
+pub const BENCH_SCHEMA_V5: &str = "lp-sram-suite/bench-baseline/v5";
+
 /// Schema tag of the JSON compare report.
 pub const COMPARE_SCHEMA: &str = "lp-sram-suite/compare/v1";
 
@@ -59,7 +67,9 @@ impl MetricSet {
         let doc = json::parse(text).map_err(|e| e.to_string())?;
         match doc.get("schema").and_then(Json::as_str) {
             Some(MANIFEST_SCHEMA) => Ok(flatten_manifest(&doc)),
-            Some(schema @ (BENCH_SCHEMA | BENCH_SCHEMA_V4)) => Ok(flatten_bench(&doc, schema)),
+            Some(schema @ (BENCH_SCHEMA | BENCH_SCHEMA_V4 | BENCH_SCHEMA_V5)) => {
+                Ok(flatten_bench(&doc, schema))
+            }
             Some(other) => Err(format!("unsupported schema `{other}`")),
             None => Err("document has no `schema` tag".to_string()),
         }
@@ -119,6 +129,13 @@ fn flatten_bench(doc: &Json, schema: &str) -> MetricSet {
                 "unknowns",
                 "iterations",
                 "lu_nnz",
+                // v5 `full_array` pseudo-variant fields.
+                "interface_unknowns",
+                "schur_blocks_shared",
+                "schur_blocks_rebuilt",
+                "factorized_unknowns_schur",
+                "factorized_unknowns_monolithic",
+                "reduction_ratio",
             ] {
                 if let Some(n) = v.get(field).and_then(Json::as_f64) {
                     metrics.insert(format!("{variant}.{field}"), n);
@@ -452,6 +469,40 @@ mod tests {
         let r = Report::build(&v3, &m, &[]);
         assert_eq!(r.exit_code(), 0);
         assert!(r.missing_in_old.contains(&"sparse_ladder.lu_nnz".into()));
+    }
+
+    #[test]
+    fn v5_documents_flatten_the_full_array_reduction() {
+        let text = r#"{
+  "schema": "lp-sram-suite/bench-baseline/v5",
+  "artifact": "table2",
+  "variants": {
+    "full_array": {
+      "unknowns": 8723, "interface_unknowns": 531,
+      "schur_blocks_shared": 4700, "schur_blocks_rebuilt": 18,
+      "factorized_unknowns_schur": 5000,
+      "factorized_unknowns_monolithic": 78507,
+      "reduction_ratio": 15.7
+    }
+  }
+}"#;
+        let m = MetricSet::from_json_str(text).unwrap();
+        assert_eq!(m.schema, BENCH_SCHEMA_V5);
+        assert_eq!(m.metrics["full_array.interface_unknowns"], 531.0);
+        assert_eq!(m.metrics["full_array.schur_blocks_rebuilt"], 18.0);
+        assert_eq!(m.metrics["full_array.reduction_ratio"], 15.7);
+        // The CI gate thresholds resolve by last segment.
+        let t = Threshold::parse("schur_blocks_rebuilt=10%").unwrap();
+        assert!(t.matches("full_array.schur_blocks_rebuilt"));
+        let t = Threshold::parse("interface_unknowns=0%").unwrap();
+        assert!(t.matches("full_array.interface_unknowns"));
+        // v5 still compares against older baselines.
+        let v3 = MetricSet::from_json_str(&bench_doc(29480)).unwrap();
+        let r = Report::build(&v3, &m, &[]);
+        assert_eq!(r.exit_code(), 0);
+        assert!(r
+            .missing_in_old
+            .contains(&"full_array.reduction_ratio".into()));
     }
 
     #[test]

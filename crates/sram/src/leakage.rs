@@ -48,6 +48,45 @@ pub fn cell_supply_current(
     Ok((-i).max(0.0))
 }
 
+/// Kahan–Neumaier compensated accumulator.
+///
+/// Summing thousands of per-cell leakages (4096×64 at full scale)
+/// in registration order drifts in the low bits relative to any other
+/// order, which breaks bit-exact comparisons between a fresh run and a
+/// resumed one whose populations were re-registered differently.
+/// Compensated summation keeps the result independent of accumulation
+/// order to well below solver tolerance (one rounding of the true sum).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `value` in, carrying the low-order bits the naive sum
+    /// would discard. Neumaier's variant: the compensation also covers
+    /// the case where the addend dwarfs the running sum.
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
 /// One population of identical cells inside the array.
 #[derive(Debug, Clone, Copy)]
 pub struct CellPopulation {
@@ -99,20 +138,19 @@ impl ArrayLoad {
         let mut currents = Vec::with_capacity(points);
         for k in 0..points {
             let v = vmax * k as f64 / (points - 1) as f64;
-            let mut i = if v > 0.0 {
-                bulk * cell_supply_current(base, v, StoredBit::One)?
-            } else {
-                0.0
-            };
+            let mut i = KahanSum::new();
+            if v > 0.0 {
+                i.add(bulk * cell_supply_current(base, v, StoredBit::One)?);
+            }
             for pop in populations {
                 let inst = CellInstance {
                     pattern: pop.pattern,
                     ..*base
                 };
-                i += pop.count as f64 * cell_supply_current(&inst, v, pop.stored)?;
+                i.add(pop.count as f64 * cell_supply_current(&inst, v, pop.stored)?);
             }
             voltages.push(v);
-            currents.push(i);
+            currents.push(i.total());
         }
         Ok(ArrayLoad { voltages, currents })
     }
@@ -232,6 +270,41 @@ mod tests {
             last = i;
         }
         assert_eq!(load.samples().count(), 9);
+    }
+
+    #[test]
+    fn kahan_sum_is_order_invariant_where_naive_drifts() {
+        // A scale spread mimicking the array's: one bulk term around
+        // 1e-7 (4096×64 symmetric cells) plus many picoamp-scale
+        // specials. Summing forwards and backwards must agree bitwise.
+        let mut terms = vec![2.62144e-7];
+        for k in 0..4096 {
+            terms.push(1.0e-12 * (1.0 + (k as f64 * 0.37).sin()));
+        }
+        let fold = |iter: &mut dyn Iterator<Item = &f64>| {
+            let mut s = KahanSum::new();
+            for &t in iter {
+                s.add(t);
+            }
+            s.total()
+        };
+        let fwd = fold(&mut terms.iter());
+        let rev = fold(&mut terms.iter().rev());
+        assert_eq!(
+            fwd.to_bits(),
+            rev.to_bits(),
+            "compensated sums must not depend on accumulation order"
+        );
+        let naive_fwd: f64 = terms.iter().sum();
+        let naive_rev: f64 = terms.iter().rev().sum();
+        assert_ne!(
+            naive_fwd.to_bits(),
+            naive_rev.to_bits(),
+            "the fixture must be hard enough that naive summation drifts"
+        );
+        // And the compensated value stays consistent with the naive one
+        // to the naive path's own accumulated-rounding scale.
+        assert!((fwd - naive_fwd).abs() <= 1.0e-18);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod array;
+pub mod array_netlist;
 pub mod cell;
 pub mod drv;
 pub mod leakage;
@@ -40,9 +41,10 @@ pub mod static_power;
 pub mod vtc;
 
 pub use array::{ArrayGeometry, CellArray, CellLocation};
+pub use array_netlist::{ActiveCell, ArrayNetlist, ArraySpec, Parasitics};
 pub use cell::{CellDesign, CellInstance, CellTransistor, MismatchPattern};
 pub use drv::{drv_ds, drv_ds_worst, DrvOptions, DrvResult, StoredBit};
-pub use leakage::{ArrayLoad, CellPopulation};
+pub use leakage::{ArrayLoad, CellPopulation, KahanSum};
 pub use memory::{
     DsConditions, ElectricalRetention, MemoryError, RetentionPolicy, SramDevice, TableRetention,
 };

@@ -12,8 +12,8 @@
 //! lp-sram-suite prove [--json] [--deny-unknown] [--differential] [--metrics <file.json>]
 //! lp-sram-suite fuzz-functional [--cases <n>] [--fuzz-seed <u64>]
 //! lp-sram-suite fuzz-netlist   [--cases <n>] [--fuzz-seed <u64>]
-//!   artifacts: fig4, fig5, table1, table2, table3, march, power,
-//!              power-defects, ds-time, monte-carlo, all
+//!   artifacts: fig4, fig5, table1, table2, table3, array, march,
+//!              power, power-defects, ds-time, monte-carlo, all
 //! ```
 //!
 //! The `fuzz-*` subcommands drive the adversarial harnesses in
@@ -87,7 +87,7 @@ use std::time::Instant;
 use drftest::case_study::CaseStudy;
 use drftest::drv_analysis::Fig4Options;
 use drftest::experiments::table1::Table1Options;
-use drftest::experiments::{fig4, table1, table2, table3};
+use drftest::experiments::{array, fig4, table1, table2, table3};
 use drftest::{
     ds_time_sweep, monte_carlo_drv, power_defect_table, taxonomy, CoverageOptions, DsTimeOptions,
     MonteCarloOptions, PowerDefectOptions, Table2Options, TaxonomyOptions,
@@ -108,6 +108,7 @@ fn usage() -> ExitCode {
            table1        case-study retention voltages\n\
            table2        minimum defect resistances\n\
            table3        optimized test flow + coverage matrix\n\
+           array         full-array retention map (block-Schur reduction)\n\
            march         March algorithm comparison\n\
            power-defects category-1 (power) defect characterization\n\
            ds-time       deep-sleep dwell-time sweep\n\
@@ -187,6 +188,15 @@ fn run(
             opts.jobs = jobs;
             println!("{}", table1::run(&opts)?);
         }
+        "array" => {
+            let mut opts = if paper {
+                drftest::ArrayRetentionOptions::paper()
+            } else {
+                drftest::ArrayRetentionOptions::quick()
+            };
+            opts.jobs = jobs;
+            println!("{}", array::run(&opts)?);
+        }
         "table2" => {
             let mut opts = if paper {
                 Table2Options::paper()
@@ -256,6 +266,7 @@ fn run(
                 "fig4",
                 "table2",
                 "table3",
+                "array",
                 "fig5",
                 "march",
                 "power-defects",

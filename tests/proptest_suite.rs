@@ -449,6 +449,56 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Hierarchical array reduction: promoting background cells out of the
+// Schur blocks is electrically inert.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random `force_active` promotion sets never change the retention
+    /// verdict grid. A promoted cell is solved in the interface instead
+    /// of through a shared macromodel — the Schur reduction being exact
+    /// block elimination, the choice of active set must be invisible
+    /// beyond solver tolerance, defect or no defect.
+    #[test]
+    fn forced_active_promotion_is_electrically_inert(
+        promoted in proptest::collection::vec((0usize..8, 0usize..4), 0..6),
+        defect in proptest::option::of((0usize..8, 0usize..4)),
+    ) {
+        use lp_sram_suite::anasim::{solve_array, ArraySolveOptions, SolveScratch};
+        use lp_sram_suite::process::PvtCondition;
+        use lp_sram_suite::sram::{ActiveCell, ArraySpec, CellInstance, StoredBit};
+
+        let base = CellInstance::symmetric(PvtCondition::nominal());
+        let mut reference = ArraySpec::retention(8, 4, 0.5, base);
+        if let Some((r, c)) = defect {
+            reference
+                .active
+                .push(ActiveCell::bridged(r, c, StoredBit::One, 1.0e3));
+        }
+        let mut with_promotions = reference.clone();
+        with_promotions.force_active = promoted;
+
+        let opts = ArraySolveOptions::default();
+        let verdicts = |spec: &ArraySpec| {
+            let built = spec.build().expect("array builds");
+            let mut scratch = SolveScratch::new();
+            let sol = solve_array(
+                &built.netlist,
+                &built.partition,
+                &opts,
+                Some(&built.guess()),
+                &mut scratch,
+            )
+            .expect("array solves");
+            built.retained(&sol)
+        };
+        prop_assert_eq!(verdicts(&reference), verdicts(&with_promotions));
+    }
+}
+
+// ---------------------------------------------------------------------
 // In-place LU workspace: bit-identical to the consuming factorization.
 // ---------------------------------------------------------------------
 
